@@ -1,0 +1,9 @@
+package rbmim
+
+import "rbmim/internal/classifier"
+
+// benchTreeFactory constructs the cost-sensitive perceptron tree for the
+// classifier benchmark.
+func benchTreeFactory() *classifier.PerceptronTree {
+	return classifier.NewPerceptronTree(20, 10, 7)
+}

@@ -1,0 +1,404 @@
+package rbmim
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus micro-benchmarks of the core primitives.
+// The table/figure benches run the same code paths as the cmd/ tools at a
+// reduced scale (BENCH_SCALE below), printing the reproduced rows/series via
+// b.Log when run with -v:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable3 -v          # also prints the table
+//
+// Full-size regeneration is the cmd/ tools' job (e.g. cmd/driftbench
+// -scale 1.0); the benches exist to (a) keep every experiment executable
+// under `go test -bench`, and (b) measure the cost of each experiment's
+// inner loops.
+
+import (
+	"io"
+	"testing"
+
+	"rbmim/internal/core"
+	"rbmim/internal/detectors"
+	"rbmim/internal/eval"
+	"rbmim/internal/realworld"
+	"rbmim/internal/stats"
+	"rbmim/internal/synth"
+)
+
+// benchScale keeps the per-iteration work of the experiment benches around a
+// few seconds on a laptop.
+const benchScale = 0.002
+
+// BenchmarkTableI regenerates the benchmark-properties table (Table I): it
+// measures full construction and a 2k-instance draw of every one of the 24
+// streams.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bench := range eval.AllBenchmarks() {
+			s, _, err := bench.Build(benchScale, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 2000; j++ {
+				s.Next()
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Experiment 1 (Table III) on a stream subset:
+// all six detectors over a mixed real/artificial pair of benchmarks, with
+// Friedman ranks.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := eval.RunTable3(eval.Table3Config{
+			Scale:        benchScale,
+			Seed:         42,
+			MetricWindow: 500,
+			Benchmarks:   []string{"EEG", "RBF5"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			eval.WriteTable3(logWriter{b}, out)
+		}
+	}
+}
+
+// BenchmarkFig4Ranks regenerates the Bonferroni-Dunn rank analysis of
+// Figures 4-5 from a Table III run.
+func BenchmarkFig4Ranks(b *testing.B) {
+	out, err := eval.RunTable3(eval.Table3Config{
+		Scale:        benchScale,
+		Seed:         42,
+		MetricWindow: 500,
+		Benchmarks:   []string{"EEG", "RBF5", "Hyperplane5", "Aggrawal5"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores := make([][]float64, len(out.Rows))
+		for r, row := range out.Rows {
+			scores[r] = make([]float64, len(row.Results))
+			for c, res := range row.Results {
+				scores[r][c] = res.PMAUC
+			}
+		}
+		fr := stats.Friedman(scores)
+		cd := stats.BonferroniDunnCD(len(out.Detectors), len(out.Rows), 0.05)
+		if i == 0 && testing.Verbose() {
+			b.Logf("ranks=%v chi2=%.3f CD=%.3f", fr.AvgRanks, fr.ChiSquare, cd)
+		}
+	}
+}
+
+// BenchmarkFig6Bayes regenerates the Bayesian signed test of Figures 6-7
+// (RBM-IM vs PerfSim under pmAUC).
+func BenchmarkFig6Bayes(b *testing.B) {
+	out, err := eval.RunTable3(eval.Table3Config{
+		Scale:        benchScale,
+		Seed:         42,
+		MetricWindow: 500,
+		Benchmarks:   []string{"EEG", "RBF5", "Hyperplane5", "Aggrawal5"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eval.WriteBayesianComparison(io.Discard, out, "PerfSim", "RBM-IM", "pmauc", 1.0, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LocalDrift regenerates one panel of Experiment 2 (Figure 8):
+// the local-drift sweep on RBF10 with 1 and 10 drifted classes.
+func BenchmarkFig8LocalDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := eval.RunLocalDriftSweep(eval.SweepConfig{
+			Scale:        benchScale,
+			Seed:         42,
+			MetricWindow: 500,
+			Benchmarks:   []string{"RBF10"},
+			Values:       []int{1, 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			eval.WriteSweep(logWriter{b}, out, "classes")
+		}
+	}
+}
+
+// BenchmarkFig9Imbalance regenerates one panel of Experiment 3 (Figure 9):
+// the imbalance-ratio sweep on Hyperplane10 at IR 50 and 500.
+func BenchmarkFig9Imbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := eval.RunImbalanceSweep(eval.SweepConfig{
+			Scale:        benchScale,
+			Seed:         42,
+			MetricWindow: 500,
+			Benchmarks:   []string{"Hyperplane10"},
+			Values:       []int{50, 500},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			eval.WriteSweep(logWriter{b}, out, "IR")
+		}
+	}
+}
+
+// BenchmarkDetectorUpdate measures the per-instance cost of every detector
+// (the "test time" row of Table III) on a 20-feature 5-class stream.
+func BenchmarkDetectorUpdate(b *testing.B) {
+	gen, err := synth.NewRBF(synth.Config{Features: 20, Classes: 5, Seed: 3}, 3, 0.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-draw observations so stream cost is excluded.
+	obs := make([]detectors.Observation, 4096)
+	for i := range obs {
+		in := gen.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	fax := eval.PaperDetectors(20)
+	fax = append(fax, eval.ExtraDetectors()...)
+	for _, f := range fax {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			det := f.New(5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.Update(obs[i%len(obs)])
+			}
+		})
+	}
+}
+
+// BenchmarkRBMTrainBatch measures one CD-1 mini-batch update at the paper's
+// default batch size for three stream widths.
+func BenchmarkRBMTrainBatch(b *testing.B) {
+	for _, width := range []int{20, 40, 80} {
+		width := width
+		b.Run(map[int]string{20: "20features", 40: "40features", 80: "80features"}[width], func(b *testing.B) {
+			rbm, err := core.NewRBM(core.RBMConfig{
+				Visible: width, Hidden: 2 * width, Classes: 10,
+				LearningRate: 0.5, Momentum: 0.9, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := synth.NewRBF(synth.Config{Features: width, Classes: 10, Seed: 5}, 3, 0.08)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xs := make([][]float64, 50)
+			ys := make([]int, 50)
+			for i := range xs {
+				in := gen.Next()
+				xs[i] = in.X
+				ys[i] = in.Y
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rbm.TrainBatch(xs, ys)
+			}
+		})
+	}
+}
+
+// BenchmarkReconstructionError measures the per-instance scoring cost of the
+// trained RBM (the detector's hot path).
+func BenchmarkReconstructionError(b *testing.B) {
+	rbm, err := core.NewRBM(core.RBMConfig{Visible: 40, Hidden: 80, Classes: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = float64(i) / 40
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rbm.ReconstructionError(x, i%10)
+	}
+}
+
+// BenchmarkClassifier measures the base learner's predict+train cycle.
+func BenchmarkClassifier(b *testing.B) {
+	gen, err := synth.NewRBF(synth.Config{Features: 20, Classes: 10, Seed: 9}, 3, 0.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]Instance, 4096)
+	for i := range ins {
+		ins[i] = gen.Next()
+	}
+	tree := newBenchTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := ins[i%len(ins)]
+		tree.Predict(in.X)
+		tree.Train(in.X, in.Y)
+	}
+}
+
+// BenchmarkStreamGenerators measures raw generation cost per family.
+func BenchmarkStreamGenerators(b *testing.B) {
+	cfg := synth.Config{Features: 40, Classes: 10, Seed: 2}
+	hyp, _ := synth.NewHyperplane(cfg, 0)
+	rbf, _ := synth.NewRBF(cfg, 3, 0.08)
+	tree, _ := synth.NewRandomTree(cfg, 0)
+	agr, _ := synth.NewAgrawal(cfg, 0)
+	for _, tc := range []struct {
+		name string
+		s    Stream
+	}{{"Hyperplane", hyp}, {"RBF", rbf}, {"RandomTree", tree}, {"Agrawal", agr}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc.s.Next()
+			}
+		})
+	}
+}
+
+// BenchmarkRealWorldSurrogates measures the composed surrogate streams
+// (generator + drift orchestration + imbalance wrapper).
+func BenchmarkRealWorldSurrogates(b *testing.B) {
+	for _, name := range []string{"EEG", "Covertype", "IntelSensors"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			spec, err := realworld.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, n, err := spec.Build(1, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			drawn := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if drawn == n {
+					// b.N can exceed the stream's full Table I length
+					// (e.g. EEG is only ~15k instances): restart it.
+					b.StopTimer()
+					s, n, err = spec.Build(1, 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					drawn = 0
+					b.StartTimer()
+				}
+				s.Next()
+				drawn++
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveWindow compares RBM-IM with and without the
+// ADWIN-driven self-adaptive window (the design choice called out in
+// DESIGN.md) on a sudden-drift pipeline.
+func BenchmarkAblationAdaptiveWindow(b *testing.B) {
+	for _, adaptive := range []bool{true, false} {
+		adaptive := adaptive
+		name := "adaptive"
+		if !adaptive {
+			name = "fixed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, err := eval.ArtificialByName("RBF5")
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, n, err := spec.Build(eval.BuildOptions{Scale: benchScale, Seed: 21})
+				if err != nil {
+					b.Fatal(err)
+				}
+				det, err := core.NewDetector(core.Config{
+					Features:       s.Schema().Features,
+					Classes:        s.Schema().Classes,
+					AdaptiveWindow: adaptive,
+					Seed:           22,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := eval.RunPipeline(s, det, eval.PipelineConfig{Instances: n, MetricWindow: 500, Seed: 23})
+				if i == 0 && testing.Verbose() {
+					b.Logf("%s: pmAUC=%.2f TP=%d FA=%d", name, res.PMAUC, res.TruePositives, res.FalseAlarms)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSkewInsensitiveLoss compares the class-balanced loss
+// (beta = 0.99) against plain unweighted CD (beta ~ 0, making every class
+// weight 1) on an extremely imbalanced pipeline.
+func BenchmarkAblationSkewInsensitiveLoss(b *testing.B) {
+	for _, balanced := range []bool{true, false} {
+		balanced := balanced
+		name := "classBalanced"
+		if !balanced {
+			name = "unweighted"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, err := eval.ArtificialByName("RBF10")
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, n, err := spec.Build(eval.BuildOptions{Scale: benchScale, Seed: 31, IROverride: 400})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := core.Config{
+					Features:       s.Schema().Features,
+					Classes:        s.Schema().Classes,
+					AdaptiveWindow: true,
+					Seed:           32,
+				}
+				if !balanced {
+					cfg.Beta = 1e-9 // effective-number weights collapse to 1
+				}
+				det, err := core.NewDetector(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := eval.RunPipeline(s, det, eval.PipelineConfig{Instances: n, MetricWindow: 500, Seed: 33})
+				if i == 0 && testing.Verbose() {
+					b.Logf("%s: pmAUC=%.2f pmGM=%.2f", name, res.PMAUC, res.PMGM)
+				}
+			}
+		})
+	}
+}
+
+// logWriter adapts b.Log to io.Writer for the report helpers.
+type logWriter struct{ b *testing.B }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+// newBenchTree builds the base classifier via the internal package (the
+// façade intentionally does not re-export the classifier).
+func newBenchTree() interface {
+	Predict([]float64) (int, []float64)
+	Train([]float64, int)
+} {
+	return benchTreeFactory()
+}

@@ -1,0 +1,49 @@
+// Command benchprops reproduces Table I (properties of the 24 benchmark
+// data streams) and, with -grids, Table II (the hyper-parameter grids of the
+// six compared detectors).
+//
+// Usage:
+//
+//	benchprops [-grids] [-scale 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rbmim/internal/eval"
+	"rbmim/internal/realworld"
+)
+
+func main() {
+	grids := flag.Bool("grids", false, "print the Table II parameter grids")
+	scale := flag.Float64("scale", 0.05, "show effective instance counts at this scale")
+	flag.Parse()
+
+	fmt.Println("Table I: properties of real-world-surrogate (top) and artificial (bottom) streams")
+	fmt.Printf("%-14s %12s %12s %9s %8s %8s  %s\n",
+		"Dataset", "Instances", "(scaled)", "Features", "Classes", "IR", "Drift")
+	for _, s := range realworld.All() {
+		fmt.Printf("%-14s %12d %12d %9d %8d %8.2f  %s\n",
+			s.Name, s.Instances, s.ScaledInstances(*scale), s.Features, s.Classes, s.IR, s.Drift)
+	}
+	for _, s := range eval.Artificial() {
+		scaled := int(float64(s.Instances) * *scale)
+		if scaled < 3000 {
+			scaled = 3000
+		}
+		fmt.Printf("%-14s %12d %12d %9d %8d %8.2f  %s\n",
+			s.Name, s.Instances, scaled, s.Features, s.Classes, s.IR, s.Drift)
+	}
+
+	if *grids {
+		fmt.Println()
+		fmt.Println("Table II: examined detectors and their parameter grids")
+		for _, g := range eval.DefaultGrids() {
+			fmt.Printf("%-8s\n", g.Detector)
+			for _, p := range g.Params {
+				fmt.Printf("    %-18s %v\n", p.Name, p.Values)
+			}
+		}
+	}
+}

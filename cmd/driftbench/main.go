@@ -1,0 +1,111 @@
+// Command driftbench orchestrates the full reproduction: Table I
+// properties, the Table III detector comparison with Friedman /
+// Bonferroni-Dunn rank analysis (Figures 4-5), the Bayesian signed tests
+// (Figures 6-7), the local-drift sweep (Figure 8), and the imbalance-ratio
+// robustness sweep (Figure 9). Each experiment honours the shared -scale
+// and -seed flags; individual experiments can be selected with -run.
+//
+// Usage:
+//
+//	driftbench [-run all|table3|ranks|bayes|fig8|fig9] [-scale 0.02] [-seed 42]
+//
+// A full run at -scale 0.02 finishes in a few minutes on a laptop; use
+// -scale 1.0 for the paper's full stream lengths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rbmim/internal/eval"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiments: all, table3, ranks, bayes, fig8, fig9")
+	scale := flag.Float64("scale", 0.02, "fraction of each benchmark's full length (1.0 = Table I size)")
+	seed := flag.Int64("seed", 42, "random seed")
+	window := flag.Int("window", 1000, "prequential metric window")
+	parallel := flag.Int("parallel", 0, "worker goroutines (default: NumCPU)")
+	rope := flag.Float64("rope", 1.0, "Bayesian signed test rope (metric points)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	started := time.Now()
+
+	var table3 *eval.Table3Output
+	needTable3 := all || want["table3"] || want["ranks"] || want["bayes"]
+	if needTable3 {
+		fmt.Printf("== Experiment 1 (Table III), scale=%.3f ==\n", *scale)
+		out, err := eval.RunTable3(eval.Table3Config{
+			Scale:        *scale,
+			Seed:         *seed,
+			MetricWindow: *window,
+			Parallelism:  *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		table3 = out
+		eval.WriteTable3(os.Stdout, out)
+		fmt.Println()
+	}
+	if all || want["ranks"] {
+		fmt.Println("== Figures 4-5: Bonferroni-Dunn rank analysis ==")
+		eval.WriteRankAnalysis(os.Stdout, table3, "pmauc")
+		fmt.Println()
+		eval.WriteRankAnalysis(os.Stdout, table3, "pmgm")
+		fmt.Println()
+	}
+	if all || want["bayes"] {
+		fmt.Println("== Figures 6-7: Bayesian signed tests ==")
+		for _, metric := range []string{"pmauc", "pmgm"} {
+			for _, baseline := range []string{"PerfSim", "DDM-OCI"} {
+				if err := eval.WriteBayesianComparison(os.Stdout, table3, baseline, "RBM-IM", metric, *rope, *seed); err != nil {
+					fail(err)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	if all || want["fig8"] {
+		fmt.Printf("== Experiment 2 (Figure 8): local drift sweep, scale=%.3f ==\n", *scale)
+		out, err := eval.RunLocalDriftSweep(eval.SweepConfig{
+			Scale:        *scale,
+			Seed:         *seed,
+			MetricWindow: *window,
+			Parallelism:  *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		eval.WriteSweep(os.Stdout, out, "classes")
+		fmt.Println()
+	}
+	if all || want["fig9"] {
+		fmt.Printf("== Experiment 3 (Figure 9): imbalance-ratio sweep, scale=%.3f ==\n", *scale)
+		out, err := eval.RunImbalanceSweep(eval.SweepConfig{
+			Scale:        *scale,
+			Seed:         *seed,
+			MetricWindow: *window,
+			Parallelism:  *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		eval.WriteSweep(os.Stdout, out, "IR")
+		fmt.Println()
+	}
+	fmt.Printf("done in %s\n", time.Since(started).Round(time.Second))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "driftbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command imbalance reproduces Experiment 3 of the paper (Figure 9): the
+// relationship between pmAUC and the multi-class imbalance ratio, swept over
+// {50, 100, 200, 300, 400, 500} for the 12 artificial benchmarks.
+//
+// Usage:
+//
+//	imbalance [-scale 0.02] [-seed 42] [-benchmarks RBF5] [-values 50,200,500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rbmim/internal/eval"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "fraction of each benchmark's full length")
+	seed := flag.Int64("seed", 42, "random seed")
+	window := flag.Int("window", 1000, "prequential metric window")
+	benchmarks := flag.String("benchmarks", "", "comma-separated artificial benchmark subset (default: all 12)")
+	values := flag.String("values", "", "comma-separated imbalance ratios (default: 50,100,200,300,400,500)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (default: NumCPU)")
+	flag.Parse()
+
+	cfg := eval.SweepConfig{
+		Scale:        *scale,
+		Seed:         *seed,
+		MetricWindow: *window,
+		Parallelism:  *parallel,
+	}
+	if *benchmarks != "" {
+		cfg.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *values != "" {
+		for _, v := range strings.Split(*values, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "imbalance: bad -values entry:", v)
+				os.Exit(1)
+			}
+			cfg.Values = append(cfg.Values, n)
+		}
+	}
+	out, err := eval.RunImbalanceSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imbalance:", err)
+		os.Exit(1)
+	}
+	eval.WriteSweep(os.Stdout, out, "IR")
+}

@@ -1,0 +1,61 @@
+// Command stattests reproduces the statistical analysis of the paper:
+// Figures 4-5 (Bonferroni-Dunn critical-distance diagrams over the Friedman
+// ranks of Table III) and Figures 6-7 (Bayesian signed tests comparing
+// RBM-IM against PerfSim and DDM-OCI under pmAUC and pmGM). It first runs
+// the Table III experiment at the requested scale, then derives the tests.
+//
+// Usage:
+//
+//	stattests [-scale 0.02] [-seed 42] [-rope 1.0] [-benchmarks A,B,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rbmim/internal/eval"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "fraction of each benchmark's full length")
+	seed := flag.Int64("seed", 42, "random seed")
+	window := flag.Int("window", 1000, "prequential metric window")
+	rope := flag.Float64("rope", 1.0, "region of practical equivalence (metric points)")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 24)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (default: NumCPU)")
+	flag.Parse()
+
+	cfg := eval.Table3Config{
+		Scale:        *scale,
+		Seed:         *seed,
+		MetricWindow: *window,
+		Parallelism:  *parallel,
+	}
+	if *benchmarks != "" {
+		cfg.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	out, err := eval.RunTable3(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stattests:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== Figures 4-5: Friedman ranks + Bonferroni-Dunn ===")
+	eval.WriteRankAnalysis(os.Stdout, out, "pmauc")
+	fmt.Println()
+	eval.WriteRankAnalysis(os.Stdout, out, "pmgm")
+
+	fmt.Println()
+	fmt.Println("=== Figures 6-7: Bayesian signed tests vs RBM-IM ===")
+	for _, metric := range []string{"pmauc", "pmgm"} {
+		for _, baseline := range []string{"PerfSim", "DDM-OCI"} {
+			if err := eval.WriteBayesianComparison(os.Stdout, out, baseline, "RBM-IM", metric, *rope, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "stattests:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}

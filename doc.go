@@ -1,0 +1,34 @@
+// Package rbmim is a from-scratch Go reproduction of "Concept Drift
+// Detection from Multi-Class Imbalanced Data Streams" (Korycki & Krawczyk,
+// ICDE 2021). It provides:
+//
+//   - The RBM-IM trainable drift detector: a three-layer Restricted
+//     Boltzmann Machine with a class-balanced, skew-insensitive loss that
+//     tracks per-class reconstruction-error trends inside self-adaptive
+//     windows and confirms changes with a Granger causality test — detecting
+//     both global drifts and local drifts confined to single minority
+//     classes.
+//   - Nine reference drift detectors (DDM, EDDM, RDDM, ADWIN, HDDM-A,
+//     FHDDM, WSTD, PerfSim, DDM-OCI) behind one Detector interface.
+//   - Multi-class stream generators (Agrawal, Hyperplane, RBF, RandomTree,
+//     SEA), drift orchestration (sudden / gradual / incremental, global and
+//     local), dynamic class-imbalance schedules with role switching, and
+//     synthetic surrogates for the paper's 12 real-world benchmarks.
+//   - A cost-sensitive perceptron tree base classifier, prequential
+//     multi-class AUC / G-mean metrics, and the full experiment harness
+//     that regenerates every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	det, err := rbmim.NewDetector(rbmim.DetectorConfig{Features: 20, Classes: 5})
+//	if err != nil { ... }
+//	for {
+//		x, y := nextInstance()
+//		if det.Update(rbmim.Observation{X: x, TrueClass: y, Predicted: y}) == rbmim.Drift {
+//			fmt.Println("drift on classes", det.DriftClasses())
+//		}
+//	}
+//
+// See the examples/ directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package rbmim

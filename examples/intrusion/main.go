@@ -1,0 +1,84 @@
+// Intrusion detection: the cyber-security scenario from the paper's
+// introduction. Network traffic is dominated by legitimate flows; several
+// attack families appear at very different (and low) rates. One rare attack
+// family mutates to evade the deployed rules — a *local* concept drift that
+// only touches a single minority class. A global drift detector never sees
+// it; RBM-IM attributes it to the right class, and the paired classifier
+// adapts only where it must.
+//
+// Run with:
+//
+//	go run ./examples/intrusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbmim"
+)
+
+// Traffic classes.
+const (
+	legit = iota
+	portScan
+	dos
+	bruteForce
+	exfiltration // the rarest family — and the one that mutates
+	nClasses
+)
+
+var classNames = [nClasses]string{"legit", "port-scan", "dos", "brute-force", "exfiltration"}
+
+func main() {
+	const (
+		features = 16
+		horizon  = 60000
+		mutation = 30000 // the exfiltration family changes here
+	)
+
+	// Base traffic: each class is a cluster of flow-statistics prototypes.
+	base, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: features, Classes: nClasses, Seed: 11}, 4, 0.07)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Legit traffic dominates at 300:1 against the rarest attack.
+	skewed := rbmim.NewImbalanced(base, 300, 12)
+	// The mutation: a sudden local drift confined to the exfiltration
+	// class — its flows start imitating legitimate traffic patterns.
+	traffic := rbmim.NewLocalDriftInjector(skewed, []int{exfiltration}, rbmim.SuddenDrift, mutation, 0, 13)
+
+	det, err := rbmim.NewDetector(rbmim.DetectorConfig{Features: features, Classes: nClasses, Seed: 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := rbmim.RunPipeline(traffic, det, rbmim.PipelineConfig{
+		Instances:    horizon,
+		MetricWindow: 1000,
+		Seed:         15,
+	})
+
+	fmt.Printf("processed %d flows (attack mutation at %d)\n\n", horizon, mutation)
+	fmt.Printf("prequential multi-class AUC: %.2f\n", res.PMAUC)
+	fmt.Printf("prequential multi-class G-mean: %.2f\n\n", res.PMGM)
+
+	fmt.Println("drift signals:")
+	for _, at := range res.Signals {
+		marker := "(false alarm)"
+		if at >= mutation && at <= mutation+6000 {
+			marker = "(caught the mutation)"
+		}
+		fmt.Printf("  flow %6d %s\n", at, marker)
+	}
+	if res.TruePositives > 0 {
+		fmt.Printf("\nmutation detected with mean delay of %.0f flows.\n", res.MeanDelay)
+	} else {
+		fmt.Println("\nmutation missed — try a larger horizon or smaller batch size.")
+	}
+
+	fmt.Println("\nwhat a per-class detector buys you: the drift is attributed to")
+	fmt.Printf("specific classes, so only those classes' models are adapted —\n")
+	fmt.Printf("here, %q — instead of discarding everything the system has\n", classNames[exfiltration])
+	fmt.Println("learned about the other four traffic families.")
+}

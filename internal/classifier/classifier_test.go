@@ -1,0 +1,300 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlob emits instances from two well-separated Gaussian blobs.
+func twoBlob(rng *rand.Rand) ([]float64, int) {
+	y := rng.Intn(2)
+	base := 0.2
+	if y == 1 {
+		base = 0.8
+	}
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = base + rng.NormFloat64()*0.05
+	}
+	return x, y
+}
+
+func TestPerceptronLearnsSeparableProblem(t *testing.T) {
+	p := NewCostSensitivePerceptron(4, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		x, y := twoBlob(rng)
+		p.Train(x, y)
+	}
+	correct := 0
+	for i := 0; i < 500; i++ {
+		x, y := twoBlob(rng)
+		pred, _ := p.Predict(x)
+		if pred == y {
+			correct++
+		}
+	}
+	if correct < 480 {
+		t.Fatalf("accuracy %d/500 on separable blobs", correct)
+	}
+}
+
+func TestPerceptronScoresAreDistribution(t *testing.T) {
+	p := NewCostSensitivePerceptron(3, 4, 1)
+	_, scores := p.Predict([]float64{0.1, 0.5, 0.9})
+	sum := 0.0
+	for _, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score out of range: %v", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scores sum to %v", sum)
+	}
+}
+
+func TestPerceptronCostFavorsMinority(t *testing.T) {
+	p := NewCostSensitivePerceptron(4, 2, 3)
+	// 50:1 imbalance.
+	for i := 0; i < 500; i++ {
+		y := 0
+		if i%50 == 0 {
+			y = 1
+		}
+		p.counts[y]++
+		p.total++
+	}
+	if p.classCost(1) <= p.classCost(0) {
+		t.Fatalf("minority cost %v should exceed majority cost %v", p.classCost(1), p.classCost(0))
+	}
+	if p.classCost(0) > 1.01 {
+		t.Fatalf("majority cost %v should be at most ~1", p.classCost(0))
+	}
+}
+
+func TestPerceptronMinorityRecallUnderImbalance(t *testing.T) {
+	p := NewCostSensitivePerceptron(4, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	gen := func() ([]float64, int) {
+		y := 0
+		if rng.Float64() < 0.03 { // 3% minority
+			y = 1
+		}
+		base := 0.25
+		if y == 1 {
+			base = 0.75
+		}
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = base + rng.NormFloat64()*0.08
+		}
+		return x, y
+	}
+	for i := 0; i < 20000; i++ {
+		x, y := gen()
+		p.Train(x, y)
+	}
+	hits, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		x, y := gen()
+		if y != 1 {
+			continue
+		}
+		total++
+		if pred, _ := p.Predict(x); pred == 1 {
+			hits++
+		}
+	}
+	if total == 0 {
+		t.Skip("no minority samples drawn")
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.9 {
+		t.Fatalf("minority recall %v under 3%% imbalance", recall)
+	}
+}
+
+func TestPerceptronResetClass(t *testing.T) {
+	p := NewCostSensitivePerceptron(4, 3, 6)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		p.Train(x, rng.Intn(3))
+	}
+	before := append([]float64(nil), p.w[1]...)
+	p.ResetClass(1, 99)
+	changed := false
+	for i := range before {
+		if p.w[1][i] != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("ResetClass did not change the weights")
+	}
+	if p.counts[1] != 0 {
+		t.Fatal("ResetClass should clear the class count")
+	}
+	// Out-of-range class is a no-op.
+	p.ResetClass(99, 1)
+}
+
+func TestPerceptronClone(t *testing.T) {
+	p := NewCostSensitivePerceptron(3, 2, 8)
+	p.Train([]float64{0.1, 0.2, 0.3}, 1)
+	cp := p.Clone()
+	cp.Train([]float64{0.9, 0.9, 0.9}, 0)
+	cp.w[0][0] = 42
+	if p.w[0][0] == 42 {
+		t.Fatal("clone shares weight storage")
+	}
+}
+
+func TestTreeLearnsXorStyleProblem(t *testing.T) {
+	// A problem a single linear model cannot solve: label = quadrant parity.
+	tree := NewPerceptronTree(2, 2, 9)
+	tree.GracePeriod = 100
+	rng := rand.New(rand.NewSource(10))
+	gen := func() ([]float64, int) {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if (x[0] > 0.5) != (x[1] > 0.5) {
+			y = 1
+		}
+		return x, y
+	}
+	for i := 0; i < 20000; i++ {
+		x, y := gen()
+		tree.Train(x, y)
+	}
+	correct := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		x, y := gen()
+		if pred, _ := tree.Predict(x); pred == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / n
+	if acc < 0.8 {
+		t.Fatalf("XOR accuracy %v; tree did not split usefully (leaves=%d)", acc, tree.Leaves())
+	}
+	if tree.Leaves() < 2 {
+		t.Fatal("tree never split")
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	tree := NewPerceptronTree(3, 3, 11)
+	tree.MaxDepth = 2
+	tree.GracePeriod = 50
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10000; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		tree.Train(x, rng.Intn(3))
+	}
+	if d := tree.Depth(); d > 2 {
+		t.Fatalf("depth %d exceeds max 2", d)
+	}
+}
+
+func TestTreeReset(t *testing.T) {
+	tree := NewPerceptronTree(2, 2, 13)
+	tree.GracePeriod = 50
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 5000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		tree.Train(x, y)
+	}
+	tree.Reset()
+	if tree.Leaves() != 1 || tree.Depth() != 0 {
+		t.Fatal("reset should produce a single-leaf tree")
+	}
+}
+
+func TestTreeResetClassesKeepsOthers(t *testing.T) {
+	tree := NewPerceptronTree(4, 3, 15)
+	rng := rand.New(rand.NewSource(16))
+	gen := func() ([]float64, int) {
+		y := rng.Intn(3)
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = float64(y)/3 + 0.15 + rng.NormFloat64()*0.04
+		}
+		return x, y
+	}
+	for i := 0; i < 10000; i++ {
+		x, y := gen()
+		tree.Train(x, y)
+	}
+	accOf := func(class int) float64 {
+		hit, tot := 0, 0
+		for i := 0; i < 3000; i++ {
+			x, y := gen()
+			if y != class {
+				continue
+			}
+			tot++
+			if pred, _ := tree.Predict(x); pred == y {
+				hit++
+			}
+		}
+		return float64(hit) / float64(tot)
+	}
+	acc0Before := accOf(0)
+	tree.ResetClasses([]int{2})
+	if acc0 := accOf(0); acc0 < acc0Before-0.15 {
+		t.Fatalf("resetting class 2 damaged class 0: %v -> %v", acc0Before, acc0)
+	}
+}
+
+func TestTreePredictScoresValidProperty(t *testing.T) {
+	tree := NewPerceptronTree(3, 4, 17)
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		tree.Train(x, rng.Intn(4))
+	}
+	f := func(a, b, c float64) bool {
+		x := []float64{clampUnit(a), clampUnit(b), clampUnit(c)}
+		pred, scores := tree.Predict(x)
+		if pred < 0 || pred >= 4 {
+			return false
+		}
+		sum := 0.0
+		for _, s := range scores {
+			if s < 0 || math.IsNaN(s) {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeIgnoresInvalidLabels(t *testing.T) {
+	tree := NewPerceptronTree(2, 2, 19)
+	tree.Train([]float64{0.5, 0.5}, -1)
+	tree.Train([]float64{0.5, 0.5}, 99)
+	// No panic and no learning from garbage.
+	if tree.Leaves() != 1 {
+		t.Fatal("invalid labels should not grow the tree")
+	}
+}
+
+func clampUnit(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0.5
+	}
+	return math.Abs(math.Mod(v, 1))
+}

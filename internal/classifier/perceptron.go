@@ -1,0 +1,183 @@
+// Package classifier implements the shared base learner of the paper's
+// experiments: an Adaptive Cost-Sensitive Perceptron Tree in the spirit of
+// Krawczyk & Skryjomski (ECML-PKDD 2017) — a streaming Hoeffding-style
+// decision tree whose leaves hold cost-sensitive multiclass perceptrons. The
+// classifier is deliberately dependent on an attached drift detector for
+// adaptation: on a global drift signal it rebuilds, and on a local
+// (per-class) signal it re-initializes only the affected class weights, so
+// the quality a detector delivers is directly visible in the prequential
+// metrics.
+package classifier
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CostSensitivePerceptron is an online multiclass perceptron whose update
+// magnitude is scaled inversely with the (decayed) frequency of the true
+// class, boosting minority-class plasticity — the skew-insensitivity the
+// paper requires from the base learner.
+type CostSensitivePerceptron struct {
+	// LearningRate is the base step (default 0.1).
+	LearningRate float64
+	// Decay is the class-frequency decay per observation (default 0.999).
+	Decay float64
+
+	classes  int
+	features int
+	w        [][]float64 // [class][feature+1], last entry is the bias
+	counts   []float64   // decayed per-class counts
+	total    float64
+	scratch  []float64
+}
+
+// NewCostSensitivePerceptron builds a perceptron for the given shape.
+func NewCostSensitivePerceptron(features, classes int, seed int64) *CostSensitivePerceptron {
+	p := &CostSensitivePerceptron{
+		LearningRate: 0.1,
+		Decay:        0.999,
+		classes:      classes,
+		features:     features,
+	}
+	p.init(seed)
+	return p
+}
+
+func (p *CostSensitivePerceptron) init(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	p.w = make([][]float64, p.classes)
+	for k := range p.w {
+		p.w[k] = make([]float64, p.features+1)
+		for i := range p.w[k] {
+			p.w[k][i] = (rng.Float64() - 0.5) * 0.02
+		}
+	}
+	p.counts = make([]float64, p.classes)
+	p.total = 0
+	p.scratch = make([]float64, p.classes)
+}
+
+// RawScores writes the per-class linear scores for x into dst.
+func (p *CostSensitivePerceptron) RawScores(x []float64, dst []float64) []float64 {
+	if cap(dst) < p.classes {
+		dst = make([]float64, p.classes)
+	}
+	dst = dst[:p.classes]
+	for k := 0; k < p.classes; k++ {
+		s := p.w[k][p.features]
+		wk := p.w[k]
+		for i, xi := range x {
+			s += wk[i] * xi
+		}
+		dst[k] = s
+	}
+	return dst
+}
+
+// Predict returns the argmax class and softmax-normalized scores. The
+// returned slice is reused across calls; callers must copy to retain it.
+func (p *CostSensitivePerceptron) Predict(x []float64) (int, []float64) {
+	scores := p.RawScores(x, p.scratch)
+	p.scratch = scores
+	best, bestV := 0, math.Inf(-1)
+	for k, s := range scores {
+		if s > bestV {
+			best, bestV = k, s
+		}
+	}
+	// Softmax with max subtraction for stability.
+	sum := 0.0
+	for k, s := range scores {
+		e := math.Exp(s - bestV)
+		scores[k] = e
+		sum += e
+	}
+	for k := range scores {
+		scores[k] /= sum
+	}
+	return best, scores
+}
+
+// classCost returns the cost multiplier of class k: total/(K*n_k), the
+// balanced-class weight.
+func (p *CostSensitivePerceptron) classCost(k int) float64 {
+	if p.counts[k] <= 0 || p.total <= 0 {
+		return 1
+	}
+	c := p.total / (float64(p.classes) * p.counts[k])
+	if c > 100 {
+		c = 100
+	}
+	return c
+}
+
+// Train performs one cost-sensitive perceptron update.
+func (p *CostSensitivePerceptron) Train(x []float64, y int) {
+	if y < 0 || y >= p.classes {
+		return
+	}
+	for k := range p.counts {
+		p.counts[k] *= p.Decay
+	}
+	p.total = p.total*p.Decay + 1
+	p.counts[y]++
+
+	scores := p.RawScores(x, p.scratch)
+	p.scratch = scores
+	pred, bestV := 0, math.Inf(-1)
+	for k, s := range scores {
+		if s > bestV {
+			pred, bestV = k, s
+		}
+	}
+	if pred == y {
+		return
+	}
+	eta := p.LearningRate * p.classCost(y)
+	// The losing class's weights are pushed down more gently when it is a
+	// minority class: without this, long majority-dominated stretches erode
+	// minority boundaries (catastrophic interference under extreme skew).
+	etaNeg := eta
+	if cp := p.classCost(pred); cp > 1 {
+		etaNeg = eta / cp
+	}
+	wy, wp := p.w[y], p.w[pred]
+	for i, xi := range x {
+		wy[i] += eta * xi
+		wp[i] -= etaNeg * xi
+	}
+	wy[p.features] += eta
+	wp[p.features] -= etaNeg
+}
+
+// ResetClass re-initializes the weights and statistics of a single class,
+// used on local drift signals.
+func (p *CostSensitivePerceptron) ResetClass(k int, seed int64) {
+	if k < 0 || k >= p.classes {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range p.w[k] {
+		p.w[k][i] = (rng.Float64() - 0.5) * 0.02
+	}
+	p.counts[k] = 0
+}
+
+// Clone returns a deep copy (used when a leaf splits).
+func (p *CostSensitivePerceptron) Clone() *CostSensitivePerceptron {
+	cp := &CostSensitivePerceptron{
+		LearningRate: p.LearningRate,
+		Decay:        p.Decay,
+		classes:      p.classes,
+		features:     p.features,
+		total:        p.total,
+	}
+	cp.w = make([][]float64, p.classes)
+	for k := range p.w {
+		cp.w[k] = append([]float64(nil), p.w[k]...)
+	}
+	cp.counts = append([]float64(nil), p.counts...)
+	cp.scratch = make([]float64, p.classes)
+	return cp
+}

@@ -1,0 +1,281 @@
+package classifier
+
+import (
+	"math"
+
+	"rbmim/internal/stats"
+)
+
+// PerceptronTree is the Adaptive Cost-Sensitive Perceptron Tree: a streaming
+// binary decision tree grown with the Hoeffding bound whose leaves each hold
+// a cost-sensitive multiclass perceptron. Internal nodes route on a single
+// feature threshold chosen to maximize Gini reduction estimated from
+// per-class Gaussian feature summaries.
+type PerceptronTree struct {
+	// GracePeriod is the number of leaf observations between split attempts
+	// (default 200).
+	GracePeriod int
+	// SplitConfidence is the Hoeffding bound delta (default 1e-6).
+	SplitConfidence float64
+	// TieThreshold forces a split when the top-two merits are this close
+	// (default 0.05).
+	TieThreshold float64
+	// MaxDepth bounds tree growth (default 6).
+	MaxDepth int
+
+	features, classes int
+	seed              int64
+	root              *ptNode
+	nextSeed          int64
+}
+
+type ptNode struct {
+	// Internal node routing.
+	feature   int
+	threshold float64
+	left      *ptNode
+	right     *ptNode
+
+	// Leaf payload.
+	perceptron *CostSensitivePerceptron
+	depth      int
+	seen       int
+	sinceSplit int
+	// Per-class Gaussian summaries per feature for split selection.
+	counts []float64   // [class]
+	sum    [][]float64 // [class][feature]
+	sumSq  [][]float64 // [class][feature]
+}
+
+// NewPerceptronTree builds an empty tree for the given shape.
+func NewPerceptronTree(features, classes int, seed int64) *PerceptronTree {
+	t := &PerceptronTree{
+		GracePeriod:     200,
+		SplitConfidence: 1e-6,
+		TieThreshold:    0.05,
+		MaxDepth:        6,
+		features:        features,
+		classes:         classes,
+		seed:            seed,
+		nextSeed:        seed,
+	}
+	t.root = t.newLeaf(0)
+	return t
+}
+
+func (t *PerceptronTree) newLeaf(depth int) *ptNode {
+	t.nextSeed++
+	n := &ptNode{
+		perceptron: NewCostSensitivePerceptron(t.features, t.classes, t.nextSeed),
+		depth:      depth,
+		counts:     make([]float64, t.classes),
+		sum:        make([][]float64, t.classes),
+		sumSq:      make([][]float64, t.classes),
+	}
+	for k := 0; k < t.classes; k++ {
+		n.sum[k] = make([]float64, t.features)
+		n.sumSq[k] = make([]float64, t.features)
+	}
+	return n
+}
+
+// Classes returns the class count the tree was built for.
+func (t *PerceptronTree) Classes() int { return t.classes }
+
+// Features returns the feature count the tree was built for.
+func (t *PerceptronTree) Features() int { return t.features }
+
+// leafFor routes x to its leaf.
+func (t *PerceptronTree) leafFor(x []float64) *ptNode {
+	n := t.root
+	for n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// Predict returns the predicted class and per-class posterior scores for x.
+// The score slice is owned by the leaf's perceptron and valid until the next
+// call; copy to retain.
+func (t *PerceptronTree) Predict(x []float64) (int, []float64) {
+	return t.leafFor(x).perceptron.Predict(x)
+}
+
+// Train consumes one labeled instance, updating the routed leaf and
+// attempting a split when the grace period has elapsed.
+func (t *PerceptronTree) Train(x []float64, y int) {
+	if y < 0 || y >= t.classes {
+		return
+	}
+	leaf := t.leafFor(x)
+	leaf.perceptron.Train(x, y)
+	leaf.seen++
+	leaf.sinceSplit++
+	leaf.counts[y]++
+	for i, xi := range x {
+		leaf.sum[y][i] += xi
+		leaf.sumSq[y][i] += xi * xi
+	}
+	if leaf.sinceSplit >= t.GracePeriod && leaf.depth < t.MaxDepth {
+		t.trySplit(leaf)
+		leaf.sinceSplit = 0
+	}
+}
+
+// trySplit evaluates candidate single-feature splits with the Hoeffding
+// bound and converts the leaf into an internal node when one wins.
+func (t *PerceptronTree) trySplit(leaf *ptNode) {
+	total := 0.0
+	for _, c := range leaf.counts {
+		total += c
+	}
+	if total < float64(2*t.classes) {
+		return
+	}
+	baseGini := giniFromCounts(leaf.counts, total)
+	best, second := -1.0, -1.0
+	bestFeat, bestThr := -1, 0.0
+	for f := 0; f < t.features; f++ {
+		thr, merit := t.splitMerit(leaf, f, total, baseGini)
+		if merit > best {
+			second = best
+			best, bestFeat, bestThr = merit, f, thr
+		} else if merit > second {
+			second = merit
+		}
+	}
+	if bestFeat < 0 || best <= 0 {
+		return
+	}
+	eps := stats.HoeffdingBound(1.0, t.SplitConfidence, total)
+	if best-second > eps || eps < t.TieThreshold {
+		left := t.newLeaf(leaf.depth + 1)
+		right := t.newLeaf(leaf.depth + 1)
+		// Children inherit the parent's perceptron so accuracy does not
+		// collapse on split.
+		left.perceptron = leaf.perceptron.Clone()
+		right.perceptron = leaf.perceptron.Clone()
+		leaf.feature = bestFeat
+		leaf.threshold = bestThr
+		leaf.left, leaf.right = left, right
+		leaf.perceptron = nil
+		leaf.counts, leaf.sum, leaf.sumSq = nil, nil, nil
+	}
+}
+
+// splitMerit estimates the Gini reduction of splitting on feature f at the
+// class-weighted mean threshold, using the Gaussian summaries.
+func (t *PerceptronTree) splitMerit(leaf *ptNode, f int, total, baseGini float64) (thr, merit float64) {
+	// Candidate threshold: overall mean of the feature.
+	sum := 0.0
+	for k := 0; k < t.classes; k++ {
+		sum += leaf.sum[k][f]
+	}
+	thr = sum / total
+	// Estimate per-class mass on each side via the Gaussian CDF.
+	leftCounts := make([]float64, t.classes)
+	rightCounts := make([]float64, t.classes)
+	var leftTotal, rightTotal float64
+	for k := 0; k < t.classes; k++ {
+		c := leaf.counts[k]
+		if c == 0 {
+			continue
+		}
+		mean := leaf.sum[k][f] / c
+		variance := leaf.sumSq[k][f]/c - mean*mean
+		if variance < 1e-8 {
+			variance = 1e-8
+		}
+		pLeft := stats.NormalCDF((thr - mean) / math.Sqrt(variance))
+		leftCounts[k] = c * pLeft
+		rightCounts[k] = c * (1 - pLeft)
+		leftTotal += leftCounts[k]
+		rightTotal += rightCounts[k]
+	}
+	if leftTotal < 1 || rightTotal < 1 {
+		return thr, 0
+	}
+	after := leftTotal/total*giniFromCounts(leftCounts, leftTotal) +
+		rightTotal/total*giniFromCounts(rightCounts, rightTotal)
+	return thr, baseGini - after
+}
+
+func giniFromCounts(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+// Reset discards the whole tree — the global-drift adaptation.
+func (t *PerceptronTree) Reset() {
+	t.root = t.newLeaf(0)
+}
+
+// ResetClasses re-initializes the given classes' perceptron weights in every
+// leaf — the local-drift adaptation that preserves knowledge of unaffected
+// classes.
+func (t *PerceptronTree) ResetClasses(classes []int) {
+	var walk func(n *ptNode)
+	walk = func(n *ptNode) {
+		if n == nil {
+			return
+		}
+		if n.left == nil {
+			for _, k := range classes {
+				t.nextSeed++
+				n.perceptron.ResetClass(k, t.nextSeed)
+				if n.counts != nil && k >= 0 && k < len(n.counts) {
+					n.counts[k] = 0
+					for i := range n.sum[k] {
+						n.sum[k][i], n.sumSq[k][i] = 0, 0
+					}
+				}
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Leaves returns the number of leaves (for tests and diagnostics).
+func (t *PerceptronTree) Leaves() int {
+	var count func(n *ptNode) int
+	count = func(n *ptNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.left == nil {
+			return 1
+		}
+		return count(n.left) + count(n.right)
+	}
+	return count(t.root)
+}
+
+// Depth returns the maximum depth of the tree.
+func (t *PerceptronTree) Depth() int {
+	var depth func(n *ptNode) int
+	depth = func(n *ptNode) int {
+		if n == nil || n.left == nil {
+			return 0
+		}
+		l, r := depth(n.left), depth(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.root)
+}

@@ -1,0 +1,426 @@
+// Package core implements RBM-IM, the paper's contribution: a trainable
+// concept drift detector for multi-class imbalanced data streams realized as
+// a three-layer Restricted Boltzmann Machine (visible v, hidden h, class z —
+// Eq. 6-12) trained by mini-batch Contrastive Divergence with a
+// class-balanced, skew-insensitive loss (Eq. 13-21, using the effective
+// number of samples of Cui et al. 2019). The detector tracks the
+// reconstruction error of every class independently (Eq. 22-27), fits
+// incremental linear trends of that error inside a self-adaptive sliding
+// window (Eq. 28-37, window length chosen by ADWIN), and signals per-class
+// drift when a Granger causality test on first differences rejects the
+// hypothesis that the previous trend forecasts the current one.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RBMConfig parameterizes the skew-insensitive RBM (Table II row "RBM-IM").
+type RBMConfig struct {
+	// Visible is the number of visible neurons V (= feature count).
+	Visible int
+	// Hidden is the number of hidden neurons H (Table II: {0.25V..V}).
+	Hidden int
+	// Classes is the number of class neurons Z.
+	Classes int
+	// LearningRate is eta in Eq. 17-21 (Table II: {0.01..0.07}).
+	LearningRate float64
+	// GibbsSteps is k of CD-k (Table II: {1..4}).
+	GibbsSteps int
+	// Momentum accelerates CD updates. Zero selects the default 0.5; pass a
+	// negative value to disable momentum entirely.
+	Momentum float64
+	// Beta is the effective-number-of-samples parameter of the
+	// class-balanced loss (Eq. 13); default 0.99.
+	Beta float64
+	// CountDecay exponentially decays per-class counts so evolving class
+	// roles re-weight quickly; default 0.999.
+	CountDecay float64
+	// Seed drives weight initialization and Gibbs sampling.
+	Seed int64
+}
+
+// Validate checks the configuration, filling defaults for zero values.
+func (c *RBMConfig) Validate() error {
+	if c.Visible < 1 {
+		return fmt.Errorf("core: RBM needs at least 1 visible neuron, got %d", c.Visible)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("core: RBM needs at least 2 class neurons, got %d", c.Classes)
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = (c.Visible + 1) / 2
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.GibbsSteps <= 0 {
+		c.GibbsSteps = 1
+	}
+	switch {
+	case c.Momentum == 0 || c.Momentum >= 1:
+		c.Momentum = 0.5
+	case c.Momentum < 0:
+		c.Momentum = 0
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		c.Beta = 0.99
+	}
+	if c.CountDecay <= 0 || c.CountDecay >= 1 {
+		c.CountDecay = 0.999
+	}
+	return nil
+}
+
+// RBM is the three-layer network of Eq. 6-12: visible layer v (features),
+// hidden layer h, and class layer z with softmax activation. Weights W
+// connect v-h and U connects h-z.
+type RBM struct {
+	cfg RBMConfig
+	rng *rand.Rand
+
+	w [][]float64 // [visible][hidden]
+	u [][]float64 // [hidden][classes]
+	a []float64   // visible biases
+	b []float64   // hidden biases
+	c []float64   // class biases
+
+	// Momentum buffers.
+	dw [][]float64
+	du [][]float64
+	da []float64
+	db []float64
+	dc []float64
+
+	// Class-balanced loss state: decayed per-class counts (Eq. 13).
+	classCounts []float64
+
+	// Scratch buffers reused across calls.
+	hProb, hState  []float64
+	vProb          []float64
+	zProb          []float64
+	hRecon, vRecon []float64
+	zRecon         []float64
+}
+
+// NewRBM builds the network with small random weights.
+func NewRBM(cfg RBMConfig) (*RBM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &RBM{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	V, H, Z := cfg.Visible, cfg.Hidden, cfg.Classes
+	r.w = gaussianMatrix(r.rng, V, H, 0.1)
+	r.u = gaussianMatrix(r.rng, H, Z, 0.1)
+	r.a = make([]float64, V)
+	r.b = make([]float64, H)
+	r.c = make([]float64, Z)
+	r.dw = zeroMatrix(V, H)
+	r.du = zeroMatrix(H, Z)
+	r.da = make([]float64, V)
+	r.db = make([]float64, H)
+	r.dc = make([]float64, Z)
+	r.classCounts = make([]float64, Z)
+	r.hProb = make([]float64, H)
+	r.hState = make([]float64, H)
+	r.vProb = make([]float64, V)
+	r.zProb = make([]float64, Z)
+	r.hRecon = make([]float64, H)
+	r.vRecon = make([]float64, V)
+	r.zRecon = make([]float64, Z)
+	return r, nil
+}
+
+// Config returns the active configuration (with defaults resolved).
+func (r *RBM) Config() RBMConfig { return r.cfg }
+
+func gaussianMatrix(rng *rand.Rand, rows, cols int, sd float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * sd
+		}
+	}
+	return m
+}
+
+func zeroMatrix(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+// hiddenProbs computes P(h_j | v, z) of Eq. 10 into dst.
+func (r *RBM) hiddenProbs(v []float64, z []float64, dst []float64) {
+	for j := 0; j < r.cfg.Hidden; j++ {
+		s := r.b[j]
+		for i := 0; i < r.cfg.Visible; i++ {
+			s += v[i] * r.w[i][j]
+		}
+		for k := 0; k < r.cfg.Classes; k++ {
+			s += z[k] * r.u[j][k]
+		}
+		dst[j] = sigmoid(s)
+	}
+}
+
+// visibleProbs computes P(v_i | h) of Eq. 11 into dst.
+func (r *RBM) visibleProbs(h []float64, dst []float64) {
+	for i := 0; i < r.cfg.Visible; i++ {
+		s := r.a[i]
+		for j := 0; j < r.cfg.Hidden; j++ {
+			s += h[j] * r.w[i][j]
+		}
+		dst[i] = sigmoid(s)
+	}
+}
+
+// classProbs computes the softmax P(z = 1_k | h) of Eq. 12 into dst.
+func (r *RBM) classProbs(h []float64, dst []float64) {
+	maxS := math.Inf(-1)
+	for k := 0; k < r.cfg.Classes; k++ {
+		s := r.c[k]
+		for j := 0; j < r.cfg.Hidden; j++ {
+			s += h[j] * r.u[j][k]
+		}
+		dst[k] = s
+		if s > maxS {
+			maxS = s
+		}
+	}
+	sum := 0.0
+	for k := range dst {
+		dst[k] = math.Exp(dst[k] - maxS)
+		sum += dst[k]
+	}
+	for k := range dst {
+		dst[k] /= sum
+	}
+}
+
+// sampleBinary draws Bernoulli states from probabilities.
+func (r *RBM) sampleBinary(p []float64, dst []float64) {
+	for i, pi := range p {
+		if r.rng.Float64() < pi {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// classWeight returns the class-balanced loss weight of Eq. 13 for class m:
+// (1 - beta) / (1 - beta^{n_m}), normalized so the average weight over
+// observed classes is 1.
+func (r *RBM) classWeight(m int) float64 {
+	n := r.classCounts[m]
+	if n < 1 {
+		n = 1
+	}
+	w := (1 - r.cfg.Beta) / (1 - math.Pow(r.cfg.Beta, n))
+	// Normalize by the mean weight across seen classes so the global
+	// learning-rate scale is imbalance-invariant.
+	sum, cnt := 0.0, 0
+	for k := range r.classCounts {
+		nk := r.classCounts[k]
+		if nk < 1 {
+			continue
+		}
+		sum += (1 - r.cfg.Beta) / (1 - math.Pow(r.cfg.Beta, nk))
+		cnt++
+	}
+	if cnt == 0 || sum == 0 {
+		return 1
+	}
+	return w / (sum / float64(cnt))
+}
+
+// observeClass updates the decayed class counts feeding the balanced loss.
+func (r *RBM) observeClass(y int) {
+	for k := range r.classCounts {
+		r.classCounts[k] *= r.cfg.CountDecay
+	}
+	if y >= 0 && y < r.cfg.Classes {
+		r.classCounts[y]++
+	}
+}
+
+// TrainBatch performs one CD-k update (Eq. 15-21) over the mini-batch of
+// scaled feature vectors xs with labels ys, applying the class-balanced
+// gradient weighting. Inputs must be scaled to [0,1]. Returns the mean
+// (weighted) reconstruction error of the batch.
+func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	V, H, Z := r.cfg.Visible, r.cfg.Hidden, r.cfg.Classes
+	gw := zeroMatrix(V, H)
+	gu := zeroMatrix(H, Z)
+	ga := make([]float64, V)
+	gb := make([]float64, H)
+	gc := make([]float64, Z)
+	z0 := make([]float64, Z)
+	totalErr := 0.0
+
+	for n := range xs {
+		x, y := xs[n], ys[n]
+		r.observeClass(y)
+		weight := r.classWeight(y)
+		for k := range z0 {
+			z0[k] = 0
+		}
+		if y >= 0 && y < Z {
+			z0[y] = 1
+		}
+		// Positive phase: h ~ P(h | v = x, z = 1_y) (Eq. 25).
+		r.hiddenProbs(x, z0, r.hProb)
+		copy(r.hState, r.hProb)
+		r.sampleBinary(r.hProb, r.hState)
+
+		// Gibbs chain (CD-k): alternate reconstruction of (v, z) and h.
+		copy(r.vRecon, x)
+		copy(r.zRecon, z0)
+		hCur := r.hState
+		for step := 0; step < r.cfg.GibbsSteps; step++ {
+			r.visibleProbs(hCur, r.vRecon)
+			r.classProbs(hCur, r.zRecon)
+			r.hiddenProbs(r.vRecon, r.zRecon, r.hRecon)
+			if step < r.cfg.GibbsSteps-1 {
+				r.sampleBinary(r.hRecon, r.hRecon)
+			}
+			hCur = r.hRecon
+		}
+
+		// Accumulate weighted gradients: E_data[..] - E_recon[..].
+		for i := 0; i < V; i++ {
+			di := x[i] - r.vRecon[i]
+			ga[i] += weight * di
+			for j := 0; j < H; j++ {
+				gw[i][j] += weight * (x[i]*r.hProb[j] - r.vRecon[i]*r.hRecon[j])
+			}
+		}
+		for j := 0; j < H; j++ {
+			gb[j] += weight * (r.hProb[j] - r.hRecon[j])
+			for k := 0; k < Z; k++ {
+				gu[j][k] += weight * (r.hProb[j]*z0[k] - r.hRecon[j]*r.zRecon[k])
+			}
+		}
+		for k := 0; k < Z; k++ {
+			gc[k] += weight * (z0[k] - r.zRecon[k])
+		}
+		totalErr += r.reconErrorFrom(x, z0)
+	}
+
+	// Apply momentum-smoothed updates (Eq. 17-21).
+	inv := 1 / float64(len(xs))
+	eta, mom := r.cfg.LearningRate, r.cfg.Momentum
+	for i := 0; i < V; i++ {
+		r.da[i] = mom*r.da[i] + eta*ga[i]*inv
+		r.a[i] += r.da[i]
+		for j := 0; j < H; j++ {
+			r.dw[i][j] = mom*r.dw[i][j] + eta*gw[i][j]*inv
+			r.w[i][j] += r.dw[i][j]
+		}
+	}
+	for j := 0; j < H; j++ {
+		r.db[j] = mom*r.db[j] + eta*gb[j]*inv
+		r.b[j] += r.db[j]
+		for k := 0; k < Z; k++ {
+			r.du[j][k] = mom*r.du[j][k] + eta*gu[j][k]*inv
+			r.u[j][k] += r.du[j][k]
+		}
+	}
+	for k := 0; k < Z; k++ {
+		r.dc[k] = mom*r.dc[k] + eta*gc[k]*inv
+		r.c[k] += r.dc[k]
+	}
+	return totalErr * inv
+}
+
+// reconErrorFrom computes R(S) of Eq. 26 for a single already-scaled
+// instance: the root of the summed squared feature and class reconstruction
+// gaps, using a deterministic (mean-field) hidden pass. The class block is
+// weighted by V/Z so that it carries the same total weight as the feature
+// block regardless of dimensionality — under Eq. 26's literal unweighted sum
+// a label-association change (exactly what a local drift is) contributes
+// only Z of V+Z terms and becomes invisible on wide streams (V = 80,
+// Z = 5 would dilute it 16:1).
+func (r *RBM) reconErrorFrom(x []float64, z []float64) float64 {
+	r.hiddenProbs(x, z, r.hProb)
+	r.visibleProbs(r.hProb, r.vProb)
+	r.classProbs(r.hProb, r.zProb)
+	sum := 0.0
+	for i := range x {
+		d := x[i] - r.vProb[i]
+		sum += d * d
+	}
+	classWeight := float64(r.cfg.Visible) / float64(r.cfg.Classes)
+	for k := range z {
+		d := z[k] - r.zProb[k]
+		sum += classWeight * d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// ReconstructionError computes R(S_n) of Eq. 26 for a scaled instance with
+// label y.
+func (r *RBM) ReconstructionError(x []float64, y int) float64 {
+	z := make([]float64, r.cfg.Classes)
+	if y >= 0 && y < r.cfg.Classes {
+		z[y] = 1
+	}
+	return r.reconErrorFrom(x, z)
+}
+
+// ClassScores returns the class-layer softmax for a scaled instance using a
+// neutral class input, i.e. the RBM's own class posterior; usable as a
+// generative classifier and in tests.
+func (r *RBM) ClassScores(x []float64) []float64 {
+	z := make([]float64, r.cfg.Classes)
+	for k := range z {
+		z[k] = 1.0 / float64(r.cfg.Classes)
+	}
+	r.hiddenProbs(x, z, r.hProb)
+	out := make([]float64, r.cfg.Classes)
+	r.classProbs(r.hProb, out)
+	return out
+}
+
+// ClassCounts exposes the decayed class counts (diagnostics and tests).
+func (r *RBM) ClassCounts() []float64 {
+	return append([]float64(nil), r.classCounts...)
+}
+
+// Energy computes E(v, h, z) of Eq. 8 for explicit layer states.
+func (r *RBM) Energy(v, h, z []float64) float64 {
+	e := 0.0
+	for i := range v {
+		e -= v[i] * r.a[i]
+	}
+	for j := range h {
+		e -= h[j] * r.b[j]
+	}
+	for k := range z {
+		e -= z[k] * r.c[k]
+	}
+	for i := range v {
+		for j := range h {
+			e -= v[i] * h[j] * r.w[i][j]
+		}
+	}
+	for j := range h {
+		for k := range z {
+			e -= h[j] * z[k] * r.u[j][k]
+		}
+	}
+	return e
+}
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestRBM(t *testing.T, visible, hidden, classes int) *RBM {
+	t.Helper()
+	r, err := NewRBM(RBMConfig{
+		Visible: visible, Hidden: hidden, Classes: classes,
+		LearningRate: 0.1, GibbsSteps: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("NewRBM: %v", err)
+	}
+	return r
+}
+
+func TestNewRBMValidation(t *testing.T) {
+	if _, err := NewRBM(RBMConfig{Visible: 0, Classes: 3}); err == nil {
+		t.Fatal("expected error for zero visible neurons")
+	}
+	if _, err := NewRBM(RBMConfig{Visible: 4, Classes: 1}); err == nil {
+		t.Fatal("expected error for single class")
+	}
+	r, err := NewRBM(RBMConfig{Visible: 4, Classes: 3})
+	if err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+	cfg := r.Config()
+	if cfg.Hidden <= 0 || cfg.LearningRate <= 0 || cfg.GibbsSteps <= 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestHiddenProbsAreProbabilities(t *testing.T) {
+	r := newTestRBM(t, 6, 4, 3)
+	x := []float64{0.1, 0.9, 0.3, 0.7, 0.5, 0.2}
+	z := []float64{1, 0, 0}
+	h := make([]float64, 4)
+	r.hiddenProbs(x, z, h)
+	for j, p := range h {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("hidden prob %d out of range: %v", j, p)
+		}
+	}
+}
+
+func TestClassProbsSoftmaxSumsToOne(t *testing.T) {
+	r := newTestRBM(t, 6, 4, 5)
+	h := []float64{0.2, 0.8, 0.5, 0.1}
+	z := make([]float64, 5)
+	r.classProbs(h, z)
+	sum := 0.0
+	for _, p := range z {
+		if p < 0 || p > 1 {
+			t.Fatalf("class prob out of range: %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sums to %v, want 1", sum)
+	}
+}
+
+func TestTrainingReducesReconstructionError(t *testing.T) {
+	r := newTestRBM(t, 8, 6, 2)
+	rng := rand.New(rand.NewSource(7))
+	makeBatch := func(n int) ([][]float64, []int) {
+		xs := make([][]float64, n)
+		ys := make([]int, n)
+		for i := range xs {
+			y := rng.Intn(2)
+			x := make([]float64, 8)
+			for j := range x {
+				// Two well-separated class prototypes plus noise.
+				base := 0.2
+				if y == 1 {
+					base = 0.8
+				}
+				x[j] = clamp01(base + 0.05*rng.NormFloat64())
+			}
+			xs[i], ys[i] = x, y
+		}
+		return xs, ys
+	}
+	xs, ys := makeBatch(64)
+	before := 0.0
+	for i := range xs {
+		before += r.ReconstructionError(xs[i], ys[i])
+	}
+	for epoch := 0; epoch < 60; epoch++ {
+		bx, by := makeBatch(32)
+		r.TrainBatch(bx, by)
+	}
+	after := 0.0
+	for i := range xs {
+		after += r.ReconstructionError(xs[i], ys[i])
+	}
+	if after >= before {
+		t.Fatalf("training did not reduce reconstruction error: before=%v after=%v", before, after)
+	}
+}
+
+func TestReconstructionErrorGrowsOnConceptShift(t *testing.T) {
+	r := newTestRBM(t, 8, 6, 2)
+	rng := rand.New(rand.NewSource(11))
+	gen := func(flip bool, n int) ([][]float64, []int) {
+		xs := make([][]float64, n)
+		ys := make([]int, n)
+		for i := range xs {
+			y := rng.Intn(2)
+			x := make([]float64, 8)
+			for j := range x {
+				base := 0.2
+				if (y == 1) != flip { // flipping swaps the class prototypes
+					base = 0.8
+				}
+				x[j] = clamp01(base + 0.04*rng.NormFloat64())
+			}
+			xs[i], ys[i] = x, y
+		}
+		return xs, ys
+	}
+	for epoch := 0; epoch < 300; epoch++ {
+		bx, by := gen(false, 32)
+		r.TrainBatch(bx, by)
+	}
+	oldX, oldY := gen(false, 100)
+	newX, newY := gen(true, 100) // real drift: class-conditional prototypes swapped
+	var errOld, errNew float64
+	for i := range oldX {
+		errOld += r.ReconstructionError(oldX[i], oldY[i])
+		errNew += r.ReconstructionError(newX[i], newY[i])
+	}
+	if errNew <= errOld*1.05 {
+		t.Fatalf("shifted concept should reconstruct worse: old=%v new=%v", errOld, errNew)
+	}
+}
+
+func TestClassBalancedWeightFavorsMinority(t *testing.T) {
+	r := newTestRBM(t, 4, 3, 2)
+	// Feed a 9:1 imbalanced label stream into the count tracker.
+	for i := 0; i < 200; i++ {
+		y := 0
+		if i%10 == 0 {
+			y = 1
+		}
+		r.observeClass(y)
+	}
+	wMaj := r.classWeight(0)
+	wMin := r.classWeight(1)
+	if wMin <= wMaj {
+		t.Fatalf("minority weight %v should exceed majority weight %v", wMin, wMaj)
+	}
+}
+
+func TestEnergyMatchesDefinition(t *testing.T) {
+	r := newTestRBM(t, 2, 2, 2)
+	// Zero states must have zero interaction terms: energy equals negated
+	// bias dot products = 0 for zero vectors.
+	zero2 := []float64{0, 0}
+	if e := r.Energy(zero2, zero2, zero2); e != 0 {
+		t.Fatalf("energy of zero state should be 0, got %v", e)
+	}
+	v := []float64{1, 0}
+	h := []float64{0, 1}
+	z := []float64{1, 0}
+	want := -(r.a[0] + r.b[1] + r.c[0] + r.w[0][1] + r.u[1][0])
+	if e := r.Energy(v, h, z); math.Abs(e-want) > 1e-12 {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+}
+
+func TestClassScoresLearnLabels(t *testing.T) {
+	r := newTestRBM(t, 6, 8, 2)
+	rng := rand.New(rand.NewSource(3))
+	for epoch := 0; epoch < 150; epoch++ {
+		xs := make([][]float64, 32)
+		ys := make([]int, 32)
+		for i := range xs {
+			y := rng.Intn(2)
+			x := make([]float64, 6)
+			for j := range x {
+				base := 0.15
+				if y == 1 {
+					base = 0.85
+				}
+				x[j] = clamp01(base + 0.05*rng.NormFloat64())
+			}
+			xs[i], ys[i] = x, y
+		}
+		r.TrainBatch(xs, ys)
+	}
+	x0 := []float64{0.15, 0.15, 0.15, 0.15, 0.15, 0.15}
+	x1 := []float64{0.85, 0.85, 0.85, 0.85, 0.85, 0.85}
+	s0 := r.ClassScores(x0)
+	s1 := r.ClassScores(x1)
+	if s0[0] <= s0[1] {
+		t.Errorf("class 0 prototype scored %v, want class 0 to win", s0)
+	}
+	if s1[1] <= s1[0] {
+		t.Errorf("class 1 prototype scored %v, want class 1 to win", s1)
+	}
+}
+
+func TestReconstructionErrorNonNegativeProperty(t *testing.T) {
+	r := newTestRBM(t, 5, 4, 3)
+	f := func(raw [5]float64, yRaw uint8) bool {
+		x := make([]float64, 5)
+		for i, v := range raw {
+			x[i] = clamp01(math.Abs(math.Mod(v, 1)))
+		}
+		y := int(yRaw) % 3
+		e := r.ReconstructionError(x, y)
+		return e >= 0 && !math.IsNaN(e) && !math.IsInf(e, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainBatchEmptyIsNoop(t *testing.T) {
+	r := newTestRBM(t, 4, 3, 2)
+	if got := r.TrainBatch(nil, nil); got != 0 {
+		t.Fatalf("empty batch should return 0 error, got %v", got)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

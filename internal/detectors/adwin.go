@@ -1,0 +1,40 @@
+package detectors
+
+import "rbmim/internal/stats"
+
+// ADWINDetector wraps the adaptive-windowing algorithm (Bifet & Gavalda
+// 2007) as a drift detector over the 0/1 error indicator: the window shrinks
+// — and drift is signalled — whenever two sub-windows of the recent error
+// sequence have significantly different means.
+type ADWINDetector struct {
+	// Delta is the ADWIN confidence parameter (default 0.002).
+	Delta float64
+
+	win *stats.ADWIN
+}
+
+// NewADWINDetector builds the detector with the canonical delta.
+func NewADWINDetector(delta float64) *ADWINDetector {
+	if delta <= 0 {
+		delta = 0.002
+	}
+	return &ADWINDetector{Delta: delta, win: stats.NewADWIN(delta)}
+}
+
+// Name returns "ADWIN".
+func (a *ADWINDetector) Name() string { return "ADWIN" }
+
+// Reset clears the window.
+func (a *ADWINDetector) Reset() { a.win = stats.NewADWIN(a.Delta) }
+
+// Update consumes one prediction outcome.
+func (a *ADWINDetector) Update(o Observation) State {
+	v := 0.0
+	if !o.Correct() {
+		v = 1
+	}
+	if a.win.Add(v) {
+		return Drift
+	}
+	return None
+}

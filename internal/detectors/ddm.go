@@ -1,0 +1,61 @@
+package detectors
+
+import "math"
+
+// DDM is the Drift Detection Method of Gama et al. (2004). It models the
+// classifier's error rate p_t with standard deviation s_t = sqrt(p(1-p)/t),
+// remembers the minimum of p+s, and raises a warning when p+s exceeds
+// p_min + 2 s_min and a drift when it exceeds p_min + 3 s_min.
+type DDM struct {
+	// MinInstances is the number of observations before testing (default 30).
+	MinInstances int
+	// WarningLevel and DriftLevel are the multipliers on s_min (defaults 2, 3).
+	WarningLevel, DriftLevel float64
+
+	n      float64
+	errCnt float64
+	pMin   float64
+	sMin   float64
+	psMin  float64
+}
+
+// NewDDM builds a DDM with the canonical parameters.
+func NewDDM() *DDM {
+	d := &DDM{MinInstances: 30, WarningLevel: 2, DriftLevel: 3}
+	d.Reset()
+	return d
+}
+
+// Name returns "DDM".
+func (d *DDM) Name() string { return "DDM" }
+
+// Reset restores the initial state.
+func (d *DDM) Reset() {
+	d.n, d.errCnt = 0, 0
+	d.pMin, d.sMin, d.psMin = math.Inf(1), math.Inf(1), math.Inf(1)
+}
+
+// Update consumes one prediction outcome.
+func (d *DDM) Update(o Observation) State {
+	d.n++
+	if !o.Correct() {
+		d.errCnt++
+	}
+	p := d.errCnt / d.n
+	s := math.Sqrt(p * (1 - p) / d.n)
+	if d.n < float64(d.MinInstances) {
+		return None
+	}
+	if p+s < d.psMin {
+		d.pMin, d.sMin, d.psMin = p, s, p+s
+	}
+	switch {
+	case p+s > d.pMin+d.DriftLevel*d.sMin:
+		d.Reset()
+		return Drift
+	case p+s > d.pMin+d.WarningLevel*d.sMin:
+		return Warning
+	default:
+		return None
+	}
+}

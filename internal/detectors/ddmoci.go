@@ -1,0 +1,124 @@
+package detectors
+
+import "math"
+
+// DDMOCI is the Drift Detection Method for Online Class Imbalance (Wang et
+// al.), the per-class-recall detector the paper uses as its second
+// skew-insensitive reference. For every class it maintains a time-decayed
+// recall R_k; a DDM-style test on each recall (tracking the maximum of
+// R_k - s_k and alarming when the current value degrades past the
+// warning/drift levels) signals drift, so changes confined to minority
+// classes are visible as soon as their recall moves. Because the alarm is
+// per class, DDMOCI can attribute drifts to classes (ClassAttributor).
+type DDMOCI struct {
+	// Decay is the time-decay factor of the per-class recall estimate
+	// (default 0.99).
+	Decay float64
+	// WarningLevel and DriftLevel are the s-multipliers (defaults 2, 3,
+	// mirrored from DDM; Table II sweeps thresholds around these).
+	WarningLevel, DriftLevel float64
+	// MinErrors gates testing until this many errors were seen overall
+	// (default 30).
+	MinErrors int
+
+	classes int
+	recall  []float64 // decayed recall per class
+	nSeen   []float64 // decayed count per class
+	seen    []int     // raw arrival count per class (gates testing)
+	rMax    []float64 // max of recall
+	sMax    []float64 // s at the max
+	errors  int
+	drifted []int
+}
+
+// NewDDMOCI builds the detector for the given class count (zero values
+// select defaults).
+func NewDDMOCI(classes int, decay float64, minErrors int) *DDMOCI {
+	if decay <= 0 || decay >= 1 {
+		decay = 0.99
+	}
+	if minErrors <= 0 {
+		minErrors = 30
+	}
+	d := &DDMOCI{
+		Decay:        decay,
+		WarningLevel: 2,
+		DriftLevel:   3,
+		MinErrors:    minErrors,
+		classes:      classes,
+	}
+	d.Reset()
+	return d
+}
+
+// Name returns "DDM-OCI".
+func (d *DDMOCI) Name() string { return "DDM-OCI" }
+
+// Reset restores the initial state.
+func (d *DDMOCI) Reset() {
+	d.recall = make([]float64, d.classes)
+	d.nSeen = make([]float64, d.classes)
+	d.seen = make([]int, d.classes)
+	d.rMax = make([]float64, d.classes)
+	d.sMax = make([]float64, d.classes)
+	d.errors = 0
+	d.drifted = nil
+}
+
+// DriftClasses lists the classes whose recall triggered the last drift.
+func (d *DDMOCI) DriftClasses() []int { return d.drifted }
+
+// Update consumes one prediction outcome.
+func (d *DDMOCI) Update(o Observation) State {
+	k := o.TrueClass
+	if k < 0 || k >= d.classes {
+		return None
+	}
+	hit := 0.0
+	if o.Correct() {
+		hit = 1
+	} else {
+		d.errors++
+	}
+	// Time-decayed recall update (Wang et al.'s formulation): a decayed
+	// running average of the per-class hit indicator.
+	d.nSeen[k] = d.Decay*d.nSeen[k] + 1
+	d.recall[k] = d.recall[k] + (hit-d.recall[k])/d.nSeen[k]
+	d.seen[k]++
+
+	if d.errors < d.MinErrors || d.seen[k] < 30 {
+		return None
+	}
+	r := d.recall[k]
+	s := math.Sqrt(r * (1 - r) / d.nSeen[k])
+	if r-s > d.rMax[k]-d.sMax[k] {
+		d.rMax[k], d.sMax[k] = r, s
+	}
+	// The drop is normalized by the combined deviation of the envelope and
+	// the current estimate; normalizing by sMax alone makes the detector
+	// fire on routine fluctuations whenever the envelope was captured at a
+	// low-variance moment.
+	drop := (d.rMax[k] - r) / maxf(math.Sqrt(d.sMax[k]*d.sMax[k]+s*s), 1e-9)
+	switch {
+	case drop > d.DriftLevel:
+		d.drifted = []int{k}
+		// Reset only the triggering class's envelope so other classes keep
+		// their statistics (per-class monitoring).
+		d.rMax[k], d.sMax[k] = r, s
+		d.nSeen[k] = 1
+		d.seen[k] = 0
+		d.recall[k] = hit
+		return Drift
+	case drop > d.WarningLevel:
+		return Warning
+	default:
+		return None
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+// Package detectors implements the reference concept drift detectors the
+// paper compares against: the standard-stream detectors DDM, EDDM, RDDM,
+// ADWIN, HDDM-A, FHDDM and WSTD, and the skew-insensitive detectors PerfSim
+// and DDM-OCI. All of them consume the same per-instance Observation and
+// expose the same three-state output (none / warning / drift), so the
+// evaluation harness can swap them freely — exactly how the paper's MOA
+// test bed binds detectors to the shared base classifier.
+package detectors
+
+import "fmt"
+
+// State is a drift detector's output after one observation.
+type State int
+
+const (
+	// None means the stream looks stationary.
+	None State = iota
+	// Warning means a change is suspected; learners may start background
+	// models.
+	Warning
+	// Drift means a concept change was detected; learners should adapt.
+	Drift
+)
+
+// String names the state for logs and tables.
+func (s State) String() string {
+	switch s {
+	case Warning:
+		return "warning"
+	case Drift:
+		return "drift"
+	default:
+		return "none"
+	}
+}
+
+// Observation is one prequential outcome handed to a detector: the instance
+// (features), the ground-truth label, the classifier's prediction and its
+// per-class scores. Statistical detectors use only Correct(); the
+// skew-insensitive ones use the label/prediction pair; trainable detectors
+// (RBM-IM) additionally consume X.
+type Observation struct {
+	// X is the feature vector of the instance.
+	X []float64
+	// TrueClass is the ground-truth label.
+	TrueClass int
+	// Predicted is the classifier's label.
+	Predicted int
+	// Scores, when non-nil, holds the classifier's per-class support.
+	Scores []float64
+}
+
+// Correct reports whether the classifier was right.
+func (o Observation) Correct() bool { return o.TrueClass == o.Predicted }
+
+// Detector is a concept drift detector fed one observation at a time.
+// Implementations are single-goroutine objects.
+type Detector interface {
+	// Update consumes one observation and returns the detector state.
+	Update(o Observation) State
+	// Reset returns the detector to its initial state (typically called
+	// after the learner adapts to a detected drift).
+	Reset()
+	// Name returns the detector's table abbreviation (e.g. "RDDM").
+	Name() string
+}
+
+// ClassAttributor is implemented by detectors that can attribute a drift to
+// specific classes (local drift detection). After Update returns Drift,
+// DriftClasses lists the affected labels observed at that step.
+type ClassAttributor interface {
+	DriftClasses() []int
+}
+
+// Factory builds a fresh detector instance; used by experiment runners so
+// every stream gets an independent detector.
+type Factory struct {
+	// Name is the detector abbreviation used in tables.
+	Name string
+	// New constructs a detector for a stream with the given class count.
+	New func(classes int) Detector
+}
+
+// Validate reports whether the factory is usable.
+func (f Factory) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("detectors: factory needs a name")
+	}
+	if f.New == nil {
+		return fmt.Errorf("detectors: factory %q needs a constructor", f.Name)
+	}
+	return nil
+}

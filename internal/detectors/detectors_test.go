@@ -1,0 +1,295 @@
+package detectors
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// feed drives a detector with a Bernoulli error stream: errRate errors on
+// average, switching to errRate2 after switchAt observations. It returns the
+// observation indices of drift signals.
+func feed(d Detector, n int, errRate, errRate2 float64, switchAt int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	var drifts []int
+	for i := 0; i < n; i++ {
+		rate := errRate
+		if i >= switchAt {
+			rate = errRate2
+		}
+		pred := 0
+		if rng.Float64() < rate {
+			pred = 1 // wrong prediction
+		}
+		if d.Update(Observation{TrueClass: 0, Predicted: pred}) == Drift {
+			drifts = append(drifts, i)
+		}
+	}
+	return drifts
+}
+
+// allDetectors builds every baseline detector for a 4-class stream.
+func allDetectors() []Detector {
+	return []Detector{
+		NewDDM(),
+		NewEDDM(),
+		NewRDDM(),
+		NewADWINDetector(0.002),
+		NewHDDMA(),
+		NewFHDDM(100, 1e-4),
+		NewWSTD(75, 0.05, 0.005, 2000),
+		NewPerfSim(4, 0.2, 30, 500),
+		NewDDMOCI(4, 0.9, 30),
+	}
+}
+
+func TestDetectorNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range allDetectors() {
+		if d.Name() == "" {
+			t.Fatal("empty detector name")
+		}
+		if seen[d.Name()] {
+			t.Fatalf("duplicate detector name %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+}
+
+func TestDetectorsStableStreamFewAlarms(t *testing.T) {
+	// DDM-OCI re-arms its per-class envelope after every alarm, which makes
+	// it the chattiest of the set on long noisy streams.
+	allowance := map[string]int{"DDM-OCI": 20}
+	for _, d := range allDetectors() {
+		drifts := feed(d, 20000, 0.2, 0.2, 20000, 7)
+		limit := 12
+		if a, ok := allowance[d.Name()]; ok {
+			limit = a
+		}
+		if len(drifts) > limit {
+			t.Errorf("%s: %d alarms on a stable stream", d.Name(), len(drifts))
+		}
+	}
+}
+
+func TestErrorRateDetectorsCatchErrorJump(t *testing.T) {
+	// Error rate jumps 0.1 -> 0.6 at 10000. Every error-rate based detector
+	// must notice within 3000 observations.
+	for _, d := range []Detector{
+		NewDDM(), NewRDDM(), NewADWINDetector(0.002), NewHDDMA(),
+		NewFHDDM(100, 1e-4), NewWSTD(75, 0.05, 0.005, 2000),
+	} {
+		drifts := feed(d, 15000, 0.1, 0.6, 10000, 11)
+		found := false
+		for _, at := range drifts {
+			if at >= 10000 && at <= 13000 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: error jump not detected (signals: %v)", d.Name(), drifts)
+		}
+	}
+}
+
+func TestEDDMCatchesGradualDegradation(t *testing.T) {
+	d := NewEDDM()
+	rng := rand.New(rand.NewSource(3))
+	var drifts []int
+	for i := 0; i < 30000; i++ {
+		rate := 0.05
+		if i >= 10000 {
+			// Gradually rising error rate.
+			rate = 0.05 + 0.5*float64(i-10000)/20000
+		}
+		pred := 0
+		if rng.Float64() < rate {
+			pred = 1
+		}
+		if d.Update(Observation{TrueClass: 0, Predicted: pred}) == Drift {
+			drifts = append(drifts, i)
+		}
+	}
+	found := false
+	for _, at := range drifts {
+		if at >= 10000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EDDM missed gradual degradation, signals: %v", drifts)
+	}
+}
+
+func TestDDMWarningPrecedesDrift(t *testing.T) {
+	d := NewDDM()
+	rng := rand.New(rand.NewSource(5))
+	sawWarning := false
+	for i := 0; i < 12000; i++ {
+		rate := 0.1
+		if i >= 8000 {
+			rate = 0.45
+		}
+		pred := 0
+		if rng.Float64() < rate {
+			pred = 1
+		}
+		state := d.Update(Observation{TrueClass: 0, Predicted: pred})
+		if state == Warning {
+			sawWarning = true
+		}
+		if state == Drift {
+			if !sawWarning {
+				t.Fatal("drift without any preceding warning")
+			}
+			return
+		}
+	}
+	t.Fatal("no drift detected")
+}
+
+func TestResetRestoresInitialBehavior(t *testing.T) {
+	// EDDM and DDM-OCI are known to alarm more often on short noisy
+	// stretches (their envelope statistics re-arm quickly); allow them more
+	// slack than the error-rate detectors.
+	allowance := map[string]int{"EDDM": 8, "DDM-OCI": 8}
+	for _, d := range allDetectors() {
+		// Drive into a drift, reset, then a stable stream must not alarm
+		// immediately.
+		feed(d, 12000, 0.1, 0.7, 8000, 13)
+		d.Reset()
+		drifts := feed(d, 3000, 0.1, 0.1, 3000, 17)
+		limit := 2
+		if a, ok := allowance[d.Name()]; ok {
+			limit = a
+		}
+		if len(drifts) > limit {
+			t.Errorf("%s: %d alarms right after reset on stable data", d.Name(), len(drifts))
+		}
+	}
+}
+
+func TestDDMOCIDetectsMinorityRecallDrop(t *testing.T) {
+	d := NewDDMOCI(3, 0.95, 10)
+	rng := rand.New(rand.NewSource(19))
+	var drifts []int
+	driftedClassSeen := false
+	for i := 0; i < 40000; i++ {
+		// Class 2 is a 2% minority; its recall collapses at i=20000 while
+		// the majority classes stay accurate.
+		y := 0
+		if rng.Float64() < 0.5 {
+			y = 1
+		}
+		if rng.Float64() < 0.02 {
+			y = 2
+		}
+		pred := y
+		if y == 2 && i >= 20000 {
+			pred = 0 // minority misclassified after its local drift
+		} else if rng.Float64() < 0.05 {
+			pred = (y + 1) % 3
+		}
+		if d.Update(Observation{TrueClass: y, Predicted: pred}) == Drift {
+			drifts = append(drifts, i)
+			if i >= 20000 {
+				for _, c := range d.DriftClasses() {
+					if c == 2 {
+						driftedClassSeen = true
+					}
+				}
+			}
+		}
+	}
+	if !driftedClassSeen {
+		t.Fatalf("DDM-OCI missed the minority recall collapse, signals: %v", drifts)
+	}
+}
+
+func TestPerfSimDetectsConfusionShift(t *testing.T) {
+	d := NewPerfSim(3, 0.2, 10, 200)
+	rng := rand.New(rand.NewSource(23))
+	var drifts []int
+	for i := 0; i < 20000; i++ {
+		y := rng.Intn(3)
+		pred := y
+		if i >= 10000 {
+			// The confusion structure changes completely: class 0 now
+			// predicted as class 1.
+			if y == 0 {
+				pred = 1
+			}
+		} else if rng.Float64() < 0.05 {
+			pred = (y + 1) % 3
+		}
+		if d.Update(Observation{TrueClass: y, Predicted: pred}) == Drift {
+			drifts = append(drifts, i)
+		}
+	}
+	found := false
+	for _, at := range drifts {
+		if at >= 10000 && at <= 12000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("PerfSim missed the confusion shift, signals: %v", drifts)
+	}
+}
+
+func TestFHDDMWindowTooSmallStillWorks(t *testing.T) {
+	d := NewFHDDM(25, 1e-3)
+	drifts := feed(d, 8000, 0.05, 0.8, 5000, 29)
+	found := false
+	for _, at := range drifts {
+		if at >= 5000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("FHDDM with small window missed a huge jump")
+	}
+}
+
+func TestObservationCorrect(t *testing.T) {
+	if !(Observation{TrueClass: 2, Predicted: 2}).Correct() {
+		t.Fatal("matching classes should be correct")
+	}
+	if (Observation{TrueClass: 2, Predicted: 1}).Correct() {
+		t.Fatal("mismatched classes should be incorrect")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if None.String() != "none" || Warning.String() != "warning" || Drift.String() != "drift" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestFactoryValidate(t *testing.T) {
+	if err := (Factory{}).Validate(); err == nil {
+		t.Fatal("empty factory should fail")
+	}
+	if err := (Factory{Name: "X"}).Validate(); err == nil {
+		t.Fatal("factory without constructor should fail")
+	}
+	ok := Factory{Name: "DDM", New: func(int) Detector { return NewDDM() }}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := []float64{1, 0, 0}
+	if got := cosineSimilarity(a, a); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	b := []float64{0, 1, 0}
+	if got := cosineSimilarity(a, b); got != 0 {
+		t.Fatalf("orthogonal similarity = %v", got)
+	}
+	zero := []float64{0, 0, 0}
+	if got := cosineSimilarity(a, zero); got != 1 {
+		t.Fatalf("zero vector should yield neutral 1, got %v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package detectors
+
+import "math"
+
+// EDDM is the Early Drift Detection Method of Baena-Garcia et al. (2006).
+// Instead of the raw error rate it tracks the distance (in instances)
+// between consecutive errors: under a stable concept that distance grows,
+// so a shrinking ratio against the best distance seen signals change. It is
+// more reactive to gradual drift than DDM, at some cost on sudden drifts.
+type EDDM struct {
+	// WarningThreshold and DriftThreshold are the canonical 0.95 / 0.90
+	// ratios.
+	WarningThreshold, DriftThreshold float64
+	// MinErrors is the number of errors before testing (default 30).
+	MinErrors int
+
+	n          float64
+	lastErrAt  float64
+	numErrors  float64
+	meanDist   float64
+	m2Dist     float64 // Welford accumulator
+	maxMeanStd float64 // max of mean + 2*std
+}
+
+// NewEDDM builds an EDDM with the canonical thresholds.
+func NewEDDM() *EDDM {
+	e := &EDDM{WarningThreshold: 0.95, DriftThreshold: 0.90, MinErrors: 30}
+	e.Reset()
+	return e
+}
+
+// Name returns "EDDM".
+func (e *EDDM) Name() string { return "EDDM" }
+
+// Reset restores the initial state.
+func (e *EDDM) Reset() {
+	e.n, e.lastErrAt, e.numErrors = 0, 0, 0
+	e.meanDist, e.m2Dist, e.maxMeanStd = 0, 0, 0
+}
+
+// Update consumes one prediction outcome.
+func (e *EDDM) Update(o Observation) State {
+	e.n++
+	if o.Correct() {
+		return None
+	}
+	dist := e.n - e.lastErrAt
+	e.lastErrAt = e.n
+	e.numErrors++
+	// Welford update of the error-distance distribution.
+	delta := dist - e.meanDist
+	e.meanDist += delta / e.numErrors
+	e.m2Dist += delta * (dist - e.meanDist)
+	if e.numErrors < float64(e.MinErrors) {
+		return None
+	}
+	std := math.Sqrt(e.m2Dist / e.numErrors)
+	cur := e.meanDist + 2*std
+	if cur > e.maxMeanStd {
+		e.maxMeanStd = cur
+		return None
+	}
+	ratio := cur / e.maxMeanStd
+	switch {
+	case ratio < e.DriftThreshold:
+		e.Reset()
+		return Drift
+	case ratio < e.WarningThreshold:
+		return Warning
+	default:
+		return None
+	}
+}

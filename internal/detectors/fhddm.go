@@ -1,0 +1,78 @@
+package detectors
+
+import "math"
+
+// FHDDM is the Fast Hoeffding Drift Detection Method of Pesaranghader &
+// Viktor (2016). It slides a window of size n over the correct-prediction
+// indicator, remembers the maximum windowed probability of correctness
+// p_max, and signals drift when p_max - p_current exceeds the Hoeffding
+// epsilon sqrt(ln(1/delta)/(2n)).
+type FHDDM struct {
+	// WindowSize is the sliding window length n (default 100; Table II
+	// sweeps {25,50,75,100}).
+	WindowSize int
+	// Delta is the allowed error of the Hoeffding bound (default 1e-6;
+	// Table II sweeps {1e-6..1e-3}).
+	Delta float64
+
+	win     []bool
+	pos     int
+	filled  int
+	correct int
+	pMax    float64
+	eps     float64
+}
+
+// NewFHDDM builds the detector with the given window and delta (zero values
+// select the canonical defaults).
+func NewFHDDM(windowSize int, delta float64) *FHDDM {
+	if windowSize <= 0 {
+		windowSize = 100
+	}
+	if delta <= 0 {
+		delta = 1e-6
+	}
+	f := &FHDDM{WindowSize: windowSize, Delta: delta}
+	f.Reset()
+	return f
+}
+
+// Name returns "FHDDM".
+func (f *FHDDM) Name() string { return "FHDDM" }
+
+// Reset restores the initial state.
+func (f *FHDDM) Reset() {
+	f.win = make([]bool, f.WindowSize)
+	f.pos, f.filled, f.correct = 0, 0, 0
+	f.pMax = 0
+	f.eps = math.Sqrt(math.Log(1/f.Delta) / (2 * float64(f.WindowSize)))
+}
+
+// Update consumes one prediction outcome.
+func (f *FHDDM) Update(o Observation) State {
+	c := o.Correct()
+	if f.filled == f.WindowSize {
+		if f.win[f.pos] {
+			f.correct--
+		}
+	} else {
+		f.filled++
+	}
+	f.win[f.pos] = c
+	if c {
+		f.correct++
+	}
+	f.pos = (f.pos + 1) % f.WindowSize
+	if f.filled < f.WindowSize {
+		return None
+	}
+	p := float64(f.correct) / float64(f.WindowSize)
+	if p > f.pMax {
+		f.pMax = p
+	}
+	if f.pMax-p > f.eps {
+		f.Reset()
+		return Drift
+	}
+	return None
+}

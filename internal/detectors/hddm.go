@@ -1,0 +1,80 @@
+package detectors
+
+import "math"
+
+// HDDMA is the A-test variant of the Hoeffding-bound drift detection methods
+// of Frias-Blanco et al. (2015). It compares the running mean of the error
+// indicator over the full history against the minimum running mean seen,
+// declaring a warning/drift when the difference exceeds the Hoeffding bound
+// at the respective confidence.
+type HDDMA struct {
+	// DriftConfidence and WarningConfidence are the bound deltas
+	// (defaults 0.001 and 0.005).
+	DriftConfidence, WarningConfidence float64
+
+	total float64
+	sum   float64
+	// Minimum envelope: the smallest bound-corrected mean and its count.
+	cutSum   float64
+	cutCount float64
+}
+
+// NewHDDMA builds the detector with the canonical confidences.
+func NewHDDMA() *HDDMA {
+	h := &HDDMA{DriftConfidence: 0.001, WarningConfidence: 0.005}
+	h.Reset()
+	return h
+}
+
+// Name returns "HDDM-A".
+func (h *HDDMA) Name() string { return "HDDM-A" }
+
+// Reset restores the initial state.
+func (h *HDDMA) Reset() {
+	h.total, h.sum = 0, 0
+	h.cutSum, h.cutCount = 0, 0
+}
+
+func hoeffdingEps(delta, n float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(math.Log(1/delta) / (2 * n))
+}
+
+// Update consumes one prediction outcome.
+func (h *HDDMA) Update(o Observation) State {
+	x := 0.0
+	if !o.Correct() {
+		x = 1
+	}
+	h.total++
+	h.sum += x
+
+	mean := h.sum / h.total
+	epsNow := hoeffdingEps(h.WarningConfidence, h.total)
+	// Track the cut point minimizing the corrected mean.
+	if h.cutCount == 0 || mean+epsNow < h.cutSum/h.cutCount+hoeffdingEps(h.WarningConfidence, h.cutCount) {
+		h.cutSum, h.cutCount = h.sum, h.total
+	}
+	if h.cutCount >= h.total {
+		return None
+	}
+	// Test the region after the cut against the region before it.
+	nAfter := h.total - h.cutCount
+	meanBefore := h.cutSum / h.cutCount
+	meanAfter := (h.sum - h.cutSum) / nAfter
+	if meanAfter <= meanBefore {
+		return None
+	}
+	invN := 1/h.cutCount + 1/nAfter
+	diff := meanAfter - meanBefore
+	if diff > math.Sqrt(invN/2*math.Log(1/h.DriftConfidence)) {
+		h.Reset()
+		return Drift
+	}
+	if diff > math.Sqrt(invN/2*math.Log(1/h.WarningConfidence)) {
+		return Warning
+	}
+	return None
+}

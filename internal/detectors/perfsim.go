@@ -1,0 +1,105 @@
+package detectors
+
+import "math"
+
+// PerfSim is the performance-similarity drift detector of Antwi, Viktor &
+// Japkowicz (2012) for imbalanced streams. It tracks the entire confusion
+// matrix over consecutive evaluation windows and compares them with the
+// cosine similarity of their vectorized forms: a similarity dropping below
+// 1 - lambda signals drift. Monitoring all matrix components (not just
+// accuracy) is what gives it sensitivity to minority-class changes.
+type PerfSim struct {
+	// Lambda is the differentiation weight (Table II sweeps {0.1..0.4};
+	// default 0.2): drift when similarity < 1 - Lambda.
+	Lambda float64
+	// MinErrors is the minimum number of misclassifications a window must
+	// contain before it participates in a comparison (default 30).
+	MinErrors int
+	// WindowSize is the number of observations per confusion-matrix window
+	// (default 500).
+	WindowSize int
+
+	classes int
+	current []float64 // vectorized confusion matrix being filled
+	prev    []float64 // last completed window's matrix
+	count   int
+	errors  int
+	hasPrev bool
+}
+
+// NewPerfSim builds the detector for a stream with the given class count
+// (zero parameter values select defaults).
+func NewPerfSim(classes int, lambda float64, minErrors, windowSize int) *PerfSim {
+	if lambda <= 0 {
+		lambda = 0.2
+	}
+	if minErrors <= 0 {
+		minErrors = 30
+	}
+	if windowSize <= 0 {
+		windowSize = 500
+	}
+	p := &PerfSim{Lambda: lambda, MinErrors: minErrors, WindowSize: windowSize, classes: classes}
+	p.Reset()
+	return p
+}
+
+// Name returns "PerfSim".
+func (p *PerfSim) Name() string { return "PerfSim" }
+
+// Reset restores the initial state.
+func (p *PerfSim) Reset() {
+	p.current = make([]float64, p.classes*p.classes)
+	p.prev = nil
+	p.count, p.errors = 0, 0
+	p.hasPrev = false
+}
+
+// Update consumes one prediction outcome.
+func (p *PerfSim) Update(o Observation) State {
+	if o.TrueClass >= 0 && o.TrueClass < p.classes && o.Predicted >= 0 && o.Predicted < p.classes {
+		p.current[o.TrueClass*p.classes+o.Predicted]++
+	}
+	if !o.Correct() {
+		p.errors++
+	}
+	p.count++
+	if p.count < p.WindowSize {
+		return None
+	}
+	// Window complete: compare with the previous one.
+	state := None
+	if p.hasPrev && p.errors >= p.MinErrors {
+		sim := cosineSimilarity(p.prev, p.current)
+		if sim < 1-p.Lambda {
+			state = Drift
+		} else if sim < 1-p.Lambda/2 {
+			state = Warning
+		}
+	}
+	p.prev = p.current
+	p.hasPrev = true
+	p.current = make([]float64, p.classes*p.classes)
+	p.count, p.errors = 0, 0
+	if state == Drift {
+		// After drift the old window no longer represents the concept.
+		p.hasPrev = false
+		p.prev = nil
+	}
+	return state
+}
+
+// cosineSimilarity returns the cosine of the angle between a and b
+// (1 when either is a zero vector, meaning "no evidence of change").
+func cosineSimilarity(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

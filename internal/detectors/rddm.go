@@ -1,0 +1,154 @@
+package detectors
+
+import "math"
+
+// RDDM is the Reactive Drift Detection Method of Barros et al. (2017): DDM
+// plus mechanisms against desensitization on long stable runs. It keeps the
+// prediction outcomes observed since the current warning phase began; on a
+// drift detection the DDM statistics are rebuilt from only that warning
+// buffer (the recent, possibly drifted regime), and on overlong runs or
+// stuck warnings the statistics are recomputed from the most recent
+// MinInstances outcomes.
+type RDDM struct {
+	// WarningLevel and DriftLevel are the s-multipliers (defaults 1.773 and
+	// 2.258, the RDDM paper's calibration; Table II sweeps thresholds).
+	WarningLevel, DriftLevel float64
+	// MinErrors gates testing until this many errors are seen (default 30).
+	MinErrors int
+	// MinInstances is the number of recent outcomes kept for pruning
+	// (default 7000).
+	MinInstances int
+	// MaxInstances is the run length that triggers pruning (default 40000).
+	MaxInstances int
+	// WarnLimit prunes after this many consecutive warnings (default 1400).
+	WarnLimit int
+
+	ring     []bool
+	ringPos  int
+	ringFull bool
+
+	warnBuf []bool // outcomes since the current warning phase began
+
+	n      float64
+	errCnt float64
+	pMin   float64
+	sMin   float64
+	psMin  float64
+	warns  int
+}
+
+// NewRDDM builds an RDDM with the original calibration.
+func NewRDDM() *RDDM {
+	r := &RDDM{
+		WarningLevel: 1.773,
+		DriftLevel:   2.258,
+		MinErrors:    30,
+		MinInstances: 7000,
+		MaxInstances: 40000,
+		WarnLimit:    1400,
+	}
+	r.Reset()
+	return r
+}
+
+// Name returns "RDDM".
+func (r *RDDM) Name() string { return "RDDM" }
+
+// Reset restores the initial state.
+func (r *RDDM) Reset() {
+	r.ring = make([]bool, r.MinInstances)
+	r.ringPos, r.ringFull = 0, false
+	r.warnBuf = nil
+	r.resetStats()
+}
+
+func (r *RDDM) resetStats() {
+	r.n, r.errCnt = 0, 0
+	r.pMin, r.sMin, r.psMin = math.Inf(1), math.Inf(1), math.Inf(1)
+	r.warns = 0
+}
+
+// observe folds one outcome into the DDM statistics and returns the state.
+func (r *RDDM) observe(wrong bool) State {
+	r.n++
+	if wrong {
+		r.errCnt++
+	}
+	p := r.errCnt / r.n
+	s := math.Sqrt(p * (1 - p) / r.n)
+	if r.errCnt >= float64(r.MinErrors) && p+s < r.psMin {
+		r.pMin, r.sMin, r.psMin = p, s, p+s
+	}
+	if r.errCnt < float64(r.MinErrors) || math.IsInf(r.psMin, 1) {
+		return None
+	}
+	switch {
+	case p+s > r.pMin+r.DriftLevel*r.sMin:
+		return Drift
+	case p+s > r.pMin+r.WarningLevel*r.sMin:
+		return Warning
+	default:
+		return None
+	}
+}
+
+// Update consumes one prediction outcome.
+func (r *RDDM) Update(o Observation) State {
+	wrong := !o.Correct()
+	r.ring[r.ringPos] = wrong
+	r.ringPos = (r.ringPos + 1) % len(r.ring)
+	if r.ringPos == 0 {
+		r.ringFull = true
+	}
+
+	state := r.observe(wrong)
+	switch state {
+	case Drift:
+		// Rebuild the statistics from the warning-period buffer: the new
+		// concept's outcomes seed the fresh baseline.
+		buf := r.warnBuf
+		if len(buf) > r.MinInstances {
+			buf = buf[len(buf)-r.MinInstances:]
+		}
+		r.resetStats()
+		for _, w := range buf {
+			r.n++
+			if w {
+				r.errCnt++
+			}
+		}
+		r.warnBuf = nil
+		return Drift
+	case Warning:
+		r.warns++
+		r.warnBuf = append(r.warnBuf, wrong)
+		if r.warns >= r.WarnLimit {
+			r.pruneToRecent()
+		}
+	default:
+		r.warns = 0
+		r.warnBuf = nil
+	}
+	// Reactive pruning against desensitization on very long stable runs.
+	if int(r.n) >= r.MaxInstances {
+		r.pruneToRecent()
+	}
+	return state
+}
+
+// pruneToRecent recomputes the statistics over the most recent ring
+// contents, discarding older history (the RDDM "reactive" mechanism).
+func (r *RDDM) pruneToRecent() {
+	stored := r.ringPos
+	if r.ringFull {
+		stored = len(r.ring)
+	}
+	start := 0
+	if r.ringFull {
+		start = r.ringPos
+	}
+	r.resetStats()
+	for i := 0; i < stored; i++ {
+		r.observe(r.ring[(start+i)%len(r.ring)])
+	}
+}

@@ -1,0 +1,80 @@
+package detectors
+
+import "rbmim/internal/stats"
+
+// WSTD is the Wilcoxon Rank Sum Test Drift detector of de Barros et al.
+// (2018). It keeps a sliding window of the correct-prediction indicator
+// split into an "older" and a "recent" sub-window (the older one capped at
+// MaxOldInstances) and runs the Wilcoxon rank-sum test between them; a
+// p-value below the drift (warning) significance signals drift (warning).
+type WSTD struct {
+	// WindowSize is the recent sub-window length (Table II sweeps
+	// {25,50,75,100}; default 75).
+	WindowSize int
+	// WarningSig and DriftSig are the test significances (defaults 0.05 and
+	// 0.003).
+	WarningSig, DriftSig float64
+	// MaxOldInstances caps the older sub-window (default 2000).
+	MaxOldInstances int
+
+	old    []float64
+	recent []float64
+}
+
+// NewWSTD builds the detector (zero values select defaults).
+func NewWSTD(windowSize int, warningSig, driftSig float64, maxOld int) *WSTD {
+	if windowSize <= 0 {
+		windowSize = 75
+	}
+	if warningSig <= 0 {
+		warningSig = 0.05
+	}
+	if driftSig <= 0 {
+		driftSig = 0.003
+	}
+	if maxOld <= 0 {
+		maxOld = 2000
+	}
+	w := &WSTD{WindowSize: windowSize, WarningSig: warningSig, DriftSig: driftSig, MaxOldInstances: maxOld}
+	w.Reset()
+	return w
+}
+
+// Name returns "WSTD".
+func (w *WSTD) Name() string { return "WSTD" }
+
+// Reset restores the initial state.
+func (w *WSTD) Reset() {
+	w.old = w.old[:0]
+	w.recent = w.recent[:0]
+}
+
+// Update consumes one prediction outcome.
+func (w *WSTD) Update(o Observation) State {
+	v := 0.0
+	if o.Correct() {
+		v = 1
+	}
+	w.recent = append(w.recent, v)
+	if len(w.recent) > w.WindowSize {
+		// Move the oldest recent observation into the older sub-window.
+		w.old = append(w.old, w.recent[0])
+		w.recent = w.recent[1:]
+		if len(w.old) > w.MaxOldInstances {
+			w.old = w.old[len(w.old)-w.MaxOldInstances:]
+		}
+	}
+	if len(w.recent) < w.WindowSize || len(w.old) < w.WindowSize {
+		return None
+	}
+	_, p := stats.WilcoxonRankSum(w.old, w.recent)
+	switch {
+	case p < w.DriftSig:
+		w.Reset()
+		return Drift
+	case p < w.WarningSig:
+		return Warning
+	default:
+		return None
+	}
+}

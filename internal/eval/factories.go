@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"rbmim/internal/core"
+	"rbmim/internal/detectors"
+)
+
+// PaperDetectors returns factories for the six detectors of the paper's
+// comparison, in Table III column order: WSTD, RDDM, FHDDM, PerfSim,
+// DDM-OCI, RBM-IM. Parameters are the midpoints of the Table II grids.
+// features is needed by RBM-IM to size its visible layer.
+func PaperDetectors(features int) []detectors.Factory {
+	return []detectors.Factory{
+		{Name: "WSTD", New: func(classes int) detectors.Detector {
+			return detectors.NewWSTD(75, 0.05, 0.005, 2000)
+		}},
+		{Name: "RDDM", New: func(classes int) detectors.Detector {
+			d := detectors.NewRDDM()
+			d.MinInstances = 3000
+			d.MaxInstances = 20000
+			d.Reset()
+			return d
+		}},
+		{Name: "FHDDM", New: func(classes int) detectors.Detector {
+			return detectors.NewFHDDM(100, 0.0001)
+		}},
+		{Name: "PerfSim", New: func(classes int) detectors.Detector {
+			return detectors.NewPerfSim(classes, 0.2, 30, 500)
+		}},
+		{Name: "DDM-OCI", New: func(classes int) detectors.Detector {
+			return detectors.NewDDMOCI(classes, 0.99, 30)
+		}},
+		{Name: "RBM-IM", New: func(classes int) detectors.Detector {
+			d, err := core.NewDetector(core.Config{
+				Features:       features,
+				Classes:        classes,
+				BatchSize:      25,
+				GibbsSteps:     1,
+				AdaptiveWindow: true,
+				Seed:           17,
+			})
+			if err != nil {
+				panic(err) // construction is validated by tests; sizes come from schemas
+			}
+			return d
+		}},
+	}
+}
+
+// ExtraDetectors returns the additional classic baselines implemented beyond
+// the paper's comparison (DDM, EDDM, ADWIN, HDDM-A), available to the CLI
+// and ablation benches.
+func ExtraDetectors() []detectors.Factory {
+	return []detectors.Factory{
+		{Name: "DDM", New: func(classes int) detectors.Detector { return detectors.NewDDM() }},
+		{Name: "EDDM", New: func(classes int) detectors.Detector { return detectors.NewEDDM() }},
+		{Name: "ADWIN", New: func(classes int) detectors.Detector { return detectors.NewADWINDetector(0.002) }},
+		{Name: "HDDM-A", New: func(classes int) detectors.Detector { return detectors.NewHDDMA() }},
+	}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import "rbmim/internal/tune"
+
+// Grid is one detector's hyper-parameter grid from Table II.
+type Grid struct {
+	// Detector is the table abbreviation.
+	Detector string
+	// Params maps parameter names to their candidate values.
+	Params []GridParam
+}
+
+// GridParam is one row of Table II: a named parameter with its swept values.
+type GridParam struct {
+	Name   string
+	Values []float64
+}
+
+// TuneBox converts the grid row into a continuous tuning box.
+func (g GridParam) TuneBox() tune.Param {
+	min, max := g.Values[0], g.Values[0]
+	for _, v := range g.Values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return tune.Param{Name: g.Name, Min: min, Max: max, Init: (min + max) / 2}
+}
+
+// DefaultGrids returns the Table II parameter grids for the six compared
+// detectors.
+func DefaultGrids() []Grid {
+	return []Grid{
+		{Detector: "WSTD", Params: []GridParam{
+			{Name: "window", Values: []float64{25, 50, 75, 100}},
+			{Name: "warning_sig", Values: []float64{0.01, 0.03, 0.05, 0.07}},
+			{Name: "drift_sig", Values: []float64{0.001, 0.003, 0.005, 0.007}},
+			{Name: "max_old", Values: []float64{1000, 2000, 3000, 4000}},
+		}},
+		{Detector: "RDDM", Params: []GridParam{
+			{Name: "warning_threshold", Values: []float64{0.90, 0.92, 0.95, 0.98}},
+			{Name: "drift_threshold", Values: []float64{0.80, 0.85, 0.90, 0.95}},
+			{Name: "min_errors", Values: []float64{10, 30, 50, 70}},
+			{Name: "min_instances", Values: []float64{3000, 5000, 7000, 9000}},
+			{Name: "max_instances", Values: []float64{10000, 20000, 30000, 40000}},
+			{Name: "warn_limit", Values: []float64{800, 1000, 1200, 1400}},
+		}},
+		{Detector: "FHDDM", Params: []GridParam{
+			{Name: "window", Values: []float64{25, 50, 75, 100}},
+			{Name: "delta", Values: []float64{0.000001, 0.00001, 0.0001, 0.001}},
+		}},
+		{Detector: "PerfSim", Params: []GridParam{
+			{Name: "lambda", Values: []float64{0.1, 0.2, 0.3, 0.4}},
+			{Name: "min_errors", Values: []float64{10, 30, 50, 70}},
+		}},
+		{Detector: "DDM-OCI", Params: []GridParam{
+			{Name: "warning_threshold", Values: []float64{0.90, 0.92, 0.95, 0.98}},
+			{Name: "drift_threshold", Values: []float64{0.80, 0.85, 0.90, 0.95}},
+			{Name: "min_errors", Values: []float64{10, 30, 50, 70}},
+		}},
+		{Detector: "RBM-IM", Params: []GridParam{
+			{Name: "batch_size", Values: []float64{25, 50, 75, 100}},
+			{Name: "hidden_fraction", Values: []float64{0.25, 0.5, 0.75, 1.0}},
+			{Name: "learning_rate", Values: []float64{0.01, 0.03, 0.05, 0.07}},
+			{Name: "gibbs_steps", Values: []float64{1, 2, 3, 4}},
+		}},
+	}
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"testing"
+
+	"rbmim/internal/stream"
+	"rbmim/internal/synth"
+)
+
+func TestRunPipelineBasics(t *testing.T) {
+	spec, err := ArtificialByName("RBF5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, n, err := spec.Build(BuildOptions{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := PaperDetectors(s.Schema().Features)[5].New(s.Schema().Classes) // RBM-IM
+	res := RunPipeline(s, det, PipelineConfig{Instances: n, MetricWindow: 500, Seed: 1})
+	if res.PMAUC <= 0 || res.PMAUC > 100 {
+		t.Fatalf("pmAUC out of range: %v", res.PMAUC)
+	}
+	if res.PMGM < 0 || res.PMGM > 100 {
+		t.Fatalf("pmGM out of range: %v", res.PMGM)
+	}
+	if res.Instances != n {
+		t.Fatalf("instances = %d, want %d", res.Instances, n)
+	}
+}
+
+func TestRunPipelineScoresGroundTruth(t *testing.T) {
+	before, err := synth.NewRBF(synth.Config{Features: 10, Classes: 4, Seed: 5}, 3, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := synth.NewRBF(synth.Config{Features: 10, Classes: 4, Seed: 77}, 3, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.NewDriftStream(before, after, stream.Sudden, 6000, 0, 1)
+	det := PaperDetectors(10)[5].New(4)
+	res := RunPipeline(s, det, PipelineConfig{Instances: 12000, MetricWindow: 500, Seed: 1})
+	if res.TruePositives+res.MissedDrifts != 1 {
+		t.Fatalf("ground truth has 1 drift, scored TP=%d missed=%d", res.TruePositives, res.MissedDrifts)
+	}
+}
+
+func TestAllBenchmarksBuild(t *testing.T) {
+	benches := AllBenchmarks()
+	if len(benches) != 24 {
+		t.Fatalf("expected 24 benchmarks, got %d", len(benches))
+	}
+	for _, b := range benches {
+		s, n, err := b.Build(0.002, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if n < 2000 {
+			t.Fatalf("%s: scaled length %d too small", b.Name, n)
+		}
+		schema := s.Schema()
+		if err := schema.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		// Draw a few instances to prove the composition works.
+		for i := 0; i < 50; i++ {
+			in := s.Next()
+			if len(in.X) != schema.Features {
+				t.Fatalf("%s: instance has %d features, schema says %d", b.Name, len(in.X), schema.Features)
+			}
+			if in.Y < 0 || in.Y >= schema.Classes {
+				t.Fatalf("%s: label %d out of range", b.Name, in.Y)
+			}
+		}
+	}
+}
+
+func TestArtificialSpecLocalDriftBuild(t *testing.T) {
+	spec, err := ArtificialByName("RBF10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, n, err := spec.Build(BuildOptions{Scale: 0.01, Seed: 5, LocalDriftClasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, ok := s.(interface{ TrueDrifts() []stream.DriftEvent })
+	if !ok {
+		t.Fatal("local drift stream must expose ground truth")
+	}
+	events := td.TrueDrifts()
+	if len(events) != 3 {
+		t.Fatalf("want 3 chained local events, got %d", len(events))
+	}
+	for _, ev := range events {
+		if len(ev.Classes) != 3 {
+			t.Fatalf("want 3 affected classes, got %v", ev.Classes)
+		}
+		// Smallest classes under geometric skew are the highest indices.
+		for _, c := range ev.Classes {
+			if c < 7 {
+				t.Fatalf("affected class %d is not among the smallest three", c)
+			}
+		}
+	}
+	_ = n
+}
+
+func TestTable3SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table3 subset is slow for -short")
+	}
+	out, err := RunTable3(Table3Config{
+		Scale:        0.003,
+		Seed:         11,
+		MetricWindow: 500,
+		Benchmarks:   []string{"EEG", "RBF5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(out.Rows))
+	}
+	if len(out.Detectors) != 6 {
+		t.Fatalf("want 6 detectors, got %d", len(out.Detectors))
+	}
+	for _, row := range out.Rows {
+		for j, r := range row.Results {
+			if r.PMAUC <= 0 {
+				t.Fatalf("%s/%s: zero pmAUC", row.Stream, out.Detectors[j])
+			}
+		}
+	}
+	if len(out.RanksAUC) != 6 || out.CriticalDifference <= 0 {
+		t.Fatal("rank statistics missing")
+	}
+}

@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rbmim/internal/stats"
+)
+
+// Table3Config configures the Experiment 1 runner.
+type Table3Config struct {
+	// Scale is the fraction of each benchmark's Table I length (default
+	// 0.05; 1 = full size).
+	Scale float64
+	// Seed drives stream and classifier randomness.
+	Seed int64
+	// MetricWindow is the prequential window (paper: 1000).
+	MetricWindow int
+	// Parallelism bounds concurrent pipelines (default: NumCPU).
+	Parallelism int
+	// Benchmarks restricts the run to the named streams (nil = all 24).
+	Benchmarks []string
+	// IncludeExtras adds the DDM/EDDM/ADWIN/HDDM-A baselines to the grid.
+	IncludeExtras bool
+}
+
+// Table3Row is one stream's results across detectors.
+type Table3Row struct {
+	Stream  string
+	Results []Result // in detector order
+}
+
+// Table3Output is the full Experiment 1 outcome.
+type Table3Output struct {
+	// Detectors lists detector names in column order.
+	Detectors []string
+	// Rows holds one entry per benchmark stream in Table I order.
+	Rows []Table3Row
+	// RanksAUC and RanksGM are the Friedman average ranks per detector.
+	RanksAUC []float64
+	RanksGM  []float64
+	// FriedmanAUC and FriedmanGM are the test outcomes.
+	FriedmanAUC stats.FriedmanResult
+	FriedmanGM  stats.FriedmanResult
+	// CriticalDifference is the Bonferroni-Dunn CD at alpha = 0.05.
+	CriticalDifference float64
+}
+
+// RunTable3 reproduces Experiment 1: every detector on every benchmark
+// stream, reporting pmAUC, pmGM, timings, ranks and the statistical tests
+// that feed Figures 4-7.
+func RunTable3(cfg Table3Config) (*Table3Output, error) {
+	if cfg.MetricWindow <= 0 {
+		cfg.MetricWindow = 1000
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	benches := AllBenchmarks()
+	if cfg.Benchmarks != nil {
+		var filtered []BenchmarkStream
+		for _, want := range cfg.Benchmarks {
+			found := false
+			for _, b := range benches {
+				if b.Name == want {
+					filtered = append(filtered, b)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("eval: unknown benchmark %q", want)
+			}
+		}
+		benches = filtered
+	}
+
+	type job struct {
+		bench    int
+		detector int
+	}
+	type done struct {
+		job
+		res Result
+		err error
+	}
+
+	// Detector names come from a probe build (features do not matter for
+	// names).
+	factories := PaperDetectors(1)
+	if cfg.IncludeExtras {
+		factories = append(factories, ExtraDetectors()...)
+	}
+	names := make([]string, len(factories))
+	for i, f := range factories {
+		names[i] = f.Name
+	}
+
+	jobs := make(chan job)
+	results := make(chan done)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				b := benches[j.bench]
+				s, n, err := b.Build(cfg.Scale, cfg.Seed)
+				if err != nil {
+					results <- done{job: j, err: err}
+					continue
+				}
+				schema := s.Schema()
+				fax := PaperDetectors(schema.Features)
+				if cfg.IncludeExtras {
+					fax = append(fax, ExtraDetectors()...)
+				}
+				det := fax[j.detector].New(schema.Classes)
+				res := RunPipeline(s, det, PipelineConfig{
+					Instances:    n,
+					MetricWindow: cfg.MetricWindow,
+					Seed:         cfg.Seed + int64(j.detector),
+				})
+				res.Stream = b.Name
+				results <- done{job: j, res: res}
+			}
+		}()
+	}
+	go func() {
+		for bi := range benches {
+			for di := range factories {
+				jobs <- job{bench: bi, detector: di}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := &Table3Output{Detectors: names}
+	out.Rows = make([]Table3Row, len(benches))
+	for i, b := range benches {
+		out.Rows[i] = Table3Row{Stream: b.Name, Results: make([]Result, len(factories))}
+	}
+	for d := range results {
+		if d.err != nil {
+			return nil, d.err
+		}
+		out.Rows[d.bench].Results[d.detector] = d.res
+	}
+
+	// Rank statistics over the score matrices.
+	aucScores := make([][]float64, len(out.Rows))
+	gmScores := make([][]float64, len(out.Rows))
+	for i, row := range out.Rows {
+		aucScores[i] = make([]float64, len(factories))
+		gmScores[i] = make([]float64, len(factories))
+		for j, r := range row.Results {
+			aucScores[i][j] = r.PMAUC
+			gmScores[i][j] = r.PMGM
+		}
+	}
+	out.FriedmanAUC = stats.Friedman(aucScores)
+	out.FriedmanGM = stats.Friedman(gmScores)
+	out.RanksAUC = out.FriedmanAUC.AvgRanks
+	out.RanksGM = out.FriedmanGM.AvgRanks
+	out.CriticalDifference = stats.BonferroniDunnCD(len(factories), len(out.Rows), 0.05)
+	return out, nil
+}
+
+// ScoresFor extracts per-stream scores of one detector under the given
+// metric ("pmauc" or "pmgm"), in row order — the pairing used by the
+// Bayesian signed tests of Figures 6-7.
+func (t *Table3Output) ScoresFor(detector, metric string) ([]float64, error) {
+	col := -1
+	for j, n := range t.Detectors {
+		if n == detector {
+			col = j
+			break
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("eval: detector %q not in output", detector)
+	}
+	out := make([]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		switch metric {
+		case "pmgm":
+			out[i] = row.Results[col].PMGM
+		default:
+			out[i] = row.Results[col].PMAUC
+		}
+	}
+	return out, nil
+}
+
+// SortedByRank returns detector names ordered by average rank (best first)
+// under the given metric.
+func (t *Table3Output) SortedByRank(metric string) []string {
+	ranks := t.RanksAUC
+	if metric == "pmgm" {
+		ranks = t.RanksGM
+	}
+	idx := make([]int, len(t.Detectors))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = t.Detectors[j]
+	}
+	return out
+}

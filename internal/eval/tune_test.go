@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"testing"
+
+	"rbmim/internal/core"
+	"rbmim/internal/tune"
+)
+
+// TestSelfTuneRBMIM wires the online Nelder-Mead self-tuner (the paper's
+// parameter-tuning methodology, Veloso et al. 2018) to the prequential
+// harness: RBM-IM's batch size and learning rate are tuned by
+// shadow-evaluating candidates on a stream prefix, maximizing pmAUC, then
+// snapped to the Table II grid. This is the full loop the paper applies to
+// every detector/stream pair.
+func TestSelfTuneRBMIM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning loop replays the stream prefix per candidate")
+	}
+	spec, err := ArtificialByName("RBF5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []tune.Param{
+		{Name: "batch_size", Min: 25, Max: 100, Init: 50},
+		{Name: "learning_rate", Min: 0.05, Max: 0.7, Init: 0.3},
+	}
+	evals := 0
+	score := func(v []float64) float64 {
+		evals++
+		s, n, err := spec.Build(BuildOptions{Scale: 0.002, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := core.NewDetector(core.Config{
+			Features:       s.Schema().Features,
+			Classes:        s.Schema().Classes,
+			BatchSize:      int(v[0]),
+			LearningRate:   v[1],
+			AdaptiveWindow: true,
+			Seed:           10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunPipeline(s, det, PipelineConfig{Instances: n, MetricWindow: 500, Seed: 11})
+		return res.PMAUC
+	}
+	res, err := tune.Maximize(params, score, tune.Options{MaxEvals: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals == 0 || evals > 20 {
+		t.Fatalf("tuner consumed %d evaluations, budget was 12 (+simplex init)", evals)
+	}
+	if res.Score <= 0 || res.Score > 100 {
+		t.Fatalf("tuned score out of range: %v", res.Score)
+	}
+	// Parameters must respect their boxes and snap onto the Table II grid.
+	batch := tune.SnapToGrid(res.Params[0], []float64{25, 50, 75, 100})
+	if batch < 25 || batch > 100 {
+		t.Fatalf("snapped batch size %v outside grid", batch)
+	}
+	if res.Params[1] < 0.05 || res.Params[1] > 0.7 {
+		t.Fatalf("learning rate %v escaped its box", res.Params[1])
+	}
+}

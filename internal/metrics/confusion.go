@@ -1,0 +1,102 @@
+// Package metrics implements the evaluation measures of the paper's
+// experimental study: the prequential multi-class AUC (pmAUC, the windowed
+// Hand & Till M-measure following Wang & Minku's prequential formulation),
+// the prequential multi-class G-mean (pmGM, windowed geometric mean of
+// per-class recalls), plus accuracy, Cohen's kappa, and the confusion-matrix
+// bookkeeping they share.
+package metrics
+
+// ConfusionMatrix accumulates true-class x predicted-class counts.
+type ConfusionMatrix struct {
+	classes int
+	cells   []float64
+	total   float64
+}
+
+// NewConfusionMatrix builds an empty matrix for the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	return &ConfusionMatrix{classes: classes, cells: make([]float64, classes*classes)}
+}
+
+// Classes returns the class count.
+func (c *ConfusionMatrix) Classes() int { return c.classes }
+
+// Add records one outcome.
+func (c *ConfusionMatrix) Add(trueClass, predicted int) {
+	if trueClass < 0 || trueClass >= c.classes || predicted < 0 || predicted >= c.classes {
+		return
+	}
+	c.cells[trueClass*c.classes+predicted]++
+	c.total++
+}
+
+// Count returns the cell (trueClass, predicted).
+func (c *ConfusionMatrix) Count(trueClass, predicted int) float64 {
+	return c.cells[trueClass*c.classes+predicted]
+}
+
+// Total returns the number of recorded outcomes.
+func (c *ConfusionMatrix) Total() float64 { return c.total }
+
+// ClassTotal returns the number of instances whose true class is k.
+func (c *ConfusionMatrix) ClassTotal(k int) float64 {
+	t := 0.0
+	for j := 0; j < c.classes; j++ {
+		t += c.cells[k*c.classes+j]
+	}
+	return t
+}
+
+// PredictedTotal returns the number of instances predicted as k.
+func (c *ConfusionMatrix) PredictedTotal(k int) float64 {
+	t := 0.0
+	for i := 0; i < c.classes; i++ {
+		t += c.cells[i*c.classes+k]
+	}
+	return t
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	hit := 0.0
+	for k := 0; k < c.classes; k++ {
+		hit += c.cells[k*c.classes+k]
+	}
+	return hit / c.total
+}
+
+// Recall returns the recall of class k (0 when the class is absent).
+func (c *ConfusionMatrix) Recall(k int) float64 {
+	t := c.ClassTotal(k)
+	if t == 0 {
+		return 0
+	}
+	return c.cells[k*c.classes+k] / t
+}
+
+// Kappa returns Cohen's kappa agreement statistic.
+func (c *ConfusionMatrix) Kappa() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	po := c.Accuracy()
+	pe := 0.0
+	for k := 0; k < c.classes; k++ {
+		pe += c.ClassTotal(k) / c.total * c.PredictedTotal(k) / c.total
+	}
+	if pe >= 1 {
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// Reset clears the matrix.
+func (c *ConfusionMatrix) Reset() {
+	for i := range c.cells {
+		c.cells[i] = 0
+	}
+	c.total = 0
+}

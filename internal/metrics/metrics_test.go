@@ -1,0 +1,272 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	cm.Add(1, 1)
+	cm.Add(2, 2)
+	cm.Add(2, 2)
+	if cm.Total() != 5 {
+		t.Fatalf("total = %v", cm.Total())
+	}
+	if cm.Accuracy() != 0.8 {
+		t.Fatalf("accuracy = %v", cm.Accuracy())
+	}
+	if cm.Recall(0) != 0.5 || cm.Recall(1) != 1 || cm.Recall(2) != 1 {
+		t.Fatalf("recalls = %v %v %v", cm.Recall(0), cm.Recall(1), cm.Recall(2))
+	}
+	if cm.ClassTotal(0) != 2 || cm.PredictedTotal(1) != 2 {
+		t.Fatal("marginals wrong")
+	}
+	// Out-of-range adds are ignored.
+	cm.Add(-1, 0)
+	cm.Add(0, 7)
+	if cm.Total() != 5 {
+		t.Fatal("out-of-range outcomes should be ignored")
+	}
+	cm.Reset()
+	if cm.Total() != 0 || cm.Accuracy() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestKappaPerfectAndChance(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	for i := 0; i < 50; i++ {
+		cm.Add(0, 0)
+		cm.Add(1, 1)
+	}
+	if math.Abs(cm.Kappa()-1) > 1e-9 {
+		t.Fatalf("perfect agreement kappa = %v", cm.Kappa())
+	}
+	// Random predictions: kappa ~ 0.
+	cm2 := NewConfusionMatrix(2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		cm2.Add(rng.Intn(2), rng.Intn(2))
+	}
+	if math.Abs(cm2.Kappa()) > 0.05 {
+		t.Fatalf("chance-level kappa = %v", cm2.Kappa())
+	}
+}
+
+func TestPairAUCPerfectSeparation(t *testing.T) {
+	buf := []windowEntry{
+		{trueClass: 0, predicted: 0, scores: []float64{0.9, 0.1}},
+		{trueClass: 0, predicted: 0, scores: []float64{0.8, 0.2}},
+		{trueClass: 1, predicted: 1, scores: []float64{0.2, 0.8}},
+		{trueClass: 1, predicted: 1, scores: []float64{0.1, 0.9}},
+	}
+	auc := windowAUC(buf, 2)
+	if math.Abs(auc-1) > 1e-9 {
+		t.Fatalf("perfect separation AUC = %v", auc)
+	}
+}
+
+func TestPairAUCInvertedScores(t *testing.T) {
+	buf := []windowEntry{
+		{trueClass: 0, scores: []float64{0.1, 0.9}},
+		{trueClass: 0, scores: []float64{0.2, 0.8}},
+		{trueClass: 1, scores: []float64{0.9, 0.1}},
+		{trueClass: 1, scores: []float64{0.8, 0.2}},
+	}
+	auc := windowAUC(buf, 2)
+	if math.Abs(auc) > 1e-9 {
+		t.Fatalf("inverted scores AUC = %v, want 0", auc)
+	}
+}
+
+func TestWindowAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]windowEntry, 2000)
+	for i := range buf {
+		s := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		buf[i] = windowEntry{trueClass: rng.Intn(3), scores: s}
+	}
+	auc := windowAUC(buf, 3)
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random scores AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestWindowAUCSkipsAbsentClasses(t *testing.T) {
+	buf := []windowEntry{
+		{trueClass: 0, scores: []float64{0.9, 0.1, 0}},
+		{trueClass: 1, scores: []float64{0.1, 0.9, 0}},
+	}
+	// Class 2 absent; the measure covers only the (0,1) pair.
+	auc := windowAUC(buf, 3)
+	if math.Abs(auc-1) > 1e-9 {
+		t.Fatalf("AUC with absent class = %v", auc)
+	}
+}
+
+func TestWindowAUCNilScoresUsesPrediction(t *testing.T) {
+	buf := []windowEntry{
+		{trueClass: 0, predicted: 0},
+		{trueClass: 1, predicted: 1},
+		{trueClass: 1, predicted: 0},
+	}
+	auc := windowAUC(buf, 2)
+	if auc <= 0.5 || auc > 1 {
+		t.Fatalf("degenerate one-hot AUC = %v", auc)
+	}
+}
+
+func TestWindowGMeanPerfect(t *testing.T) {
+	buf := []windowEntry{
+		{trueClass: 0, predicted: 0},
+		{trueClass: 1, predicted: 1},
+		{trueClass: 2, predicted: 2},
+	}
+	if gm := windowGMean(buf, 3); math.Abs(gm-1) > 1e-9 {
+		t.Fatalf("perfect G-mean = %v", gm)
+	}
+}
+
+func TestWindowGMeanBrokenClassDragsItDown(t *testing.T) {
+	var buf []windowEntry
+	for i := 0; i < 100; i++ {
+		buf = append(buf, windowEntry{trueClass: 0, predicted: 0})
+		buf = append(buf, windowEntry{trueClass: 1, predicted: 1})
+	}
+	for i := 0; i < 10; i++ {
+		buf = append(buf, windowEntry{trueClass: 2, predicted: 0}) // class 2 fully missed
+	}
+	gm := windowGMean(buf, 3)
+	if gm > 0.5 {
+		t.Fatalf("G-mean %v should collapse with a fully-missed class", gm)
+	}
+	if gm <= 0 {
+		t.Fatalf("G-mean floored at %v; the floor should keep it positive", gm)
+	}
+}
+
+func TestPrequentialWindowing(t *testing.T) {
+	p := NewPrequential(2, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		y := rng.Intn(2)
+		scores := []float64{0.2, 0.8}
+		if y == 0 {
+			scores = []float64{0.8, 0.2}
+		}
+		p.Add(y, y, scores)
+	}
+	p.Finish()
+	if got := p.PMAUC(); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("perfect stream pmAUC = %v", got)
+	}
+	if got := p.PMGM(); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("perfect stream pmGM = %v", got)
+	}
+	if got := p.Accuracy(); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("perfect stream accuracy = %v", got)
+	}
+	if len(p.SeriesAUC()) != 10 {
+		t.Fatalf("expected 10 windows, got %d", len(p.SeriesAUC()))
+	}
+}
+
+func TestPrequentialDegradationVisibleInSeries(t *testing.T) {
+	p := NewPrequential(2, 200)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4000; i++ {
+		y := rng.Intn(2)
+		pred := y
+		scores := []float64{0.1, 0.9}
+		if y == 0 {
+			scores = []float64{0.9, 0.1}
+		}
+		if i >= 2000 {
+			// Second half: random predictions and uninformative scores.
+			pred = rng.Intn(2)
+			scores = []float64{0.5 + rng.Float64()*0.001, 0.5}
+		}
+		p.Add(y, pred, scores)
+	}
+	p.Finish()
+	series := p.SeriesAUC()
+	if len(series) != 20 {
+		t.Fatalf("expected 20 windows, got %d", len(series))
+	}
+	firstHalf, secondHalf := 0.0, 0.0
+	for i, v := range series {
+		if i < 10 {
+			firstHalf += v
+		} else {
+			secondHalf += v
+		}
+	}
+	if firstHalf/10 < 0.95 || secondHalf/10 > 0.7 {
+		t.Fatalf("degradation not visible: first=%v second=%v", firstHalf/10, secondHalf/10)
+	}
+}
+
+func TestPrequentialEmpty(t *testing.T) {
+	p := NewPrequential(3, 100)
+	p.Finish()
+	if p.PMAUC() != 0 || p.PMGM() != 0 {
+		t.Fatal("empty evaluator should report zeros")
+	}
+}
+
+func TestPrequentialPartialWindowFolding(t *testing.T) {
+	p := NewPrequential(2, 100)
+	for i := 0; i < 50; i++ {
+		p.Add(i%2, i%2, nil)
+	}
+	p.Finish() // 50 >= 100/10, should fold
+	if len(p.SeriesAUC()) != 1 {
+		t.Fatalf("partial window not folded: %d windows", len(p.SeriesAUC()))
+	}
+	p2 := NewPrequential(2, 100)
+	p2.Add(0, 0, nil)
+	p2.Finish() // 1 < 10, should be dropped
+	if len(p2.SeriesAUC()) != 0 {
+		t.Fatal("tiny partial window should be dropped")
+	}
+}
+
+func TestPrequentialMetricsInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPrequential(4, 50)
+		for i := 0; i < 500; i++ {
+			scores := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			p.Add(rng.Intn(4), rng.Intn(4), scores)
+		}
+		p.Finish()
+		for _, v := range []float64{p.PMAUC(), p.PMGM(), p.Accuracy()} {
+			if v < 0 || v > 100 || math.IsNaN(v) {
+				return false
+			}
+		}
+		k := p.Kappa()
+		return k >= -100 && k <= 100 && !math.IsNaN(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairAUCTiesCountHalf(t *testing.T) {
+	pos := []int{0}
+	neg := []int{1}
+	buf := []windowEntry{
+		{trueClass: 0, scores: []float64{0.5}},
+		{trueClass: 1, scores: []float64{0.5}},
+	}
+	auc := pairAUC(buf, pos, neg, func(e windowEntry) float64 { return e.scores[0] })
+	if math.Abs(auc-0.5) > 1e-9 {
+		t.Fatalf("tied scores AUC = %v, want 0.5", auc)
+	}
+}

@@ -1,0 +1,169 @@
+package realworld
+
+import (
+	"math"
+	"testing"
+
+	"rbmim/internal/stream"
+)
+
+func TestAllSpecsMatchTableI(t *testing.T) {
+	specs := All()
+	if len(specs) != 12 {
+		t.Fatalf("want 12 real-world benchmarks, got %d", len(specs))
+	}
+	// Spot-check the Table I rows.
+	want := map[string]struct {
+		instances, features, classes int
+		ir                           float64
+	}{
+		"Activity-Raw": {1048570, 3, 6, 128.93},
+		"Covertype":    {581012, 54, 7, 96.14},
+		"IntelSensors": {2219804, 5, 57, 348.26},
+		"EEG":          {14980, 14, 2, 29.88},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			continue
+		}
+		if s.Instances != w.instances || s.Features != w.features || s.Classes != w.classes || s.IR != w.ir {
+			t.Errorf("%s: spec %+v does not match Table I", s.Name, s)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Poker")
+	if err != nil || s.Name != "Poker" {
+		t.Fatalf("ByName(Poker) = %+v, %v", s, err)
+	}
+	if _, err := ByName("NoSuchSet"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestScaledInstances(t *testing.T) {
+	s, _ := ByName("EEG")
+	if n := s.ScaledInstances(1); n != 14980 {
+		t.Fatalf("full scale = %d", n)
+	}
+	if n := s.ScaledInstances(0.1); n != 1498+500 && n < 1498 {
+		t.Fatalf("scaled = %d", n)
+	}
+	if n := s.ScaledInstances(0.0001); n < 2000 {
+		t.Fatalf("floor not applied: %d", n)
+	}
+	if n := s.ScaledInstances(-1); n != 14980 {
+		t.Fatalf("invalid scale should mean full size, got %d", n)
+	}
+}
+
+func TestEverySurrogateBuildsAndEmits(t *testing.T) {
+	for _, spec := range All() {
+		s, n, err := spec.Build(0.001, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		sc := s.Schema()
+		if sc.Classes != spec.Classes {
+			t.Errorf("%s: classes %d, spec %d", spec.Name, sc.Classes, spec.Classes)
+		}
+		if sc.Features < spec.Features {
+			t.Errorf("%s: features %d below spec %d", spec.Name, sc.Features, spec.Features)
+		}
+		if n < 2000 {
+			t.Errorf("%s: length %d", spec.Name, n)
+		}
+		for i := 0; i < 200; i++ {
+			in := s.Next()
+			if in.Y < 0 || in.Y >= sc.Classes {
+				t.Fatalf("%s: label %d out of range", spec.Name, in.Y)
+			}
+			for _, v := range in.X {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: bad feature %v", spec.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDriftingSurrogatesExposeGroundTruth(t *testing.T) {
+	for _, spec := range All() {
+		if spec.Drift != "yes" {
+			continue
+		}
+		s, n, err := spec.Build(0.002, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, ok := s.(interface{ TrueDrifts() []stream.DriftEvent })
+		if !ok {
+			t.Fatalf("%s: drifting surrogate without ground truth", spec.Name)
+		}
+		events := td.TrueDrifts()
+		if len(events) == 0 {
+			t.Fatalf("%s: no drift events", spec.Name)
+		}
+		for _, ev := range events {
+			if ev.Position <= 0 || ev.Position >= n {
+				t.Fatalf("%s: event position %d outside (0,%d)", spec.Name, ev.Position, n)
+			}
+		}
+	}
+}
+
+func TestSurrogateImbalanceApproximatesIR(t *testing.T) {
+	spec, _ := ByName("Connect4") // IR 45.81, 3 classes, no injected drift
+	s, _, err := spec.Build(0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, spec.Classes)
+	const n = 13000
+	for i := 0; i < n; i++ {
+		counts[s.Next().Y]++
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if min == 0 {
+		t.Fatal("smallest class absent entirely")
+	}
+	ir := max / min
+	// The schedule oscillates between IR/2 and IR; the time-average must be
+	// clearly imbalanced but not above IR.
+	if ir < spec.IR/4 || ir > spec.IR*1.5 {
+		t.Fatalf("observed IR %v far from spec %v", ir, spec.IR)
+	}
+}
+
+func TestSurrogateDeterminism(t *testing.T) {
+	spec, _ := ByName("Gas")
+	a, _, err := spec.Build(0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := spec.Build(0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Y != y.Y {
+			t.Fatalf("labels diverge at %d for identical seeds", i)
+		}
+		for j := range x.X {
+			if x.X[j] != y.X[j] {
+				t.Fatalf("features diverge at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-12, "Phi(0)")
+	approx(t, NormalCDF(1.959963985), 0.975, 1e-6, "Phi(1.96)")
+	approx(t, NormalCDF(-1.959963985), 0.025, 1e-6, "Phi(-1.96)")
+	approx(t, NormalCDF(3), 0.998650, 1e-5, "Phi(3)")
+	if NormalCDF(-40) != 0 && NormalCDF(-40) > 1e-300 {
+		t.Errorf("deep tail should underflow toward 0, got %v", NormalCDF(-40))
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999} {
+		z := NormalQuantile(p)
+		approx(t, NormalCDF(z), p, 1e-8, "CDF(Quantile(p))")
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at bounds should be infinite")
+	}
+}
+
+func TestNormalQuantileMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := 0.001 + 0.998*math.Abs(math.Mod(a, 1))
+		pb := 0.001 + 0.998*math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) <= NormalQuantile(pb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularizedIncompleteBeta(t *testing.T) {
+	// I_x(1,1) is the uniform CDF.
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		approx(t, RegularizedIncompleteBeta(1, 1, x), x, 1e-10, "I_x(1,1)")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	approx(t, RegularizedIncompleteBeta(2, 5, 0.3), 1-RegularizedIncompleteBeta(5, 2, 0.7), 1e-10, "beta symmetry")
+	// Known value: I_{0.5}(2,2) = 0.5.
+	approx(t, RegularizedIncompleteBeta(2, 2, 0.5), 0.5, 1e-10, "I_0.5(2,2)")
+	if RegularizedIncompleteBeta(3, 4, 0) != 0 || RegularizedIncompleteBeta(3, 4, 1) != 1 {
+		t.Error("beta CDF bounds wrong")
+	}
+}
+
+func TestRegularizedIncompleteGamma(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		approx(t, RegularizedIncompleteGamma(1, x), 1-math.Exp(-x), 1e-10, "P(1,x)")
+	}
+	if RegularizedIncompleteGamma(2, 0) != 0 {
+		t.Error("P(a,0) should be 0")
+	}
+	// Monotone in x.
+	if RegularizedIncompleteGamma(3, 2) >= RegularizedIncompleteGamma(3, 4) {
+		t.Error("incomplete gamma should increase in x")
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Chi-square with 1 dof at 3.841 is ~0.95.
+	approx(t, ChiSquareCDF(3.841, 1), 0.95, 1e-3, "chi2(1) 95%")
+	// Chi-square with 5 dof at 11.07 is ~0.95.
+	approx(t, ChiSquareCDF(11.0705, 5), 0.95, 1e-3, "chi2(5) 95%")
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Error("negative support should be 0")
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	approx(t, StudentTCDF(0, 10), 0.5, 1e-12, "t(10) at 0")
+	// t with 10 dof: P(T <= 2.228) ~ 0.975.
+	approx(t, StudentTCDF(2.228, 10), 0.975, 1e-3, "t(10) 97.5%")
+	// Symmetry.
+	approx(t, StudentTCDF(-1.5, 7)+StudentTCDF(1.5, 7), 1, 1e-10, "t symmetry")
+	// Converges to the normal for large dof.
+	approx(t, StudentTCDF(1.96, 1e6), NormalCDF(1.96), 1e-4, "t -> normal")
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	for _, v := range []float64{3, 10, 30} {
+		for _, p := range []float64{0.05, 0.5, 0.9, 0.975} {
+			q := StudentTQuantile(p, v)
+			approx(t, StudentTCDF(q, v), p, 1e-6, "t quantile round trip")
+		}
+	}
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// F(1,1) at 161.4 ~ 0.95.
+	approx(t, FCDF(161.45, 1, 1), 0.95, 1e-3, "F(1,1) 95%")
+	// F(5,10) at 3.33 ~ 0.95.
+	approx(t, FCDF(3.3258, 5, 10), 0.95, 1e-3, "F(5,10) 95%")
+	if FCDF(0, 3, 3) != 0 {
+		t.Error("F CDF at 0 should be 0")
+	}
+	approx(t, FSurvival(3.3258, 5, 10), 0.05, 1e-3, "F survival")
+}
+
+func TestFCDFMatchesChiSquareLimit(t *testing.T) {
+	// d1*F(d1, inf) -> chi2(d1): compare at large d2.
+	d1 := 4.0
+	x := 2.0
+	approx(t, FCDF(x, d1, 1e7), ChiSquareCDF(d1*x, int(d1)), 1e-4, "F -> chi2 limit")
+}
+
+func TestHoeffdingBound(t *testing.T) {
+	// Bound shrinks with n and grows with range.
+	if HoeffdingBound(1, 0.05, 100) <= HoeffdingBound(1, 0.05, 1000) {
+		t.Error("bound should shrink with more samples")
+	}
+	if HoeffdingBound(2, 0.05, 100) <= HoeffdingBound(1, 0.05, 100) {
+		t.Error("bound should grow with range")
+	}
+	if !math.IsInf(HoeffdingBound(1, 0.05, 0), 1) {
+		t.Error("zero samples should give infinite bound")
+	}
+	// Known value: R=1, delta=0.05, n=1000 -> ~0.0387.
+	approx(t, HoeffdingBound(1, 0.05, 1000), 0.03870, 1e-4, "hoeffding known value")
+}
+
+func TestDistributionCDFBoundsProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Abs(math.Mod(raw, 50))
+		checks := []float64{
+			ChiSquareCDF(x, 3),
+			StudentTCDF(x-25, 7),
+			FCDF(x, 3, 8),
+			NormalCDF(x - 25),
+		}
+		for _, c := range checks {
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

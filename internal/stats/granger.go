@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// GrangerResult holds the outcome of a Granger causality test.
+type GrangerResult struct {
+	// F is the F-statistic of the restriction test.
+	F float64
+	// PValue is the upper-tail probability under H0 ("x does not
+	// Granger-cause y"). Small values mean x helps forecast y.
+	PValue float64
+	// Lags is the lag order p used.
+	Lags int
+	// Obs is the number of usable regression rows.
+	Obs int
+	// Causal reports whether H0 was rejected at the supplied significance
+	// level, i.e. whether a Granger-causal relationship was found.
+	Causal bool
+}
+
+// ErrGrangerInsufficient is returned when the series are too short for the
+// requested lag order.
+var ErrGrangerInsufficient = errors.New("stats: series too short for Granger test")
+
+// GrangerCausality tests whether x Granger-causes y at the given lag order
+// and significance level. Following the paper's citation of first-difference
+// Granger testing for non-stationary processes, both series are first
+// differenced before the lagged regressions are fit.
+//
+// The restricted model regresses dy_t on its own p lags; the unrestricted
+// model adds p lags of dx. The F statistic
+//
+//	F = ((RSS_r - RSS_u)/p) / (RSS_u/(n - 2p - 1))
+//
+// is compared against the F(p, n-2p-1) distribution.
+func GrangerCausality(x, y []float64, lags int, alpha float64) (GrangerResult, error) {
+	if lags < 1 {
+		lags = 1
+	}
+	if len(x) != len(y) {
+		return GrangerResult{}, errors.New("stats: Granger series length mismatch")
+	}
+	dx := Diff(x)
+	dy := Diff(y)
+	n := len(dy) - lags
+	minRows := 2*lags + 2
+	if n < minRows {
+		return GrangerResult{}, ErrGrangerInsufficient
+	}
+	// Build the regression rows.
+	rows := n
+	// Restricted: intercept + p lags of dy.
+	xr := make([][]float64, rows)
+	// Unrestricted: intercept + p lags of dy + p lags of dx.
+	xu := make([][]float64, rows)
+	target := make([]float64, rows)
+	for t := 0; t < rows; t++ {
+		ti := t + lags
+		target[t] = dy[ti]
+		r := make([]float64, 1+lags)
+		u := make([]float64, 1+2*lags)
+		r[0], u[0] = 1, 1
+		for l := 1; l <= lags; l++ {
+			r[l] = dy[ti-l]
+			u[l] = dy[ti-l]
+			u[lags+l] = dx[ti-l]
+		}
+		xr[t] = r
+		xu[t] = u
+	}
+	rssR, okR := regressRSS(xr, target)
+	rssU, okU := regressRSS(xu, target)
+	if !okR || !okU {
+		return GrangerResult{}, errors.New("stats: Granger design matrix is singular")
+	}
+	dfDen := float64(rows - 2*lags - 1)
+	if dfDen <= 0 {
+		return GrangerResult{}, ErrGrangerInsufficient
+	}
+	var f float64
+	if rssU <= 1e-300 {
+		// Perfect unrestricted fit: treat as infinitely strong causality
+		// when it improves on the restricted model, neutral otherwise.
+		if rssR > 1e-300 {
+			f = math.Inf(1)
+		} else {
+			f = 0
+		}
+	} else {
+		f = ((rssR - rssU) / float64(lags)) / (rssU / dfDen)
+	}
+	if f < 0 {
+		f = 0
+	}
+	var p float64
+	if math.IsInf(f, 1) {
+		p = 0
+	} else {
+		p = FSurvival(f, float64(lags), dfDen)
+	}
+	return GrangerResult{
+		F:      f,
+		PValue: p,
+		Lags:   lags,
+		Obs:    rows,
+		Causal: p < alpha,
+	}, nil
+}
+
+// Diff returns the first differences of s (length len(s)-1).
+func Diff(s []float64) []float64 {
+	if len(s) < 2 {
+		return nil
+	}
+	d := make([]float64, len(s)-1)
+	for i := 1; i < len(s); i++ {
+		d[i-1] = s[i] - s[i-1]
+	}
+	return d
+}
+
+// regressRSS solves the least-squares problem min ||Xb - y||^2 via the
+// normal equations with a tiny ridge for numerical safety, returning the
+// residual sum of squares. ok is false when the system is unsolvable.
+func regressRSS(x [][]float64, y []float64) (rss float64, ok bool) {
+	if len(x) == 0 {
+		return 0, false
+	}
+	k := len(x[0])
+	// Normal equations: (X'X) b = X'y.
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for r := range x {
+		for i := 0; i < k; i++ {
+			xi := x[r][i]
+			xty[i] += xi * y[r]
+			for j := i; j < k; j++ {
+				xtx[i][j] += xi * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += 1e-10 // ridge jitter keeps near-singular systems solvable
+	}
+	b, solved := SolveLinear(xtx, xty)
+	if !solved {
+		return 0, false
+	}
+	for r := range x {
+		pred := 0.0
+		for i := 0; i < k; i++ {
+			pred += x[r][i] * b[i]
+		}
+		d := y[r] - pred
+		rss += d * d
+	}
+	return rss, true
+}
+
+// SolveLinear solves A b = y by Gaussian elimination with partial pivoting.
+// A is modified in place. ok is false for singular systems.
+func SolveLinear(a [][]float64, y []float64) (b []float64, ok bool) {
+	n := len(a)
+	if n == 0 || len(y) != n {
+		return nil, false
+	}
+	// Augment.
+	rhs := make([]float64, n)
+	copy(rhs, y)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	b = make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := rhs[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * b[c]
+		}
+		b[r] = sum / a[r][r]
+	}
+	return b, true
+}

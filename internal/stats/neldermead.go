@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions configures the simplex optimizer.
+type NelderMeadOptions struct {
+	// MaxEvals bounds the number of objective evaluations (default 200).
+	MaxEvals int
+	// Tol is the simplex-spread stopping tolerance on objective values
+	// (default 1e-6).
+	Tol float64
+	// Step is the initial simplex displacement per coordinate (default 0.1
+	// of |x0_i| or 0.1 when x0_i is zero).
+	Step float64
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder-Mead downhill
+// simplex with standard coefficients (reflection 1, expansion 2, contraction
+// 0.5, shrink 0.5). It returns the best point and value found. This is the
+// optimizer behind the self hyper-parameter tuning of Veloso et al. (2018)
+// that the paper uses for all detectors.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, math.NaN()
+	}
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 200
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.Step <= 0 {
+		opt.Step = 0.1
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	base := append([]float64(nil), x0...)
+	simplex[0] = vertex{base, eval(base)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		d := opt.Step * math.Abs(x[i])
+		if d == 0 {
+			d = opt.Step
+		}
+		x[i] += d
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+	order := func() {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	}
+	centroid := func() []float64 {
+		c := make([]float64, n)
+		for i := 0; i < n; i++ { // all but worst
+			for j := 0; j < n; j++ {
+				c[j] += simplex[i].x[j]
+			}
+		}
+		for j := range c {
+			c[j] /= float64(n)
+		}
+		return c
+	}
+	combine := func(c, x []float64, coef float64) []float64 {
+		out := make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[j] = c[j] + coef*(c[j]-x[j])
+		}
+		return out
+	}
+	for evals < opt.MaxEvals {
+		order()
+		if math.Abs(simplex[n].v-simplex[0].v) < opt.Tol {
+			break
+		}
+		c := centroid()
+		worst := simplex[n]
+		// Reflection.
+		xr := combine(c, worst.x, 1)
+		vr := eval(xr)
+		switch {
+		case vr < simplex[0].v:
+			// Expansion.
+			xe := combine(c, worst.x, 2)
+			ve := eval(xe)
+			if ve < vr {
+				simplex[n] = vertex{xe, ve}
+			} else {
+				simplex[n] = vertex{xr, vr}
+			}
+		case vr < simplex[n-1].v:
+			simplex[n] = vertex{xr, vr}
+		default:
+			// Contraction.
+			xc := combine(c, worst.x, -0.5)
+			vc := eval(xc)
+			if vc < worst.v {
+				simplex[n] = vertex{xc, vc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + 0.5*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	order()
+	return simplex[0].x, simplex[0].v
+}
+
+// Mean returns the arithmetic mean of s (0 for empty input).
+func Mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Variance returns the unbiased sample variance of s (0 when len < 2).
+func Variance(s []float64) float64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(s)
+	sum := 0.0
+	for _, v := range s {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of s.
+func StdDev(s []float64) float64 { return math.Sqrt(Variance(s)) }

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// WilcoxonRankSum performs the two-sample Wilcoxon rank-sum (Mann-Whitney)
+// test with the normal approximation and tie correction, returning the
+// standardized statistic and the two-sided p-value. It is the statistical
+// core of the WSTD drift detector.
+func WilcoxonRankSum(a, b []float64) (z, pValue float64) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Assign mid-ranks with tie groups.
+	ranks := make([]float64, len(all))
+	tieCorrection := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	n := fn1 + fn2
+	mu := fn1 * (n + 1) / 2
+	sigma2 := fn1 * fn2 / 12 * (n + 1 - tieCorrection/(n*(n-1)))
+	if sigma2 <= 0 {
+		return 0, 1
+	}
+	z = (r1 - mu) / math.Sqrt(sigma2)
+	pValue = 2 * (1 - NormalCDF(math.Abs(z)))
+	if pValue > 1 {
+		pValue = 1
+	}
+	return z, pValue
+}
+
+// FriedmanResult reports the Friedman rank test over k algorithms and N
+// datasets.
+type FriedmanResult struct {
+	// AvgRanks holds the average rank of each algorithm (1 = best).
+	AvgRanks []float64
+	// ChiSquare is the Friedman chi-square statistic.
+	ChiSquare float64
+	// FStat is the Iman-Davenport correction of the statistic.
+	FStat float64
+	// PValue is the chi-square upper-tail p-value.
+	PValue float64
+}
+
+// Friedman ranks algorithms per dataset (higher score = better = lower rank)
+// and computes the Friedman test. scores[i][j] is algorithm j's score on
+// dataset i. Ties receive mid-ranks.
+func Friedman(scores [][]float64) FriedmanResult {
+	n := len(scores)
+	if n == 0 {
+		return FriedmanResult{}
+	}
+	k := len(scores[0])
+	sumRanks := make([]float64, k)
+	for _, row := range scores {
+		idx := make([]int, k)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		// Mid-ranks for ties.
+		r := make([]float64, k)
+		for i := 0; i < k; {
+			j := i
+			for j < k && row[idx[j]] == row[idx[i]] {
+				j++
+			}
+			mid := float64(i+j+1) / 2
+			for t := i; t < j; t++ {
+				r[idx[t]] = mid
+			}
+			i = j
+		}
+		for j := 0; j < k; j++ {
+			sumRanks[j] += r[j]
+		}
+	}
+	avg := make([]float64, k)
+	for j := range avg {
+		avg[j] = sumRanks[j] / float64(n)
+	}
+	fk, fn := float64(k), float64(n)
+	sum := 0.0
+	for _, r := range avg {
+		sum += r * r
+	}
+	chi := 12 * fn / (fk * (fk + 1)) * (sum - fk*(fk+1)*(fk+1)/4)
+	var f float64
+	den := fn*(fk-1) - chi
+	if den > 0 {
+		f = (fn - 1) * chi / den
+	} else {
+		f = math.Inf(1)
+	}
+	return FriedmanResult{
+		AvgRanks:  avg,
+		ChiSquare: chi,
+		FStat:     f,
+		PValue:    1 - ChiSquareCDF(chi, k-1),
+	}
+}
+
+// BonferroniDunnCD returns the critical difference of the Bonferroni-Dunn
+// post-hoc test for k algorithms over N datasets at the given significance
+// level: two algorithms differ significantly when their average ranks differ
+// by more than CD. The control-comparison critical value q_alpha is obtained
+// from the normal quantile with the Bonferroni correction over k-1
+// comparisons (Demsar 2006).
+func BonferroniDunnCD(k, n int, alpha float64) float64 {
+	if k < 2 || n < 1 {
+		return math.NaN()
+	}
+	// Demsar (2006), Table 5(b): the critical value is the two-tailed
+	// normal quantile with Bonferroni correction over k-1 comparisons
+	// (e.g. 2.576 for k=6 at alpha=0.05).
+	q := NormalQuantile(1 - alpha/float64(2*(k-1)))
+	return q * math.Sqrt(float64(k*(k+1))/(6*float64(n)))
+}
+
+// BayesianSignedResult reports the Bayesian signed test probabilities that
+// the first algorithm is practically worse (Left), equivalent (Rope), or
+// better (Right) than the second.
+type BayesianSignedResult struct {
+	Left, Rope, Right float64
+	// Samples holds the Monte Carlo posterior draws as (pLeft, pRope,
+	// pRight) triples for plotting the simplex cloud of Figs. 6-7.
+	Samples [][3]float64
+}
+
+// BayesianSignedTest runs the Bayesian signed test of Benavoli et al. (2017)
+// on paired score differences d_i = b_i - a_i with a region of practical
+// equivalence of +-rope. It draws Monte Carlo samples from the Dirichlet
+// posterior over the (left, rope, right) probabilities with the prior placed
+// on the rope, and reports P(left), P(rope), P(right) as the fraction of
+// draws in which each region has the largest probability.
+func BayesianSignedTest(a, b []float64, rope float64, draws int, rng *rand.Rand) BayesianSignedResult {
+	if len(a) != len(b) || len(a) == 0 {
+		return BayesianSignedResult{}
+	}
+	if draws <= 0 {
+		draws = 50000
+	}
+	// Dirichlet concentration: prior pseudo-count 1 on the rope plus one
+	// count per observation in its region.
+	alphaL, alphaR, alphaRope := 0.0, 0.0, 1.0
+	for i := range a {
+		d := b[i] - a[i]
+		switch {
+		case d < -rope:
+			alphaL++
+		case d > rope:
+			alphaR++
+		default:
+			alphaRope++
+		}
+	}
+	res := BayesianSignedResult{Samples: make([][3]float64, 0, draws)}
+	for s := 0; s < draws; s++ {
+		gl := gammaSample(rng, alphaL)
+		gr := gammaSample(rng, alphaRope)
+		gg := gammaSample(rng, alphaR)
+		tot := gl + gr + gg
+		if tot == 0 {
+			continue
+		}
+		pl, pr, pg := gl/tot, gr/tot, gg/tot
+		res.Samples = append(res.Samples, [3]float64{pl, pr, pg})
+		switch {
+		case pl > pr && pl > pg:
+			res.Left++
+		case pg > pr && pg > pl:
+			res.Right++
+		default:
+			res.Rope++
+		}
+	}
+	n := float64(len(res.Samples))
+	if n > 0 {
+		res.Left /= n
+		res.Rope /= n
+		res.Right /= n
+	}
+	return res
+}
+
+// gammaSample draws from Gamma(shape, 1) by Marsaglia-Tsang, with the
+// boost for shape < 1. Zero shape returns 0 (a degenerate Dirichlet
+// component).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boosting: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

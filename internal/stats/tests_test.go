@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	_, p := WilcoxonRankSum(a, a)
+	if p < 0.9 {
+		t.Fatalf("identical samples should not differ, p=%v", p)
+	}
+}
+
+func TestWilcoxonSeparatedSamples(t *testing.T) {
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 100
+	}
+	z, p := WilcoxonRankSum(a, b)
+	if p > 1e-6 {
+		t.Fatalf("separated samples should differ, p=%v", p)
+	}
+	if z >= 0 {
+		t.Fatalf("a ranks below b, z should be negative, got %v", z)
+	}
+}
+
+func TestWilcoxonEmptyInput(t *testing.T) {
+	if _, p := WilcoxonRankSum(nil, []float64{1}); p != 1 {
+		t.Fatal("empty input should return p=1")
+	}
+}
+
+func TestWilcoxonFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rejections := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 40)
+		b := make([]float64, 40)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+			b[j] = rng.NormFloat64()
+		}
+		if _, p := WilcoxonRankSum(a, b); p < 0.05 {
+			rejections++
+		}
+	}
+	// Expect about 5%; allow up to 12%.
+	if rejections > trials*12/100 {
+		t.Fatalf("false positive rate too high: %d/%d", rejections, trials)
+	}
+}
+
+func TestFriedmanRanking(t *testing.T) {
+	// Algorithm 2 dominates, algorithm 0 is worst, on 10 datasets.
+	scores := make([][]float64, 10)
+	for i := range scores {
+		scores[i] = []float64{10 + float64(i), 50 + float64(i), 90 + float64(i)}
+	}
+	res := Friedman(scores)
+	if len(res.AvgRanks) != 3 {
+		t.Fatalf("ranks len = %d", len(res.AvgRanks))
+	}
+	approx(t, res.AvgRanks[2], 1, 1e-9, "dominating rank")
+	approx(t, res.AvgRanks[0], 3, 1e-9, "worst rank")
+	if res.PValue > 0.01 {
+		t.Fatalf("clear dominance should be significant, p=%v", res.PValue)
+	}
+}
+
+func TestFriedmanTiesGetMidRanks(t *testing.T) {
+	scores := [][]float64{{1, 1, 2}}
+	res := Friedman(scores)
+	approx(t, res.AvgRanks[2], 1, 1e-9, "winner rank")
+	approx(t, res.AvgRanks[0], 2.5, 1e-9, "tied rank a")
+	approx(t, res.AvgRanks[1], 2.5, 1e-9, "tied rank b")
+}
+
+func TestFriedmanEmpty(t *testing.T) {
+	res := Friedman(nil)
+	if res.AvgRanks != nil {
+		t.Fatal("empty input should yield empty result")
+	}
+}
+
+func TestBonferroniDunnCD(t *testing.T) {
+	// Demsar (2006): k=6, N=24, alpha=0.05 gives CD ~ 1.37... with
+	// q_0.05 ~ 2.576 for 5 comparisons: CD = 2.576*sqrt(6*7/(6*24)).
+	cd := BonferroniDunnCD(6, 24, 0.05)
+	want := 2.576 * math.Sqrt(6.0*7.0/(6.0*24.0))
+	approx(t, cd, want, 0.02, "CD(6,24)")
+	if !math.IsNaN(BonferroniDunnCD(1, 10, 0.05)) {
+		t.Error("k<2 should give NaN")
+	}
+}
+
+func TestBayesianSignedTestDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 24)
+	b := make([]float64, 24)
+	for i := range a {
+		a[i] = 50
+		b[i] = 70 // b dominates by far more than the rope
+	}
+	res := BayesianSignedTest(a, b, 1.0, 20000, rng)
+	if res.Right < 0.95 {
+		t.Fatalf("P(right) = %v, want near 1", res.Right)
+	}
+}
+
+func TestBayesianSignedTestRope(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 24)
+	b := make([]float64, 24)
+	for i := range a {
+		a[i] = 50
+		b[i] = 50.001 // within any reasonable rope
+	}
+	res := BayesianSignedTest(a, b, 1.0, 20000, rng)
+	if res.Rope < 0.9 {
+		t.Fatalf("P(rope) = %v, want near 1", res.Rope)
+	}
+}
+
+func TestBayesianSignedTestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := []float64{1, 5, 3, 8, 2, 9, 4}
+	b := []float64{2, 4, 5, 6, 3, 8, 6}
+	res := BayesianSignedTest(a, b, 0.5, 10000, rng)
+	approx(t, res.Left+res.Rope+res.Right, 1, 1e-9, "probability simplex")
+	if len(res.Samples) == 0 {
+		t.Fatal("samples missing")
+	}
+	for _, s := range res.Samples[:100] {
+		approx(t, s[0]+s[1]+s[2], 1, 1e-9, "sample simplex")
+	}
+}
+
+func TestBayesianSignedTestEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	res := BayesianSignedTest(nil, nil, 0.5, 100, rng)
+	if res.Left != 0 || res.Rope != 0 || res.Right != 0 {
+		t.Fatal("empty input should produce zero result")
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range []float64{0.5, 1, 3, 10} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.1*shape+0.05 {
+			t.Errorf("Gamma(%v) sample mean = %v, want ~%v", shape, mean, shape)
+		}
+	}
+	if gammaSample(rng, 0) != 0 {
+		t.Error("zero shape should give 0")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(s), 5, 1e-12, "mean")
+	approx(t, Variance(s), 32.0/7.0, 1e-12, "variance")
+	approx(t, StdDev(s), math.Sqrt(32.0/7.0), 1e-12, "stddev")
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+	}
+	best, v := NelderMead(f, []float64{0, 0}, NelderMeadOptions{MaxEvals: 500, Tol: 1e-12})
+	approx(t, best[0], 3, 1e-3, "x0")
+	approx(t, best[1], -2, 1e-3, "x1")
+	if v > 1e-5 {
+		t.Fatalf("objective at optimum = %v", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	best, v := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxEvals: 4000, Tol: 1e-14})
+	if v > 1e-3 {
+		t.Fatalf("Rosenbrock not minimized: f=%v at %v", v, best)
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	x, v := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{})
+	if x != nil || !math.IsNaN(v) {
+		t.Fatal("empty input should return nil/NaN")
+	}
+}

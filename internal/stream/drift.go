@@ -1,0 +1,451 @@
+package stream
+
+import (
+	"math/rand"
+)
+
+// DriftKind enumerates the speed-of-change taxonomies of Section II
+// (Eq. 2-5 of the paper).
+type DriftKind int
+
+const (
+	// Sudden switches distributions abruptly at the drift position (Eq. 2).
+	Sudden DriftKind = iota
+	// Gradual oscillates between the two concepts during the transition
+	// window, with the new concept sampled with increasing probability
+	// (Eq. 5).
+	Gradual
+	// Incremental progresses through intermediate concepts: when the
+	// underlying generators support parameter interpolation the concept
+	// itself morphs; otherwise instances are interpolated mixtures (Eq. 3-4).
+	Incremental
+)
+
+// String returns the lowercase name used in benchmark tables.
+func (k DriftKind) String() string {
+	switch k {
+	case Sudden:
+		return "sudden"
+	case Gradual:
+		return "gradual"
+	case Incremental:
+		return "incremental"
+	default:
+		return "unknown"
+	}
+}
+
+// Interpolatable is implemented by generators whose concept can morph
+// continuously toward a target concept; progress is in [0, 1].
+type Interpolatable interface {
+	SetProgress(alpha float64)
+}
+
+// DriftEvent records a ground-truth concept change, used for scoring
+// detectors against injected drifts.
+type DriftEvent struct {
+	// Position is the instance index at which the transition begins.
+	Position int
+	// Width is the length of the transition window (0 for sudden).
+	Width int
+	// Classes lists the affected class labels; nil means the drift is global.
+	Classes []int
+}
+
+// IsGlobal reports whether every class is affected.
+func (e DriftEvent) IsGlobal() bool { return len(e.Classes) == 0 }
+
+// Affects reports whether class y is subject to this drift.
+func (e DriftEvent) Affects(y int) bool {
+	if e.IsGlobal() {
+		return true
+	}
+	for _, c := range e.Classes {
+		if c == y {
+			return true
+		}
+	}
+	return false
+}
+
+// DriftStream composes a base concept and a post-drift concept according to a
+// DriftKind, beginning at Position with transition Width (Eq. 2-5). Both
+// streams must share a schema.
+type DriftStream struct {
+	before, after Stream
+	kind          DriftKind
+	position      int
+	width         int
+	t             int
+	rng           *rand.Rand
+	seed          int64
+}
+
+// NewDriftStream builds a drifting composition of two concepts.
+// Width is ignored for Sudden drift.
+func NewDriftStream(before, after Stream, kind DriftKind, position, width int, seed int64) *DriftStream {
+	return &DriftStream{
+		before:   before,
+		after:    after,
+		kind:     kind,
+		position: position,
+		width:    width,
+		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+	}
+}
+
+// Schema returns the shared schema of the composed concepts.
+func (d *DriftStream) Schema() Schema { return d.before.Schema() }
+
+// TrueDrifts returns the single injected global drift event.
+func (d *DriftStream) TrueDrifts() []DriftEvent {
+	return []DriftEvent{{Position: d.position, Width: d.width}}
+}
+
+// alpha returns the transition progress at time t per Eq. 4.
+func (d *DriftStream) alpha() float64 {
+	if d.t < d.position {
+		return 0
+	}
+	if d.kind == Sudden || d.width <= 0 || d.t >= d.position+d.width {
+		return 1
+	}
+	return float64(d.t-d.position) / float64(d.width)
+}
+
+// Next emits the next instance, advancing the drift clock.
+func (d *DriftStream) Next() Instance {
+	a := d.alpha()
+	d.t++
+	switch {
+	case a <= 0:
+		return d.before.Next()
+	case a >= 1:
+		return d.after.Next()
+	case d.kind == Incremental:
+		if ip, ok := d.after.(Interpolatable); ok {
+			// The generator itself morphs: emit from the interpolated
+			// concept, forming true intermediate distributions.
+			ip.SetProgress(a)
+			return d.after.Next()
+		}
+		// Fallback: Bernoulli mixture approximating Eq. 3.
+		if d.rng.Float64() < a {
+			return d.after.Next()
+		}
+		return d.before.Next()
+	default: // Gradual, Eq. 5: oscillate, new concept with probability alpha.
+		if d.rng.Float64() < a {
+			return d.after.Next()
+		}
+		return d.before.Next()
+	}
+}
+
+// Restart rewinds the drift clock and, when supported, both concepts.
+func (d *DriftStream) Restart() {
+	d.t = 0
+	d.rng = rand.New(rand.NewSource(d.seed))
+	if r, ok := d.before.(Restartable); ok {
+		r.Restart()
+	}
+	if r, ok := d.after.(Restartable); ok {
+		r.Restart()
+	}
+}
+
+// MultiDriftStream chains several concepts with drifts between consecutive
+// pairs, producing a stream with repeated concept changes.
+type MultiDriftStream struct {
+	concepts  []Stream
+	kind      DriftKind
+	positions []int
+	width     int
+	t         int
+	rng       *rand.Rand
+	seed      int64
+}
+
+// NewMultiDriftStream composes len(concepts) concepts; positions give the
+// start of each transition and must be strictly increasing, with
+// len(positions) == len(concepts)-1.
+func NewMultiDriftStream(concepts []Stream, kind DriftKind, positions []int, width int, seed int64) *MultiDriftStream {
+	if len(positions) != len(concepts)-1 {
+		panic("stream: NewMultiDriftStream needs len(positions) == len(concepts)-1")
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i] <= positions[i-1] {
+			panic("stream: NewMultiDriftStream positions must be strictly increasing")
+		}
+	}
+	return &MultiDriftStream{
+		concepts:  concepts,
+		kind:      kind,
+		positions: positions,
+		width:     width,
+		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+	}
+}
+
+// Schema returns the schema shared by all concepts.
+func (m *MultiDriftStream) Schema() Schema { return m.concepts[0].Schema() }
+
+// TrueDrifts lists every injected transition.
+func (m *MultiDriftStream) TrueDrifts() []DriftEvent {
+	events := make([]DriftEvent, len(m.positions))
+	for i, p := range m.positions {
+		w := m.width
+		if m.kind == Sudden {
+			w = 0
+		}
+		events[i] = DriftEvent{Position: p, Width: w}
+	}
+	return events
+}
+
+// Next emits the next instance from the currently active (or transitioning)
+// pair of concepts.
+func (m *MultiDriftStream) Next() Instance {
+	t := m.t
+	m.t++
+	// Find the active segment: the last position <= t decides the pair.
+	idx := 0
+	for idx < len(m.positions) && t >= m.positions[idx] {
+		idx++
+	}
+	// idx is the index of the concept we are transitioning *into* (or in).
+	if idx == 0 {
+		return m.concepts[0].Next()
+	}
+	start := m.positions[idx-1]
+	var a float64
+	switch {
+	case m.kind == Sudden || m.width <= 0:
+		a = 1
+	case t >= start+m.width:
+		a = 1
+	default:
+		a = float64(t-start) / float64(m.width)
+	}
+	if a >= 1 {
+		return m.concepts[idx].Next()
+	}
+	if m.kind == Incremental {
+		if ip, ok := m.concepts[idx].(Interpolatable); ok {
+			ip.SetProgress(a)
+			return m.concepts[idx].Next()
+		}
+	}
+	if m.rng.Float64() < a {
+		return m.concepts[idx].Next()
+	}
+	return m.concepts[idx-1].Next()
+}
+
+// Restart rewinds the composite stream.
+func (m *MultiDriftStream) Restart() {
+	m.t = 0
+	m.rng = rand.New(rand.NewSource(m.seed))
+	for _, c := range m.concepts {
+		if r, ok := c.(Restartable); ok {
+			r.Restart()
+		}
+	}
+}
+
+// LocalDriftInjector applies a real concept drift to a chosen subset of
+// classes only (Scenario 3 of the paper): after the drift position, instances
+// of the affected classes are relocated toward regions occupied by *other*
+// classes, changing p(x|y) — and therefore the decision boundary — for the
+// drifted classes while leaving the rest of the stream untouched. The
+// relocation blends the instance with an anchor sampled from a reservoir of
+// recent other-class instances, so the drifted class genuinely invades
+// occupied territory (a model that missed the drift scores it as the invaded
+// class), yet keeps part of its own structure (a model that adapts can
+// re-separate it).
+type LocalDriftInjector struct {
+	base     Stream
+	classes  map[int]bool
+	target   map[int]int // drifted class -> class whose region it invades
+	position int
+	width    int
+	kind     DriftKind
+	// Mix is the weight of the drifted instance's own features in the
+	// post-drift blend (default 0.5: the class relocates halfway toward the
+	// invaded region). Combined with the per-class offset this places the
+	// drifted class inside the invaded class's margin — a stale model
+	// misranks it — while keeping it separable for a model that adapts.
+	Mix float64
+	// offset is a fixed seeded displacement per drifted class, giving the
+	// relocated class its own recoverable identity.
+	offset map[int][]float64
+	// reservoir holds recent instances per class for anchor sampling.
+	reservoir [][]Instance
+	resPos    []int
+	t         int
+	rng       *rand.Rand
+	seed      int64
+	// fallback affine transform, used before the reservoir warms up.
+	scale []float64
+	shift []float64
+}
+
+const localDriftReservoir = 32
+
+// NewLocalDriftInjector wraps base so that the given classes experience a
+// real local concept drift starting at position; kind controls how the
+// transform fades in. Each drifted class invades the region of a
+// deterministic (seeded) other class.
+func NewLocalDriftInjector(base Stream, classes []int, kind DriftKind, position, width int, seed int64) *LocalDriftInjector {
+	sc := base.Schema()
+	rng := rand.New(rand.NewSource(seed))
+	l := &LocalDriftInjector{
+		base:      base,
+		classes:   make(map[int]bool, len(classes)),
+		target:    make(map[int]int, len(classes)),
+		position:  position,
+		width:     width,
+		kind:      kind,
+		Mix:       0.5,
+		offset:    make(map[int][]float64, len(classes)),
+		reservoir: make([][]Instance, sc.Classes),
+		resPos:    make([]int, sc.Classes),
+		rng:       rng,
+		seed:      seed,
+		scale:     make([]float64, sc.Features),
+		shift:     make([]float64, sc.Features),
+	}
+	for _, c := range classes {
+		l.classes[c] = true
+	}
+	// Assign invasion targets: a seeded different class per drifted class.
+	for _, c := range classes {
+		t := rng.Intn(sc.Classes)
+		for t == c || l.classes[t] && sc.Classes > len(classes) {
+			t = rng.Intn(sc.Classes)
+		}
+		l.target[c] = t
+	}
+	for i := 0; i < sc.Features; i++ {
+		l.scale[i] = 0.4 + 1.2*rng.Float64()
+		l.shift[i] = (rng.Float64() - 0.5) * 1.6
+	}
+	span := featureSpan(sc)
+	for _, c := range classes {
+		off := make([]float64, sc.Features)
+		for i := range off {
+			off[i] = (rng.Float64() - 0.5) * 0.3 * span[i]
+		}
+		l.offset[c] = off
+	}
+	return l
+}
+
+// Schema returns the base schema.
+func (l *LocalDriftInjector) Schema() Schema { return l.base.Schema() }
+
+// TrueDrifts returns the injected local event with its affected classes,
+// merged with any ground truth the wrapped stream exposes (so chained
+// injectors report every event).
+func (l *LocalDriftInjector) TrueDrifts() []DriftEvent {
+	cs := make([]int, 0, len(l.classes))
+	for c := range l.classes {
+		cs = append(cs, c)
+	}
+	var events []DriftEvent
+	if td, ok := l.base.(interface{ TrueDrifts() []DriftEvent }); ok {
+		events = append(events, td.TrueDrifts()...)
+	}
+	return append(events, DriftEvent{Position: l.position, Width: l.width, Classes: cs})
+}
+
+// progress returns the fade-in of the local transform at the current clock.
+func (l *LocalDriftInjector) progress() float64 {
+	if l.t < l.position {
+		return 0
+	}
+	if l.kind == Sudden || l.width <= 0 || l.t >= l.position+l.width {
+		return 1
+	}
+	return float64(l.t-l.position) / float64(l.width)
+}
+
+// observe stores the instance in its class reservoir (pre-transform, so
+// anchors always describe the classes' genuine regions).
+func (l *LocalDriftInjector) observe(in Instance) {
+	k := in.Y
+	if k < 0 || k >= len(l.reservoir) {
+		return
+	}
+	if len(l.reservoir[k]) < localDriftReservoir {
+		l.reservoir[k] = append(l.reservoir[k], in.Clone())
+		return
+	}
+	l.reservoir[k][l.resPos[k]] = in.Clone()
+	l.resPos[k] = (l.resPos[k] + 1) % localDriftReservoir
+}
+
+// Next emits the next instance, relocating it when its class has drifted.
+func (l *LocalDriftInjector) Next() Instance {
+	a := l.progress()
+	l.t++
+	in := l.base.Next()
+	l.observe(in)
+	if a == 0 || !l.classes[in.Y] {
+		return in
+	}
+	if l.kind == Gradual && a < 1 {
+		// Oscillate between old and new concept.
+		if l.rng.Float64() >= a {
+			return in
+		}
+		a = 1
+	}
+	out := in.Clone()
+	tgt := l.target[in.Y]
+	if res := l.reservoir[tgt]; len(res) > 0 {
+		// Relocate toward the target class's region plus the class's fixed
+		// offset: inside the invaded margin, but re-separable.
+		anchor := res[l.rng.Intn(len(res))]
+		off := l.offset[in.Y]
+		for i := range out.X {
+			invaded := l.Mix*out.X[i] + (1-l.Mix)*anchor.X[i] + off[i]
+			out.X[i] = out.X[i] + a*(invaded-out.X[i])
+		}
+		return out
+	}
+	// Reservoir cold (possible only in the first instants): fall back to a
+	// bounded affine displacement.
+	span := featureSpan(l.base.Schema())
+	for i := range out.X {
+		target := out.X[i]*l.scale[i] + l.shift[i]*span[i]
+		out.X[i] = out.X[i] + a*(target-out.X[i])
+	}
+	return out
+}
+
+// Restart rewinds the injector clock and the base stream.
+func (l *LocalDriftInjector) Restart() {
+	l.t = 0
+	l.rng = rand.New(rand.NewSource(l.seed))
+	if r, ok := l.base.(Restartable); ok {
+		r.Restart()
+	}
+}
+
+// featureSpan returns per-feature spans from the schema bounds, defaulting
+// to 1 when bounds are unknown.
+func featureSpan(sc Schema) []float64 {
+	span := make([]float64, sc.Features)
+	for i := range span {
+		span[i] = 1
+		if sc.Min != nil && sc.Max != nil {
+			if d := sc.Max[i] - sc.Min[i]; d > 0 {
+				span[i] = d
+			}
+		}
+	}
+	return span
+}

@@ -1,0 +1,251 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ImbalanceSchedule yields the target class-probability vector at stream
+// position t. Implementations model static skew, dynamically evolving
+// imbalance ratios, and class-role switching (Scenarios 1-3 of the paper).
+type ImbalanceSchedule interface {
+	// Distribution returns the class sampling probabilities at position t.
+	// The returned slice must sum to 1 and must not be mutated by callers.
+	Distribution(t int) []float64
+}
+
+// StaticSkew is a constant class distribution with a geometric profile: the
+// largest class is IR times more frequent than the smallest, with the
+// remaining classes log-linearly interpolated — mirroring how the paper
+// reports "the ratio between the biggest and the smallest class".
+type StaticSkew struct {
+	dist []float64
+}
+
+// NewStaticSkew builds a constant geometric skew across classes with the
+// given maximum imbalance ratio (largest/smallest). IR <= 1 yields a balanced
+// stream.
+func NewStaticSkew(classes int, ir float64) *StaticSkew {
+	return &StaticSkew{dist: geometricSkew(classes, ir)}
+}
+
+// Distribution returns the constant class distribution.
+func (s *StaticSkew) Distribution(int) []float64 { return s.dist }
+
+// geometricSkew produces probabilities p_k proportional to ir^(-k/(K-1)),
+// so p_0/p_{K-1} == ir exactly.
+func geometricSkew(classes int, ir float64) []float64 {
+	if ir < 1 {
+		ir = 1
+	}
+	p := make([]float64, classes)
+	sum := 0.0
+	for k := 0; k < classes; k++ {
+		e := 0.0
+		if classes > 1 {
+			e = float64(k) / float64(classes-1)
+		}
+		p[k] = math.Pow(ir, -e)
+		sum += p[k]
+	}
+	for k := range p {
+		p[k] /= sum
+	}
+	return p
+}
+
+// DynamicSkew oscillates the imbalance ratio between IRLow and IRHigh with a
+// given period, so the stream both sharpens and relaxes its skew over time —
+// the "dynamic imbalance ratio that both increases and decreases over time"
+// used for the artificial benchmarks.
+type DynamicSkew struct {
+	classes int
+	irLow   float64
+	irHigh  float64
+	period  int
+	// RoleSwitchEvery, when positive, rotates class roles (majority becomes
+	// minority and vice versa) each time that many instances pass
+	// (Scenario 2/3).
+	RoleSwitchEvery int
+
+	cache   []float64
+	cachedT int
+}
+
+// NewDynamicSkew builds an oscillating skew schedule.
+func NewDynamicSkew(classes int, irLow, irHigh float64, period int) *DynamicSkew {
+	if period <= 0 {
+		period = 1
+	}
+	return &DynamicSkew{classes: classes, irLow: irLow, irHigh: irHigh, period: period, cachedT: -1}
+}
+
+// Distribution returns the class distribution at position t: a geometric
+// skew whose IR follows a cosine wave, with optional role rotation.
+func (dn *DynamicSkew) Distribution(t int) []float64 {
+	if t == dn.cachedT && dn.cache != nil {
+		return dn.cache
+	}
+	phase := 2 * math.Pi * float64(t) / float64(dn.period)
+	ir := dn.irLow + (dn.irHigh-dn.irLow)*(0.5-0.5*math.Cos(phase))
+	p := geometricSkew(dn.classes, ir)
+	if dn.RoleSwitchEvery > 0 {
+		rot := (t / dn.RoleSwitchEvery) % dn.classes
+		if rot != 0 {
+			q := make([]float64, dn.classes)
+			for k := 0; k < dn.classes; k++ {
+				q[(k+rot)%dn.classes] = p[k]
+			}
+			p = q
+		}
+	}
+	dn.cache, dn.cachedT = p, t
+	return p
+}
+
+// ImbalanceWrapper reshapes the class distribution of any base stream to
+// follow an ImbalanceSchedule. It draws the desired label from the schedule
+// and serves an instance of that class, buffering instances of other classes
+// encountered while searching (so no base instance is wasted).
+type ImbalanceWrapper struct {
+	base     Stream
+	schedule ImbalanceSchedule
+	buffers  []Batch
+	maxBuf   int
+	t        int
+	rng      *rand.Rand
+	seed     int64
+	// pullCap bounds how many base instances are scanned per emission to
+	// keep worst-case latency finite on adversarial bases.
+	pullCap int
+}
+
+// NewImbalanceWrapper wraps base with the given schedule.
+//
+// Buffers are deliberately small and freshest-first: a large FIFO buffer
+// would serve minority classes instances generated long ago, hiding concept
+// drift from downstream consumers for tens of thousands of emissions.
+func NewImbalanceWrapper(base Stream, schedule ImbalanceSchedule, seed int64) *ImbalanceWrapper {
+	classes := base.Schema().Classes
+	return &ImbalanceWrapper{
+		base:     base,
+		schedule: schedule,
+		buffers:  make([]Batch, classes),
+		maxBuf:   8,
+		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		pullCap:  4096,
+	}
+}
+
+// Schema returns the base schema.
+func (w *ImbalanceWrapper) Schema() Schema { return w.base.Schema() }
+
+// TrueDrifts forwards the ground-truth drifts of the wrapped stream.
+func (w *ImbalanceWrapper) TrueDrifts() []DriftEvent {
+	if td, ok := w.base.(interface{ TrueDrifts() []DriftEvent }); ok {
+		return td.TrueDrifts()
+	}
+	return nil
+}
+
+// Next emits an instance whose label follows the schedule's distribution at
+// the current position.
+func (w *ImbalanceWrapper) Next() Instance {
+	dist := w.schedule.Distribution(w.t)
+	w.t++
+	want := sampleCategorical(w.rng, dist)
+	// Serve the freshest buffered instance when available (LIFO keeps the
+	// served concept current).
+	if n := len(w.buffers[want]); n > 0 {
+		in := w.buffers[want][n-1]
+		w.buffers[want] = w.buffers[want][:n-1]
+		return in
+	}
+	// Pull from the base until the desired class appears, buffering the rest
+	// (newest kept, oldest dropped).
+	for i := 0; i < w.pullCap; i++ {
+		in := w.base.Next()
+		if in.Y == want {
+			return in
+		}
+		buf := w.buffers[in.Y]
+		if len(buf) >= w.maxBuf {
+			copy(buf, buf[1:])
+			buf = buf[:len(buf)-1]
+		}
+		w.buffers[in.Y] = append(buf, in)
+	}
+	// The base failed to produce the class within the cap (possible when the
+	// base itself is skewed); recycle a buffered instance of the wanted class
+	// if any, else fall back to whatever the base emits.
+	return w.base.Next()
+}
+
+// Restart rewinds the wrapper, clearing buffers and the position clock.
+func (w *ImbalanceWrapper) Restart() {
+	w.t = 0
+	w.rng = rand.New(rand.NewSource(w.seed))
+	for i := range w.buffers {
+		w.buffers[i] = nil
+	}
+	if r, ok := w.base.(Restartable); ok {
+		r.Restart()
+	}
+}
+
+// sampleCategorical draws an index from the given probability vector.
+func sampleCategorical(rng *rand.Rand, p []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Limit caps a stream at n instances; Next panics past the limit. It is a
+// convenience for experiment runners that must not overrun generated
+// ground-truth schedules.
+type Limit struct {
+	base Stream
+	n    int
+	t    int
+}
+
+// NewLimit wraps base with a hard instance budget.
+func NewLimit(base Stream, n int) *Limit { return &Limit{base: base, n: n} }
+
+// Schema returns the base schema.
+func (l *Limit) Schema() Schema { return l.base.Schema() }
+
+// Remaining reports how many instances may still be drawn.
+func (l *Limit) Remaining() int { return l.n - l.t }
+
+// Next returns the next instance while the budget lasts.
+func (l *Limit) Next() Instance {
+	if l.t >= l.n {
+		panic("stream: Limit exhausted")
+	}
+	l.t++
+	return l.base.Next()
+}
+
+// TrueDrifts forwards ground truth from the wrapped stream.
+func (l *Limit) TrueDrifts() []DriftEvent {
+	if td, ok := l.base.(interface{ TrueDrifts() []DriftEvent }); ok {
+		return td.TrueDrifts()
+	}
+	return nil
+}
+
+// Restart rewinds the budget and the base stream.
+func (l *Limit) Restart() {
+	l.t = 0
+	if r, ok := l.base.(Restartable); ok {
+		r.Restart()
+	}
+}

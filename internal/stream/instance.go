@@ -1,0 +1,115 @@
+// Package stream defines the data-stream model used throughout the
+// repository: instances, schemas, the Stream interface, and wrappers that
+// impose concept drift, class imbalance, and class-role dynamics on any
+// underlying generator.
+//
+// The model follows Section II of Korycki & Krawczyk (ICDE 2021): a stream is
+// a sequence of instances S_j ~ p_j(x, y) drawn from a d-dimensional feature
+// space with a class label, where the joint distribution may change over time
+// (concept drift) in the sudden, gradual, or incremental fashion of Eq. 2-5.
+package stream
+
+import "fmt"
+
+// Instance is a single labeled observation drawn from a data stream.
+// Features are continuous; categorical attributes of the original domains are
+// integer-coded into the same float slice (the detectors and classifier treat
+// every attribute numerically, as MOA's filtered streams do).
+type Instance struct {
+	// X holds the d feature values.
+	X []float64
+	// Y is the class label in [0, Classes).
+	Y int
+	// Weight is an optional importance weight; generators emit 1.
+	Weight float64
+}
+
+// Clone returns a deep copy of the instance.
+func (in Instance) Clone() Instance {
+	x := make([]float64, len(in.X))
+	copy(x, in.X)
+	return Instance{X: x, Y: in.Y, Weight: in.Weight}
+}
+
+// Schema describes the shape of a stream: its dimensionality and class count,
+// plus optional per-feature bounds used for online min-max scaling.
+type Schema struct {
+	// Features is the dimensionality d of the feature space.
+	Features int
+	// Classes is the number of distinct labels Z.
+	Classes int
+	// Min and Max, when non-nil, give static per-feature bounds. Consumers
+	// that need [0,1] inputs (e.g. the RBM visible layer) fall back to online
+	// estimation when they are nil.
+	Min, Max []float64
+}
+
+// Validate reports whether the schema is internally consistent.
+func (s Schema) Validate() error {
+	if s.Features <= 0 {
+		return fmt.Errorf("stream: schema needs at least one feature, got %d", s.Features)
+	}
+	if s.Classes < 2 {
+		return fmt.Errorf("stream: schema needs at least two classes, got %d", s.Classes)
+	}
+	if s.Min != nil && len(s.Min) != s.Features {
+		return fmt.Errorf("stream: schema Min has %d entries for %d features", len(s.Min), s.Features)
+	}
+	if s.Max != nil && len(s.Max) != s.Features {
+		return fmt.Errorf("stream: schema Max has %d entries for %d features", len(s.Max), s.Features)
+	}
+	return nil
+}
+
+// Stream is a (conceptually unbounded) source of instances.
+//
+// Next returns the next instance. Implementations are single-goroutine
+// iterators: they own their random state and are not safe for concurrent use.
+type Stream interface {
+	// Schema describes the instances the stream emits. It is constant for the
+	// lifetime of the stream.
+	Schema() Schema
+	// Next produces the next instance.
+	Next() Instance
+}
+
+// Restartable is implemented by streams that can be rewound to their initial
+// state (same seed, same position zero).
+type Restartable interface {
+	Restart()
+}
+
+// Batch is a mini-batch of consecutive instances.
+type Batch []Instance
+
+// Take reads n instances from s into a fresh batch.
+func Take(s Stream, n int) Batch {
+	b := make(Batch, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, s.Next())
+	}
+	return b
+}
+
+// ClassCounts tallies the labels present in the batch given the total class
+// count.
+func (b Batch) ClassCounts(classes int) []int {
+	counts := make([]int, classes)
+	for _, in := range b {
+		if in.Y >= 0 && in.Y < classes {
+			counts[in.Y]++
+		}
+	}
+	return counts
+}
+
+// ByClass splits the batch into per-class sub-batches.
+func (b Batch) ByClass(classes int) []Batch {
+	out := make([]Batch, classes)
+	for _, in := range b {
+		if in.Y >= 0 && in.Y < classes {
+			out[in.Y] = append(out[in.Y], in)
+		}
+	}
+	return out
+}

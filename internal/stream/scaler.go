@@ -1,0 +1,67 @@
+package stream
+
+// Scaler performs online min-max scaling of feature vectors into [0, 1].
+// When the schema carries static bounds those are used as the starting
+// estimates; otherwise bounds are learned from the data seen so far, which is
+// the standard streaming practice (MOA's normalisation filter behaves the
+// same way).
+type Scaler struct {
+	min, max []float64
+	seen     bool
+}
+
+// NewScaler builds a scaler for the given schema.
+func NewScaler(sc Schema) *Scaler {
+	s := &Scaler{
+		min: make([]float64, sc.Features),
+		max: make([]float64, sc.Features),
+	}
+	if sc.Min != nil && sc.Max != nil {
+		copy(s.min, sc.Min)
+		copy(s.max, sc.Max)
+		s.seen = true
+	}
+	return s
+}
+
+// Observe widens the bounds to cover x.
+func (s *Scaler) Observe(x []float64) {
+	if !s.seen {
+		copy(s.min, x)
+		copy(s.max, x)
+		s.seen = true
+		return
+	}
+	for i, v := range x {
+		if v < s.min[i] {
+			s.min[i] = v
+		}
+		if v > s.max[i] {
+			s.max[i] = v
+		}
+	}
+}
+
+// Scale writes the scaled version of x into dst (allocating when dst is nil
+// or too short) and returns it. Values are clamped to [0, 1].
+func (s *Scaler) Scale(x []float64, dst []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	for i, v := range x {
+		span := s.max[i] - s.min[i]
+		if span <= 0 {
+			dst[i] = 0.5
+			continue
+		}
+		u := (v - s.min[i]) / span
+		if u < 0 {
+			u = 0
+		} else if u > 1 {
+			u = 1
+		}
+		dst[i] = u
+	}
+	return dst
+}

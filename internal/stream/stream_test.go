@@ -1,0 +1,441 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// constStream emits a fixed feature vector with labels cycling through a
+// weighted pattern; used as a deterministic test base.
+type constStream struct {
+	schema Schema
+	rng    *rand.Rand
+	seed   int64
+	// classProb drives label sampling (uniform when nil).
+	classProb []float64
+}
+
+func newConstStream(features, classes int, seed int64) *constStream {
+	mn := make([]float64, features)
+	mx := make([]float64, features)
+	for i := range mx {
+		mx[i] = 1
+	}
+	return &constStream{
+		schema: Schema{Features: features, Classes: classes, Min: mn, Max: mx},
+		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+	}
+}
+
+func (c *constStream) Schema() Schema { return c.schema }
+
+func (c *constStream) Next() Instance {
+	x := make([]float64, c.schema.Features)
+	for i := range x {
+		x[i] = c.rng.Float64()
+	}
+	y := c.rng.Intn(c.schema.Classes)
+	if c.classProb != nil {
+		u := c.rng.Float64()
+		acc := 0.0
+		for k, p := range c.classProb {
+			acc += p
+			if u < acc {
+				y = k
+				break
+			}
+		}
+	}
+	return Instance{X: x, Y: y, Weight: 1}
+}
+
+func (c *constStream) Restart() { c.rng = rand.New(rand.NewSource(c.seed)) }
+
+func TestSchemaValidate(t *testing.T) {
+	good := Schema{Features: 3, Classes: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schema{
+		{Features: 0, Classes: 2},
+		{Features: 3, Classes: 1},
+		{Features: 3, Classes: 2, Min: []float64{0}},
+		{Features: 3, Classes: 2, Max: []float64{0, 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schema %d should fail validation", i)
+		}
+	}
+}
+
+func TestInstanceClone(t *testing.T) {
+	in := Instance{X: []float64{1, 2}, Y: 1, Weight: 1}
+	cp := in.Clone()
+	cp.X[0] = 99
+	if in.X[0] != 1 {
+		t.Fatal("clone must not share the feature slice")
+	}
+}
+
+func TestBatchHelpers(t *testing.T) {
+	s := newConstStream(2, 3, 1)
+	b := Take(s, 300)
+	if len(b) != 300 {
+		t.Fatalf("take produced %d", len(b))
+	}
+	counts := b.ClassCounts(3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 300 {
+		t.Fatalf("class counts sum to %d", total)
+	}
+	split := b.ByClass(3)
+	for k, sub := range split {
+		if len(sub) != counts[k] {
+			t.Fatalf("class %d split size %d, counts say %d", k, len(sub), counts[k])
+		}
+		for _, in := range sub {
+			if in.Y != k {
+				t.Fatalf("instance with label %d in class-%d bucket", in.Y, k)
+			}
+		}
+	}
+}
+
+func TestDriftKindString(t *testing.T) {
+	if Sudden.String() != "sudden" || Gradual.String() != "gradual" || Incremental.String() != "incremental" {
+		t.Fatal("drift kind names wrong")
+	}
+	if DriftKind(99).String() != "unknown" {
+		t.Fatal("unknown drift kind should say unknown")
+	}
+}
+
+func TestDriftEventAffects(t *testing.T) {
+	global := DriftEvent{Position: 10}
+	if !global.IsGlobal() || !global.Affects(3) {
+		t.Fatal("global event should affect every class")
+	}
+	local := DriftEvent{Position: 10, Classes: []int{1, 2}}
+	if local.IsGlobal() || !local.Affects(1) || local.Affects(0) {
+		t.Fatal("local event affecting wrong classes")
+	}
+}
+
+func TestDriftStreamSuddenSwitchesSource(t *testing.T) {
+	// Distinguish sources by the label distribution.
+	before := newConstStream(2, 2, 1)
+	before.classProb = []float64{1, 0} // always class 0
+	after := newConstStream(2, 2, 2)
+	after.classProb = []float64{0, 1} // always class 1
+	d := NewDriftStream(before, after, Sudden, 100, 0, 3)
+	for i := 0; i < 100; i++ {
+		if in := d.Next(); in.Y != 0 {
+			t.Fatalf("pre-drift instance %d has label %d", i, in.Y)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if in := d.Next(); in.Y != 1 {
+			t.Fatalf("post-drift instance %d has label %d", i, in.Y)
+		}
+	}
+}
+
+func TestDriftStreamGradualMixes(t *testing.T) {
+	before := newConstStream(2, 2, 1)
+	before.classProb = []float64{1, 0}
+	after := newConstStream(2, 2, 2)
+	after.classProb = []float64{0, 1}
+	d := NewDriftStream(before, after, Gradual, 100, 400, 3)
+	// Early transition: mostly old concept; late transition: mostly new.
+	early, late := 0, 0
+	for i := 0; i < 600; i++ {
+		in := d.Next()
+		if i >= 100 && i < 200 && in.Y == 1 {
+			early++
+		}
+		if i >= 400 && i < 500 && in.Y == 1 {
+			late++
+		}
+	}
+	if early >= late {
+		t.Fatalf("gradual drift should ramp: early=%d late=%d", early, late)
+	}
+}
+
+func TestDriftStreamRestart(t *testing.T) {
+	before := newConstStream(2, 2, 1)
+	after := newConstStream(2, 2, 2)
+	d := NewDriftStream(before, after, Sudden, 50, 0, 3)
+	first := make([]Instance, 80)
+	for i := range first {
+		first[i] = d.Next()
+	}
+	d.Restart()
+	for i := range first {
+		in := d.Next()
+		if in.Y != first[i].Y {
+			t.Fatalf("restart not deterministic at %d", i)
+		}
+		for j := range in.X {
+			if in.X[j] != first[i].X[j] {
+				t.Fatalf("restart features differ at %d", i)
+			}
+		}
+	}
+}
+
+func TestMultiDriftStreamPanicsOnBadArgs(t *testing.T) {
+	s := newConstStream(2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched positions")
+		}
+	}()
+	NewMultiDriftStream([]Stream{s, s, s}, Sudden, []int{10}, 0, 1)
+}
+
+func TestMultiDriftStreamSegments(t *testing.T) {
+	a := newConstStream(2, 3, 1)
+	a.classProb = []float64{1, 0, 0}
+	b := newConstStream(2, 3, 2)
+	b.classProb = []float64{0, 1, 0}
+	c := newConstStream(2, 3, 3)
+	c.classProb = []float64{0, 0, 1}
+	m := NewMultiDriftStream([]Stream{a, b, c}, Sudden, []int{100, 200}, 0, 4)
+	events := m.TrueDrifts()
+	if len(events) != 2 || events[0].Position != 100 || events[1].Position != 200 {
+		t.Fatalf("events = %+v", events)
+	}
+	for i := 0; i < 300; i++ {
+		in := m.Next()
+		want := i / 100
+		if in.Y != want {
+			t.Fatalf("instance %d from segment %d, want %d", i, in.Y, want)
+		}
+	}
+}
+
+func TestLocalDriftInjectorOnlyAffectsChosenClasses(t *testing.T) {
+	base := newConstStream(4, 3, 5)
+	l := NewLocalDriftInjector(base, []int{2}, Sudden, 200, 0, 6)
+	// Collect post-drift instances; class 0/1 must be untouched relative to
+	// the base stream's feature distribution (uniform [0,1]); class 2 must
+	// leave it.
+	var out2 []float64
+	for i := 0; i < 5000; i++ {
+		in := l.Next()
+		if i < 200 {
+			continue
+		}
+		if in.Y == 2 {
+			out2 = append(out2, in.X[0])
+		} else {
+			if in.X[0] < 0 || in.X[0] > 1 {
+				t.Fatalf("unaffected class escaped the unit cube: %v", in.X[0])
+			}
+		}
+	}
+	if len(out2) == 0 {
+		t.Fatal("no drifted-class instances seen")
+	}
+	// The drifted class's feature distribution should differ from uniform:
+	// check the mean moved away from 0.5 or spread shrank.
+	mean, meanSq := 0.0, 0.0
+	for _, v := range out2 {
+		mean += v
+		meanSq += v * v
+	}
+	mean /= float64(len(out2))
+	variance := meanSq/float64(len(out2)) - mean*mean
+	if math.Abs(mean-0.5) < 0.02 && math.Abs(variance-1.0/12.0) < 0.01 {
+		t.Fatalf("drifted class distribution unchanged: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestLocalDriftInjectorGroundTruth(t *testing.T) {
+	base := newConstStream(4, 3, 5)
+	inner := NewLocalDriftInjector(base, []int{1}, Sudden, 100, 0, 6)
+	outer := NewLocalDriftInjector(inner, []int{2}, Sudden, 200, 0, 7)
+	events := outer.TrueDrifts()
+	if len(events) != 2 {
+		t.Fatalf("chained injectors should merge ground truth, got %d", len(events))
+	}
+	if events[0].Position != 100 || events[1].Position != 200 {
+		t.Fatalf("positions = %v %v", events[0].Position, events[1].Position)
+	}
+}
+
+func TestGeometricSkewRatios(t *testing.T) {
+	p := geometricSkew(5, 100)
+	if math.Abs(p[0]/p[4]-100) > 1e-9 {
+		t.Fatalf("IR = %v, want 100", p[0]/p[4])
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	approxStream(t, sum, 1, 1e-12, "skew sums to 1")
+	// IR below 1 degenerates to balanced.
+	p = geometricSkew(4, 0.5)
+	for _, v := range p {
+		approxStream(t, v, 0.25, 1e-12, "balanced")
+	}
+}
+
+func TestStaticSkewDistribution(t *testing.T) {
+	s := NewStaticSkew(3, 10)
+	d1 := s.Distribution(0)
+	d2 := s.Distribution(9999)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("static skew should not change over time")
+		}
+	}
+}
+
+func TestDynamicSkewOscillates(t *testing.T) {
+	dn := NewDynamicSkew(4, 10, 100, 1000)
+	ir := func(t int) float64 {
+		p := dn.Distribution(t)
+		max, min := p[0], p[0]
+		for _, v := range p {
+			if v > max {
+				max = v
+			}
+			if v < min {
+				min = v
+			}
+		}
+		return max / min
+	}
+	atStart := ir(0)
+	atPeak := ir(500)
+	if atPeak <= atStart*2 {
+		t.Fatalf("IR should rise toward the peak: start=%v peak=%v", atStart, atPeak)
+	}
+	backDown := ir(1000)
+	if math.Abs(backDown-atStart) > atStart*0.2 {
+		t.Fatalf("IR should fall back: start=%v end=%v", atStart, backDown)
+	}
+}
+
+func TestDynamicSkewRoleSwitch(t *testing.T) {
+	dn := NewDynamicSkew(3, 50, 50, 1000)
+	dn.RoleSwitchEvery = 100
+	before := append([]float64(nil), dn.Distribution(0)...)
+	after := append([]float64(nil), dn.Distribution(100)...)
+	// After one rotation, the former majority probability moves to the next
+	// class index.
+	approxStream(t, after[1], before[0], 1e-9, "role rotation")
+}
+
+func TestImbalanceWrapperHitsTargetDistribution(t *testing.T) {
+	base := newConstStream(3, 4, 7)
+	w := NewImbalanceWrapper(base, NewStaticSkew(4, 20), 8)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[w.Next().Y]++
+	}
+	want := geometricSkew(4, 20)
+	for k := range counts {
+		got := float64(counts[k]) / n
+		if math.Abs(got-want[k]) > 0.02 {
+			t.Fatalf("class %d frequency %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestImbalanceWrapperRestart(t *testing.T) {
+	base := newConstStream(3, 3, 7)
+	w := NewImbalanceWrapper(base, NewStaticSkew(3, 5), 8)
+	first := make([]int, 200)
+	for i := range first {
+		first[i] = w.Next().Y
+	}
+	w.Restart()
+	for i := range first {
+		if got := w.Next().Y; got != first[i] {
+			t.Fatalf("restart not deterministic at %d: %d vs %d", i, got, first[i])
+		}
+	}
+}
+
+func TestLimitPanicsPastBudget(t *testing.T) {
+	base := newConstStream(2, 2, 1)
+	l := NewLimit(base, 3)
+	for i := 0; i < 3; i++ {
+		l.Next()
+	}
+	if l.Remaining() != 0 {
+		t.Fatalf("remaining = %d", l.Remaining())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic past the limit")
+		}
+	}()
+	l.Next()
+}
+
+func TestScalerStaticBounds(t *testing.T) {
+	sc := NewScaler(Schema{Features: 2, Classes: 2, Min: []float64{0, -10}, Max: []float64{1, 10}})
+	out := sc.Scale([]float64{0.5, 0}, nil)
+	approxStream(t, out[0], 0.5, 1e-12, "scaled mid")
+	approxStream(t, out[1], 0.5, 1e-12, "scaled mid 2")
+	out = sc.Scale([]float64{2, 20}, out)
+	approxStream(t, out[0], 1, 1e-12, "clamped high")
+	approxStream(t, out[1], 1, 1e-12, "clamped high 2")
+}
+
+func TestScalerOnlineLearning(t *testing.T) {
+	sc := NewScaler(Schema{Features: 1, Classes: 2})
+	sc.Observe([]float64{10})
+	sc.Observe([]float64{20})
+	out := sc.Scale([]float64{15}, nil)
+	approxStream(t, out[0], 0.5, 1e-12, "online mid")
+	// Constant feature maps to 0.5.
+	sc2 := NewScaler(Schema{Features: 1, Classes: 2})
+	sc2.Observe([]float64{3})
+	out = sc2.Scale([]float64{3}, nil)
+	approxStream(t, out[0], 0.5, 1e-12, "constant feature")
+}
+
+func TestScalerOutputInUnitRangeProperty(t *testing.T) {
+	sc := NewScaler(Schema{Features: 3, Classes: 2})
+	f := func(a, b, c float64) bool {
+		x := []float64{sanitize(a), sanitize(b), sanitize(c)}
+		sc.Observe(x)
+		out := sc.Scale(x, nil)
+		for _, v := range out {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e9)
+}
+
+func approxStream(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}

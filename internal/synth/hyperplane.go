@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"rbmim/internal/stream"
+)
+
+// Hyperplane is the multi-class rotating-hyperplane generator. Each class k
+// owns a weight vector w_k; an instance x ~ U[0,1]^d is labeled
+// argmax_k (w_k . x + b_k). The concept drifts by rotating the weight
+// vectors: continuously (DriftSpeed, the classic MOA behaviour giving
+// gradual/incremental streams) and/or by morphing toward a target concept
+// through SetProgress (stream.Interpolatable), which DriftStream uses to
+// realize true incremental drift with intermediate concepts (Eq. 3).
+type Hyperplane struct {
+	cfg Config
+	// DriftSpeed is the per-instance magnitude of autonomous weight
+	// rotation (0 = static concept).
+	DriftSpeed float64
+
+	rng     *rand.Rand
+	w       [][]float64 // current weights, [classes][features]
+	b       []float64
+	w0, w1  [][]float64 // endpoints for SetProgress morphing
+	b0, b1  []float64
+	dir     [][]float64 // autonomous drift direction
+	mixed   bool
+	scratch []float64
+}
+
+// NewHyperplane builds a hyperplane concept from the config. driftSpeed sets
+// the autonomous rotation magnitude per instance.
+func NewHyperplane(cfg Config, driftSpeed float64) (*Hyperplane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hyperplane{cfg: cfg, DriftSpeed: driftSpeed}
+	h.init()
+	return h, nil
+}
+
+func (h *Hyperplane) init() {
+	h.rng = rand.New(rand.NewSource(h.cfg.Seed))
+	K, d := h.cfg.Classes, h.cfg.Features
+	h.w = randMatrix(h.rng, K, d, -1, 1)
+	h.b = randVector(h.rng, K, -0.2, 0.2)
+	h.w0 = cloneMatrix(h.w)
+	h.b0 = append([]float64(nil), h.b...)
+	// Target concept for interpolation: an independently random rotation.
+	h.w1 = randMatrix(h.rng, K, d, -1, 1)
+	h.b1 = randVector(h.rng, K, -0.2, 0.2)
+	h.dir = randMatrix(h.rng, K, d, -1, 1)
+	h.mixed = false
+	h.scratch = make([]float64, d)
+}
+
+// Schema describes the unit-cube feature space.
+func (h *Hyperplane) Schema() stream.Schema {
+	return unitSchema(h.cfg.Features, h.cfg.Classes)
+}
+
+// SetProgress morphs the concept linearly between its initial weights and an
+// independent target concept; alpha in [0,1].
+func (h *Hyperplane) SetProgress(alpha float64) {
+	if alpha < 0 {
+		alpha = 0
+	} else if alpha > 1 {
+		alpha = 1
+	}
+	for k := range h.w {
+		for i := range h.w[k] {
+			h.w[k][i] = (1-alpha)*h.w0[k][i] + alpha*h.w1[k][i]
+		}
+		h.b[k] = (1-alpha)*h.b0[k] + alpha*h.b1[k]
+	}
+	h.mixed = true
+}
+
+// Next draws x uniformly from the unit cube and labels it by the winning
+// class hyperplane, applying autonomous rotation and label noise.
+func (h *Hyperplane) Next() stream.Instance {
+	d := h.cfg.Features
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = h.rng.Float64()
+	}
+	best, bestV := 0, math.Inf(-1)
+	for k := range h.w {
+		v := h.b[k]
+		for i := range x {
+			v += h.w[k][i] * x[i]
+		}
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	if h.DriftSpeed > 0 {
+		for k := range h.w {
+			for i := range h.w[k] {
+				h.w[k][i] += h.DriftSpeed * h.dir[k][i]
+				// Reflect to keep weights bounded.
+				if h.w[k][i] > 1.5 || h.w[k][i] < -1.5 {
+					h.dir[k][i] = -h.dir[k][i]
+				}
+			}
+		}
+	}
+	y := maybeFlip(h.rng, best, h.cfg.Classes, h.cfg.Noise)
+	return stream.Instance{X: x, Y: y, Weight: 1}
+}
+
+// Restart re-seeds the generator to its initial state.
+func (h *Hyperplane) Restart() { h.init() }
+
+func randMatrix(rng *rand.Rand, rows, cols int, lo, hi float64) [][]float64 {
+	m := make([][]float64, rows)
+	for r := range m {
+		m[r] = randVector(rng, cols, lo, hi)
+	}
+	return m
+}
+
+func randVector(rng *rand.Rand, n int, lo, hi float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return v
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package synth
+
+import (
+	"math/rand"
+
+	"rbmim/internal/stream"
+)
+
+// RandomTree labels uniform random feature vectors by a randomly grown
+// binary decision tree whose leaves carry class labels (round-robin across
+// classes so every class is reachable). A new seed grows a new tree — a new
+// concept — so sudden drift is composed via stream.DriftStream, matching the
+// paper's RandomTree5/10/20 streams.
+type RandomTree struct {
+	cfg Config
+	// Depth is the maximum tree depth (default 2 + log2(classes)).
+	Depth int
+
+	rng  *rand.Rand
+	root *rtNode
+	leaf int // round-robin label assignment counter
+}
+
+type rtNode struct {
+	feature     int
+	threshold   float64
+	label       int
+	left, right *rtNode
+}
+
+// NewRandomTree builds a random-tree concept. depth <= 0 picks a default
+// deep enough to host every class.
+func NewRandomTree(cfg Config, depth int) (*RandomTree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if depth <= 0 {
+		depth = 3
+		for 1<<depth < 2*cfg.Classes {
+			depth++
+		}
+	}
+	t := &RandomTree{cfg: cfg, Depth: depth}
+	t.init()
+	return t, nil
+}
+
+func (t *RandomTree) init() {
+	t.rng = rand.New(rand.NewSource(t.cfg.Seed))
+	t.leaf = 0
+	t.root = t.grow(0)
+}
+
+func (t *RandomTree) grow(depth int) *rtNode {
+	if depth >= t.Depth || (depth > 2 && t.rng.Float64() < 0.15) {
+		n := &rtNode{label: t.leaf % t.cfg.Classes}
+		t.leaf++
+		return n
+	}
+	n := &rtNode{
+		feature:   t.rng.Intn(t.cfg.Features),
+		threshold: 0.1 + 0.8*t.rng.Float64(),
+	}
+	n.left = t.grow(depth + 1)
+	n.right = t.grow(depth + 1)
+	return n
+}
+
+// Schema describes the unit-cube feature space.
+func (t *RandomTree) Schema() stream.Schema {
+	return unitSchema(t.cfg.Features, t.cfg.Classes)
+}
+
+// Next draws x uniformly and labels it by tree traversal.
+func (t *RandomTree) Next() stream.Instance {
+	x := make([]float64, t.cfg.Features)
+	for i := range x {
+		x[i] = t.rng.Float64()
+	}
+	n := t.root
+	for n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	y := maybeFlip(t.rng, n.label, t.cfg.Classes, t.cfg.Noise)
+	return stream.Instance{X: x, Y: y, Weight: 1}
+}
+
+// Restart regrows the identical tree from the seed.
+func (t *RandomTree) Restart() { t.init() }

@@ -1,0 +1,129 @@
+package synth
+
+import (
+	"math/rand"
+
+	"rbmim/internal/stream"
+)
+
+// RBF is the multi-class radial-basis-function generator: every class owns
+// CentroidsPerClass Gaussian centroids inside the unit cube, and instances
+// are drawn by picking a class, picking one of its centroids by weight, and
+// sampling around it. A freshly seeded RBF is a new concept, so sudden drift
+// (the paper's RBF5/10/20 streams) is obtained by composing two instances
+// with stream.DriftStream.
+type RBF struct {
+	cfg Config
+	// CentroidsPerClass is the number of Gaussian components per class.
+	CentroidsPerClass int
+	// Spread is the standard deviation of each component (default 0.07).
+	Spread float64
+
+	rng       *rand.Rand
+	centroids [][][]float64 // [class][centroid][feature]
+	weights   [][]float64   // [class][centroid], normalized
+}
+
+// NewRBF builds an RBF concept. centroidsPerClass <= 0 defaults to 3;
+// spread <= 0 defaults to 0.07.
+func NewRBF(cfg Config, centroidsPerClass int, spread float64) (*RBF, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if centroidsPerClass <= 0 {
+		centroidsPerClass = 3
+	}
+	if spread <= 0 {
+		spread = 0.07
+	}
+	r := &RBF{cfg: cfg, CentroidsPerClass: centroidsPerClass, Spread: spread}
+	r.init()
+	return r, nil
+}
+
+func (r *RBF) init() {
+	r.rng = rand.New(rand.NewSource(r.cfg.Seed))
+	K, d, c := r.cfg.Classes, r.cfg.Features, r.CentroidsPerClass
+	r.centroids = make([][][]float64, K)
+	r.weights = make([][]float64, K)
+	for k := 0; k < K; k++ {
+		r.centroids[k] = make([][]float64, c)
+		r.weights[k] = make([]float64, c)
+		sum := 0.0
+		for j := 0; j < c; j++ {
+			cent := make([]float64, d)
+			for i := range cent {
+				cent[i] = r.rng.Float64()
+			}
+			r.centroids[k][j] = cent
+			w := 0.2 + r.rng.Float64()
+			r.weights[k][j] = w
+			sum += w
+		}
+		for j := range r.weights[k] {
+			r.weights[k][j] /= sum
+		}
+	}
+}
+
+// Schema describes the unit-cube feature space.
+func (r *RBF) Schema() stream.Schema {
+	return unitSchema(r.cfg.Features, r.cfg.Classes)
+}
+
+// Next draws a class uniformly, then a centroid by weight, then a Gaussian
+// sample around it (clamped to [0,1]).
+func (r *RBF) Next() stream.Instance {
+	k := r.rng.Intn(r.cfg.Classes)
+	j := r.pickCentroid(k)
+	cent := r.centroids[k][j]
+	x := make([]float64, r.cfg.Features)
+	for i := range x {
+		v := cent[i] + r.rng.NormFloat64()*r.Spread
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		x[i] = v
+	}
+	y := maybeFlip(r.rng, k, r.cfg.Classes, r.cfg.Noise)
+	return stream.Instance{X: x, Y: y, Weight: 1}
+}
+
+func (r *RBF) pickCentroid(k int) int {
+	u := r.rng.Float64()
+	acc := 0.0
+	for j, w := range r.weights[k] {
+		acc += w
+		if u < acc {
+			return j
+		}
+	}
+	return len(r.weights[k]) - 1
+}
+
+// MoveCentroids displaces every centroid of the given classes by a random
+// bounded offset, realizing a *local* real concept drift within this
+// generator (used by tests and the class-role demos; the benchmark harness
+// uses stream.LocalDriftInjector, which works across all generator families).
+func (r *RBF) MoveCentroids(classes []int, magnitude float64) {
+	for _, k := range classes {
+		if k < 0 || k >= r.cfg.Classes {
+			continue
+		}
+		for _, cent := range r.centroids[k] {
+			for i := range cent {
+				cent[i] += (r.rng.Float64()*2 - 1) * magnitude
+				if cent[i] < 0 {
+					cent[i] = 0
+				} else if cent[i] > 1 {
+					cent[i] = 1
+				}
+			}
+		}
+	}
+}
+
+// Restart re-seeds the generator to its initial concept.
+func (r *RBF) Restart() { r.init() }

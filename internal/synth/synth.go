@@ -1,0 +1,60 @@
+// Package synth provides multi-class re-implementations of the stream
+// generators used in the paper's artificial benchmarks: Agrawal, Hyperplane,
+// RBF, and RandomTree (plus a SEA extra), each parameterized by feature and
+// class count and fully seeded. Concepts are first-class: a generator can be
+// instantiated per concept and composed with stream.DriftStream /
+// stream.MultiDriftStream, and Hyperplane and Agrawal additionally support
+// in-place incremental morphing via stream.Interpolatable.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rbmim/internal/stream"
+)
+
+// Config carries the shared generator parameters.
+type Config struct {
+	// Features is the dimensionality d.
+	Features int
+	// Classes is the number of labels K.
+	Classes int
+	// Seed drives every random choice of the generator.
+	Seed int64
+	// Noise is the probability that an emitted label is replaced by a
+	// uniformly random one (label noise).
+	Noise float64
+}
+
+// Validate checks the shared parameters.
+func (c Config) Validate() error {
+	if c.Features < 1 {
+		return fmt.Errorf("synth: need at least 1 feature, got %d", c.Features)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("synth: need at least 2 classes, got %d", c.Classes)
+	}
+	if c.Noise < 0 || c.Noise > 1 {
+		return fmt.Errorf("synth: noise must be in [0,1], got %v", c.Noise)
+	}
+	return nil
+}
+
+// unitSchema returns a schema with [0,1] bounds on every feature.
+func unitSchema(features, classes int) stream.Schema {
+	mn := make([]float64, features)
+	mx := make([]float64, features)
+	for i := range mx {
+		mx[i] = 1
+	}
+	return stream.Schema{Features: features, Classes: classes, Min: mn, Max: mx}
+}
+
+// maybeFlip applies label noise.
+func maybeFlip(rng *rand.Rand, y, classes int, noise float64) int {
+	if noise > 0 && rng.Float64() < noise {
+		return rng.Intn(classes)
+	}
+	return y
+}

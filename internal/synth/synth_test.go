@@ -1,0 +1,392 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"rbmim/internal/stream"
+)
+
+func drawN(s stream.Stream, n int) []stream.Instance {
+	out := make([]stream.Instance, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func checkSchemaConformance(t *testing.T, s stream.Stream, n int) {
+	t.Helper()
+	sc := s.Schema()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range drawN(s, n) {
+		if len(in.X) != sc.Features {
+			t.Fatalf("instance %d: %d features, schema says %d", i, len(in.X), sc.Features)
+		}
+		if in.Y < 0 || in.Y >= sc.Classes {
+			t.Fatalf("instance %d: label %d out of [0,%d)", i, in.Y, sc.Classes)
+		}
+		for j, v := range in.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("instance %d feature %d is %v", i, j, v)
+			}
+		}
+	}
+}
+
+func checkRestartDeterminism(t *testing.T, s stream.Stream) {
+	t.Helper()
+	r, ok := s.(stream.Restartable)
+	if !ok {
+		t.Fatal("generator must be restartable")
+	}
+	r.Restart()
+	first := drawN(s, 50)
+	r.Restart()
+	second := drawN(s, 50)
+	for i := range first {
+		if first[i].Y != second[i].Y {
+			t.Fatalf("labels diverge at %d after restart", i)
+		}
+		for j := range first[i].X {
+			if first[i].X[j] != second[i].X[j] {
+				t.Fatalf("features diverge at %d after restart", i)
+			}
+		}
+	}
+}
+
+func checkClassCoverage(t *testing.T, s stream.Stream, n int) {
+	t.Helper()
+	sc := s.Schema()
+	seen := make([]bool, sc.Classes)
+	for _, in := range drawN(s, n) {
+		seen[in.Y] = true
+	}
+	for k, ok := range seen {
+		if !ok {
+			t.Fatalf("class %d never generated in %d draws", k, n)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Features: 0, Classes: 3},
+		{Features: 5, Classes: 1},
+		{Features: 5, Classes: 3, Noise: -0.1},
+		{Features: 5, Classes: 3, Noise: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if err := (Config{Features: 5, Classes: 3, Noise: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperplaneBasics(t *testing.T) {
+	h, err := NewHyperplane(Config{Features: 10, Classes: 4, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemaConformance(t, h, 500)
+	checkClassCoverage(t, h, 5000)
+	checkRestartDeterminism(t, h)
+}
+
+func TestHyperplaneInterpolationChangesConcept(t *testing.T) {
+	h, err := NewHyperplane(Config{Features: 10, Classes: 3, Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels of fixed inputs should change between alpha=0 and alpha=1 for
+	// a reasonable fraction of the space.
+	probes := make([][]float64, 300)
+	rngStream, _ := NewHyperplane(Config{Features: 10, Classes: 3, Seed: 99}, 0)
+	for i := range probes {
+		probes[i] = rngStream.Next().X
+	}
+	label := func(x []float64) int {
+		best, bestV := 0, math.Inf(-1)
+		for k := range h.w {
+			v := h.b[k]
+			for i := range x {
+				v += h.w[k][i] * x[i]
+			}
+			if v > bestV {
+				best, bestV = k, v
+			}
+		}
+		return best
+	}
+	h.SetProgress(0)
+	before := make([]int, len(probes))
+	for i, x := range probes {
+		before[i] = label(x)
+	}
+	h.SetProgress(1)
+	changed := 0
+	for i, x := range probes {
+		if label(x) != before[i] {
+			changed++
+		}
+	}
+	if changed < len(probes)/10 {
+		t.Fatalf("interpolated concept changed only %d/%d labels", changed, len(probes))
+	}
+}
+
+func TestHyperplaneAutonomousDrift(t *testing.T) {
+	h, err := NewHyperplane(Config{Features: 5, Classes: 2, Seed: 3}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := h.w[0][0]
+	drawN(h, 2000)
+	if h.w[0][0] == w0 {
+		t.Fatal("autonomous drift should move the weights")
+	}
+}
+
+func TestRBFBasics(t *testing.T) {
+	r, err := NewRBF(Config{Features: 8, Classes: 5, Seed: 4}, 3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemaConformance(t, r, 500)
+	checkClassCoverage(t, r, 2000)
+	checkRestartDeterminism(t, r)
+}
+
+func TestRBFInstancesClusterAroundCentroids(t *testing.T) {
+	r, err := NewRBF(Config{Features: 6, Classes: 2, Seed: 5}, 1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one centroid per class and tiny spread, the per-class variance
+	// must be far below the uniform variance (1/12).
+	sums := make([][]float64, 2)
+	sqs := make([][]float64, 2)
+	counts := make([]float64, 2)
+	for k := range sums {
+		sums[k] = make([]float64, 6)
+		sqs[k] = make([]float64, 6)
+	}
+	for _, in := range drawN(r, 4000) {
+		counts[in.Y]++
+		for j, v := range in.X {
+			sums[in.Y][j] += v
+			sqs[in.Y][j] += v * v
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 6; j++ {
+			mean := sums[k][j] / counts[k]
+			variance := sqs[k][j]/counts[k] - mean*mean
+			if variance > 0.01 {
+				t.Fatalf("class %d feature %d variance %v too high for spread 0.02", k, j, variance)
+			}
+		}
+	}
+}
+
+func TestRBFMoveCentroidsChangesDistribution(t *testing.T) {
+	r, err := NewRBF(Config{Features: 6, Classes: 3, Seed: 6}, 2, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(class int) []float64 {
+		sum := make([]float64, 6)
+		n := 0.0
+		for _, in := range drawN(r, 6000) {
+			if in.Y != class {
+				continue
+			}
+			n++
+			for j, v := range in.X {
+				sum[j] += v
+			}
+		}
+		for j := range sum {
+			sum[j] /= n
+		}
+		return sum
+	}
+	before := meanOf(1)
+	r.MoveCentroids([]int{1}, 0.5)
+	after := meanOf(1)
+	dist := 0.0
+	for j := range before {
+		d := before[j] - after[j]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 0.05 {
+		t.Fatalf("centroid move did not shift the class mean: %v", math.Sqrt(dist))
+	}
+}
+
+func TestRandomTreeBasics(t *testing.T) {
+	rt, err := NewRandomTree(Config{Features: 10, Classes: 6, Seed: 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemaConformance(t, rt, 500)
+	checkClassCoverage(t, rt, 20000)
+	checkRestartDeterminism(t, rt)
+}
+
+func TestRandomTreeLabelsAreDeterministicInX(t *testing.T) {
+	rt, err := NewRandomTree(Config{Features: 4, Classes: 3, Seed: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two instances with identical features must share a label (noise 0).
+	in := rt.Next()
+	n := rt.root
+	for n.left != nil {
+		if in.X[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n.label != in.Y {
+		t.Fatal("emitted label must match tree traversal")
+	}
+}
+
+func TestRandomTreeDifferentSeedsDifferentConcepts(t *testing.T) {
+	a, _ := NewRandomTree(Config{Features: 6, Classes: 4, Seed: 1}, 5)
+	b, _ := NewRandomTree(Config{Features: 6, Classes: 4, Seed: 2}, 5)
+	// Same x through both trees; concepts should disagree somewhere.
+	disagree := 0
+	for i := 0; i < 200; i++ {
+		in := a.Next()
+		n := b.root
+		for n.left != nil {
+			if in.X[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		if n.label != in.Y {
+			disagree++
+		}
+	}
+	if disagree == 0 {
+		t.Fatal("two random seeds produced identical concepts")
+	}
+}
+
+func TestAgrawalBasics(t *testing.T) {
+	a, err := NewAgrawal(Config{Features: 20, Classes: 5, Seed: 9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemaConformance(t, a, 500)
+	checkClassCoverage(t, a, 20000)
+	checkRestartDeterminism(t, a)
+}
+
+func TestAgrawalMinimumFeatures(t *testing.T) {
+	a, err := NewAgrawal(Config{Features: 3, Classes: 2, Seed: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema().Features != 9 {
+		t.Fatalf("Agrawal should widen to 9 features, got %d", a.Schema().Features)
+	}
+}
+
+func TestAgrawalFunctionsDiffer(t *testing.T) {
+	// The same instance stream binned under different functions should
+	// produce different label sequences.
+	a0, _ := NewAgrawal(Config{Features: 9, Classes: 4, Seed: 11}, 0)
+	a5, _ := NewAgrawal(Config{Features: 9, Classes: 4, Seed: 11}, 5)
+	diff := 0
+	for i := 0; i < 500; i++ {
+		if a0.Next().Y != a5.Next().Y {
+			diff++
+		}
+	}
+	if diff < 50 {
+		t.Fatalf("functions 0 and 5 nearly identical: %d/500 differ", diff)
+	}
+}
+
+func TestAgrawalProgressBlendsConcepts(t *testing.T) {
+	a, _ := NewAgrawal(Config{Features: 9, Classes: 3, Seed: 12}, 0)
+	a.SetDriftTarget(5)
+	a.SetProgress(0)
+	before := make([]int, 300)
+	for i := range before {
+		before[i] = a.Next().Y
+	}
+	a.Restart()
+	a.SetProgress(1)
+	changed := 0
+	for i := range before {
+		if a.Next().Y != before[i] {
+			changed++
+		}
+	}
+	if changed < 30 {
+		t.Fatalf("full progress changed only %d/300 labels", changed)
+	}
+}
+
+func TestSEABasics(t *testing.T) {
+	s, err := NewSEA(Config{Features: 5, Classes: 3, Seed: 13}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchemaConformance(t, s, 500)
+	checkClassCoverage(t, s, 5000)
+	checkRestartDeterminism(t, s)
+}
+
+func TestSEAOffsetShiftsLabels(t *testing.T) {
+	s0, _ := NewSEA(Config{Features: 2, Classes: 2, Seed: 14}, 0)
+	s1, _ := NewSEA(Config{Features: 2, Classes: 2, Seed: 14}, 0.5)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if s0.Next().Y != s1.Next().Y {
+			diff++
+		}
+	}
+	if diff < 50 {
+		t.Fatalf("offset 0.5 changed only %d/1000 labels", diff)
+	}
+}
+
+func TestLabelNoiseRate(t *testing.T) {
+	noisy, _ := NewRandomTree(Config{Features: 5, Classes: 4, Seed: 15, Noise: 0.3}, 5)
+	diff := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		in := noisy.Next()
+		// Ground truth by tree traversal.
+		node := noisy.root
+		for node.left != nil {
+			if in.X[node.feature] <= node.threshold {
+				node = node.left
+			} else {
+				node = node.right
+			}
+		}
+		if node.label != in.Y {
+			diff++
+		}
+	}
+	// 30% of labels are re-drawn uniformly over 4 classes: ~22.5% differ.
+	rate := float64(diff) / n
+	if rate < 0.15 || rate > 0.30 {
+		t.Fatalf("noise rate %v outside expected band [0.15, 0.30]", rate)
+	}
+}

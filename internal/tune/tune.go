@@ -1,0 +1,122 @@
+// Package tune implements self hyper-parameter tuning in the spirit of
+// Veloso, Gama & Malheiro (2018), which the paper applies to every detector
+// and stream: a Nelder-Mead simplex searches the detector's parameter space,
+// scoring each candidate by shadow-evaluating it on a prefix of the stream.
+// The optimizer itself lives in internal/stats; this package adds box
+// constraints, maximization, and the stream-prefix evaluation loop.
+package tune
+
+import (
+	"fmt"
+
+	"rbmim/internal/stats"
+)
+
+// Param is one tunable hyper-parameter with box constraints.
+type Param struct {
+	// Name identifies the parameter (e.g. "learning_rate").
+	Name string
+	// Min and Max bound the search box.
+	Min, Max float64
+	// Init is the starting value (midpoint when zero and the box excludes
+	// zero).
+	Init float64
+}
+
+// clamp projects v into the parameter box.
+func (p Param) clamp(v float64) float64 {
+	if v < p.Min {
+		return p.Min
+	}
+	if v > p.Max {
+		return p.Max
+	}
+	return v
+}
+
+// Options configures a tuning run.
+type Options struct {
+	// MaxEvals bounds objective evaluations (default 40 — each evaluation
+	// replays the stream prefix, so the budget is deliberately small,
+	// matching the online tuner's frugality).
+	MaxEvals int
+	// Tol is the stopping tolerance (default 1e-4).
+	Tol float64
+}
+
+// Result reports the best parameter vector found.
+type Result struct {
+	// Params are the best values, in the order of the Param slice.
+	Params []float64
+	// Score is the objective at the optimum (higher = better).
+	Score float64
+	// Evals is the number of objective calls consumed.
+	Evals int
+}
+
+// Maximize searches the box for the parameter vector maximizing score.
+// score receives already-clamped values.
+func Maximize(params []Param, score func([]float64) float64, opt Options) (Result, error) {
+	if len(params) == 0 {
+		return Result{}, fmt.Errorf("tune: no parameters to tune")
+	}
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 40
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-4
+	}
+	x0 := make([]float64, len(params))
+	for i, p := range params {
+		if p.Max <= p.Min {
+			return Result{}, fmt.Errorf("tune: parameter %q has empty box [%v, %v]", p.Name, p.Min, p.Max)
+		}
+		v := p.Init
+		if v == 0 && (p.Min > 0 || p.Max < 0) {
+			v = (p.Min + p.Max) / 2
+		}
+		x0[i] = p.clamp(v)
+	}
+	evals := 0
+	obj := func(x []float64) float64 {
+		evals++
+		clamped := make([]float64, len(x))
+		for i := range x {
+			clamped[i] = params[i].clamp(x[i])
+		}
+		return -score(clamped) // Nelder-Mead minimizes
+	}
+	best, bestV := stats.NelderMead(obj, x0, stats.NelderMeadOptions{
+		MaxEvals: opt.MaxEvals,
+		Tol:      opt.Tol,
+		Step:     0.25,
+	})
+	out := make([]float64, len(best))
+	for i := range best {
+		out[i] = params[i].clamp(best[i])
+	}
+	return Result{Params: out, Score: -bestV, Evals: evals}, nil
+}
+
+// SnapToGrid maps a continuous value to the nearest element of the discrete
+// grid, used to honor Table II's categorical parameter sets after the
+// continuous search.
+func SnapToGrid(v float64, grid []float64) float64 {
+	if len(grid) == 0 {
+		return v
+	}
+	best, bestD := grid[0], absF(v-grid[0])
+	for _, g := range grid[1:] {
+		if d := absF(v - g); d < bestD {
+			best, bestD = g, d
+		}
+	}
+	return best
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+package tune
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaximizeQuadratic(t *testing.T) {
+	params := []Param{
+		{Name: "x", Min: -10, Max: 10, Init: 0},
+		{Name: "y", Min: -10, Max: 10, Init: 0},
+	}
+	score := func(v []float64) float64 {
+		return -(v[0]-3)*(v[0]-3) - (v[1]+1)*(v[1]+1)
+	}
+	res, err := Maximize(params, score, Options{MaxEvals: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-3) > 0.1 || math.Abs(res.Params[1]+1) > 0.1 {
+		t.Fatalf("optimum at %v, want (3,-1)", res.Params)
+	}
+	if res.Evals == 0 || res.Score < -0.05 {
+		t.Fatalf("result metadata wrong: %+v", res)
+	}
+}
+
+func TestMaximizeRespectsBox(t *testing.T) {
+	params := []Param{{Name: "x", Min: 0, Max: 1, Init: 0.5}}
+	// Unconstrained optimum at 5, box caps at 1.
+	score := func(v []float64) float64 { return -(v[0] - 5) * (v[0] - 5) }
+	res, err := Maximize(params, score, Options{MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params[0] < 0 || res.Params[0] > 1 {
+		t.Fatalf("parameter escaped the box: %v", res.Params[0])
+	}
+	if res.Params[0] < 0.9 {
+		t.Fatalf("should push to the box edge, got %v", res.Params[0])
+	}
+}
+
+func TestMaximizeValidation(t *testing.T) {
+	if _, err := Maximize(nil, func([]float64) float64 { return 0 }, Options{}); err == nil {
+		t.Fatal("empty parameter set should error")
+	}
+	bad := []Param{{Name: "x", Min: 2, Max: 1}}
+	if _, err := Maximize(bad, func([]float64) float64 { return 0 }, Options{}); err == nil {
+		t.Fatal("empty box should error")
+	}
+}
+
+func TestSnapToGrid(t *testing.T) {
+	grid := []float64{25, 50, 75, 100}
+	if got := SnapToGrid(60, grid); got != 50 {
+		t.Fatalf("snap(60) = %v", got)
+	}
+	if got := SnapToGrid(63, grid); got != 75 {
+		t.Fatalf("snap(63) = %v", got)
+	}
+	if got := SnapToGrid(-5, grid); got != 25 {
+		t.Fatalf("snap(-5) = %v", got)
+	}
+	if got := SnapToGrid(7, nil); got != 7 {
+		t.Fatalf("snap on empty grid = %v", got)
+	}
+}
+
+func TestParamClamp(t *testing.T) {
+	p := Param{Min: 1, Max: 3}
+	if p.clamp(0) != 1 || p.clamp(5) != 3 || p.clamp(2) != 2 {
+		t.Fatal("clamp wrong")
+	}
+}

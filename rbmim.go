@@ -1,0 +1,181 @@
+package rbmim
+
+import (
+	"rbmim/internal/core"
+	"rbmim/internal/detectors"
+	"rbmim/internal/eval"
+	"rbmim/internal/realworld"
+	"rbmim/internal/stream"
+	"rbmim/internal/synth"
+)
+
+// Observation is one prequential outcome handed to a detector.
+type Observation = detectors.Observation
+
+// State is a detector's output after one observation.
+type State = detectors.State
+
+// Detector states.
+const (
+	None    = detectors.None
+	Warning = detectors.Warning
+	Drift   = detectors.Drift
+)
+
+// Detector is the common drift-detector interface shared by RBM-IM and all
+// reference detectors.
+type Detector = detectors.Detector
+
+// ClassAttributor is implemented by detectors that attribute drifts to
+// specific classes (RBM-IM, DDM-OCI).
+type ClassAttributor = detectors.ClassAttributor
+
+// DetectorConfig parameterizes RBM-IM (see internal/core.Config; zero values
+// select the paper-aligned defaults).
+type DetectorConfig = core.Config
+
+// RBMIM is the paper's contribution: the trainable, skew-insensitive,
+// per-class drift detector.
+type RBMIM = core.Detector
+
+// NewDetector builds an RBM-IM detector. Features and Classes are required;
+// every other field defaults sensibly.
+func NewDetector(cfg DetectorConfig) (*RBMIM, error) {
+	if !cfg.AdaptiveWindow {
+		// The self-adaptive window is a core design element of the paper;
+		// the public constructor enables it. Construct core.Detector
+		// directly to study the fixed-window ablation.
+		cfg.AdaptiveWindow = true
+	}
+	return core.NewDetector(cfg)
+}
+
+// Reference detector constructors, re-exported for side-by-side comparisons.
+var (
+	// NewDDM builds the Drift Detection Method (Gama et al. 2004).
+	NewDDM = func() Detector { return detectors.NewDDM() }
+	// NewEDDM builds the Early Drift Detection Method.
+	NewEDDM = func() Detector { return detectors.NewEDDM() }
+	// NewRDDM builds the Reactive Drift Detection Method.
+	NewRDDM = func() Detector { return detectors.NewRDDM() }
+	// NewADWIN builds the adaptive-windowing detector.
+	NewADWIN = func() Detector { return detectors.NewADWINDetector(0.002) }
+	// NewHDDMA builds the Hoeffding-bound A-test detector.
+	NewHDDMA = func() Detector { return detectors.NewHDDMA() }
+	// NewFHDDM builds the Fast Hoeffding Drift Detection Method.
+	NewFHDDM = func() Detector { return detectors.NewFHDDM(0, 0) }
+)
+
+// NewWSTD builds the Wilcoxon rank-sum test detector (zero values select
+// defaults).
+func NewWSTD(windowSize int, warningSig, driftSig float64, maxOld int) Detector {
+	return detectors.NewWSTD(windowSize, warningSig, driftSig, maxOld)
+}
+
+// NewPerfSim builds the confusion-matrix-similarity detector for a stream
+// with the given class count.
+func NewPerfSim(classes int) Detector { return detectors.NewPerfSim(classes, 0, 0, 0) }
+
+// NewDDMOCI builds the per-class-recall detector for online class imbalance.
+func NewDDMOCI(classes int) Detector { return detectors.NewDDMOCI(classes, 0, 0) }
+
+// Stream types.
+type (
+	// Instance is one labeled observation.
+	Instance = stream.Instance
+	// Schema describes a stream's shape.
+	Schema = stream.Schema
+	// Stream is a source of instances.
+	Stream = stream.Stream
+	// DriftKind selects sudden / gradual / incremental transitions.
+	DriftKind = stream.DriftKind
+	// DriftEvent is a ground-truth concept change.
+	DriftEvent = stream.DriftEvent
+	// GeneratorConfig is the shared generator parameter set.
+	GeneratorConfig = synth.Config
+)
+
+// Drift kinds.
+const (
+	SuddenDrift      = stream.Sudden
+	GradualDrift     = stream.Gradual
+	IncrementalDrift = stream.Incremental
+)
+
+// Generator constructors (multi-class re-implementations of the MOA
+// families used in the paper's artificial benchmarks).
+func NewHyperplane(cfg GeneratorConfig, driftSpeed float64) (Stream, error) {
+	return synth.NewHyperplane(cfg, driftSpeed)
+}
+
+// NewRBF builds the radial-basis-function generator.
+func NewRBF(cfg GeneratorConfig, centroidsPerClass int, spread float64) (Stream, error) {
+	return synth.NewRBF(cfg, centroidsPerClass, spread)
+}
+
+// NewRandomTree builds the random-tree generator.
+func NewRandomTree(cfg GeneratorConfig, depth int) (Stream, error) {
+	return synth.NewRandomTree(cfg, depth)
+}
+
+// NewAgrawal builds the multi-class Agrawal generator with the given scoring
+// function (0..9).
+func NewAgrawal(cfg GeneratorConfig, function int) (Stream, error) {
+	return synth.NewAgrawal(cfg, function)
+}
+
+// NewSEA builds the SEA-concepts generator.
+func NewSEA(cfg GeneratorConfig, offset float64) (Stream, error) {
+	return synth.NewSEA(cfg, offset)
+}
+
+// NewDriftStream composes two concepts with a transition of the given kind
+// at position (width ignored for sudden drift).
+func NewDriftStream(before, after Stream, kind DriftKind, position, width int, seed int64) Stream {
+	return stream.NewDriftStream(before, after, kind, position, width, seed)
+}
+
+// NewLocalDriftInjector injects a real concept drift affecting only the
+// given classes, starting at position.
+func NewLocalDriftInjector(base Stream, classes []int, kind DriftKind, position, width int, seed int64) Stream {
+	return stream.NewLocalDriftInjector(base, classes, kind, position, width, seed)
+}
+
+// NewImbalanced reshapes any stream to a static geometric class skew with
+// the given maximum imbalance ratio.
+func NewImbalanced(base Stream, ir float64, seed int64) Stream {
+	return stream.NewImbalanceWrapper(base, stream.NewStaticSkew(base.Schema().Classes, ir), seed)
+}
+
+// NewDynamicImbalance reshapes any stream with an oscillating imbalance
+// ratio in [irLow, irHigh]; roleSwitchEvery > 0 additionally rotates class
+// roles (majority becomes minority and vice versa) at that period.
+func NewDynamicImbalance(base Stream, irLow, irHigh float64, period, roleSwitchEvery int, seed int64) Stream {
+	sched := stream.NewDynamicSkew(base.Schema().Classes, irLow, irHigh, period)
+	sched.RoleSwitchEvery = roleSwitchEvery
+	return stream.NewImbalanceWrapper(base, sched, seed)
+}
+
+// Evaluation harness re-exports.
+type (
+	// PipelineConfig configures one prequential run.
+	PipelineConfig = eval.PipelineConfig
+	// Result summarizes one prequential run.
+	Result = eval.Result
+	// BenchmarkStream is one of the paper's 24 Table I benchmarks.
+	BenchmarkStream = eval.BenchmarkStream
+	// RealWorldSpec describes one real-world surrogate (Table I row).
+	RealWorldSpec = realworld.Spec
+)
+
+// RunPipeline executes the prequential test-then-train loop binding a
+// stream, the cost-sensitive perceptron tree, and a detector.
+func RunPipeline(s Stream, det Detector, cfg PipelineConfig) Result {
+	return eval.RunPipeline(s, det, cfg)
+}
+
+// Benchmarks returns the 24 Table I benchmark streams.
+func Benchmarks() []BenchmarkStream { return eval.AllBenchmarks() }
+
+// RealWorldSpecs returns the 12 real-world surrogate specifications.
+func RealWorldSpecs() []RealWorldSpec { return realworld.All() }

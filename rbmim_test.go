@@ -1,0 +1,109 @@
+package rbmim
+
+import "testing"
+
+func TestFacadeDetectorRoundTrip(t *testing.T) {
+	gen, err := NewRBF(GeneratorConfig{Features: 8, Classes: 3, Seed: 1}, 3, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DetectorConfig{Features: 8, Classes: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		in := gen.Next()
+		st := det.Update(Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y})
+		if st != None && st != Warning && st != Drift {
+			t.Fatalf("unexpected state %v", st)
+		}
+	}
+	if det.Name() != "RBM-IM" {
+		t.Fatalf("detector name %q", det.Name())
+	}
+}
+
+func TestFacadeReferenceDetectors(t *testing.T) {
+	dets := []Detector{
+		NewDDM(), NewEDDM(), NewRDDM(), NewADWIN(), NewHDDMA(), NewFHDDM(),
+		NewWSTD(0, 0, 0, 0), NewPerfSim(4), NewDDMOCI(4),
+	}
+	for _, d := range dets {
+		for i := 0; i < 200; i++ {
+			d.Update(Observation{TrueClass: i % 4, Predicted: i % 4})
+		}
+		d.Reset()
+	}
+}
+
+func TestFacadeStreamComposition(t *testing.T) {
+	before, err := NewRandomTree(GeneratorConfig{Features: 6, Classes: 4, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRandomTree(GeneratorConfig{Features: 6, Classes: 4, Seed: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := NewDriftStream(before, after, SuddenDrift, 500, 0, 5)
+	skewed := NewImbalanced(drift, 50, 6)
+	local := NewLocalDriftInjector(skewed, []int{3}, SuddenDrift, 800, 0, 7)
+	for i := 0; i < 1000; i++ {
+		in := local.Next()
+		if in.Y < 0 || in.Y >= 4 {
+			t.Fatalf("label out of range: %d", in.Y)
+		}
+	}
+}
+
+func TestFacadePipelineAndBenchmarks(t *testing.T) {
+	benches := Benchmarks()
+	if len(benches) != 24 {
+		t.Fatalf("want 24 benchmarks, got %d", len(benches))
+	}
+	specs := RealWorldSpecs()
+	if len(specs) != 12 {
+		t.Fatalf("want 12 real-world specs, got %d", len(specs))
+	}
+	s, n, err := benches[5].Build(0.002, 9) // EEG surrogate
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DetectorConfig{Features: s.Schema().Features, Classes: s.Schema().Classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPipeline(s, det, PipelineConfig{Instances: n, MetricWindow: 500})
+	if res.PMAUC <= 0 || res.PMAUC > 100 {
+		t.Fatalf("pmAUC out of range: %v", res.PMAUC)
+	}
+}
+
+func TestFacadeDynamicImbalance(t *testing.T) {
+	base, err := NewRBF(GeneratorConfig{Features: 5, Classes: 4, Seed: 10}, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewDynamicImbalance(base, 10, 100, 2000, 1000, 11)
+	// Measure within a single role-switch window: over full rotation cycles
+	// the aggregate counts equalize by design (each class takes each role).
+	counts := make([]int, 4)
+	for i := 0; i < 900; i++ {
+		counts[s.Next().Y]++
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	if max/min < 3 {
+		t.Fatalf("dynamic imbalance not visible: counts=%v", counts)
+	}
+}
