@@ -15,12 +15,15 @@ package rbmim
 // inner loops.
 
 import (
+	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"rbmim/internal/core"
 	"rbmim/internal/detectors"
 	"rbmim/internal/eval"
+	"rbmim/internal/monitor"
 	"rbmim/internal/realworld"
 	"rbmim/internal/stats"
 	"rbmim/internal/synth"
@@ -384,6 +387,99 @@ func BenchmarkAblationSkewInsensitiveLoss(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMonitorIngest measures multi-stream throughput of the sharded
+// Monitor at increasing shard counts: 64 independent streams fed from
+// GOMAXPROCS producers via RunParallel. Throughput (ns/op = ns/observation)
+// should improve with shards until the producer count or memory bandwidth
+// saturates; cmd/monitorbench runs the same sweep at full scale with
+// per-shard balance reporting.
+func BenchmarkMonitorIngest(b *testing.B) {
+	const (
+		streams  = 64
+		features = 20
+		classes  = 5
+	)
+	gen, err := synth.NewRBF(synth.Config{Features: features, Classes: classes, Seed: 17}, 3, 0.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]detectors.Observation, 4096)
+	for i := range obs {
+		in := gen.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	ids := make([]string, streams)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("stream-%02d", i)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			m, err := monitor.New(monitor.Config{
+				Detector:  core.Config{Features: features, Classes: classes, Seed: 7},
+				Shards:    shards,
+				QueueSize: 4096,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for range m.Events() {
+				}
+			}()
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1))
+				for pb.Next() {
+					i++
+					if err := m.Ingest(ids[i%streams], obs[i%len(obs)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			m.Close()
+		})
+	}
+}
+
+// BenchmarkMonitorIngestSingleStream measures the per-observation overhead
+// the Monitor adds over a bare detector (hashing, copy, channel hop) in the
+// degenerate single-stream single-shard case.
+func BenchmarkMonitorIngestSingleStream(b *testing.B) {
+	gen, err := synth.NewRBF(synth.Config{Features: 20, Classes: 5, Seed: 17}, 3, 0.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]detectors.Observation, 4096)
+	for i := range obs {
+		in := gen.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	m, err := monitor.New(monitor.Config{
+		Detector:  core.Config{Features: 20, Classes: 5, Seed: 7},
+		Shards:    1,
+		QueueSize: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range m.Events() {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Ingest("only", obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m.Close()
 }
 
 // logWriter adapts b.Log to io.Writer for the report helpers.

@@ -1,0 +1,208 @@
+// Command monitorbench stress-tests the sharded multi-stream Monitor: it
+// fans a population of independent RBF streams (each with its own drift
+// schedule) across the monitor's shards from several producer goroutines,
+// then reports per-shard balance, throughput, and drift-event counts for
+// each shard count in the sweep. The throughput table demonstrates shard
+// scaling — per-stream detectors are independent, so ingestion parallelizes
+// until the producers or the memory bus saturate.
+//
+// Usage:
+//
+//	monitorbench [-streams 256] [-instances 4000] [-features 20] [-classes 5]
+//	             [-shards 1,2,4,8] [-producers 0] [-drift]
+//
+// With -drift every stream undergoes a sudden concept change halfway
+// through, so the drift-event column should be non-zero for most streams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rbmim"
+	"rbmim/internal/synth"
+)
+
+func main() {
+	streams := flag.Int("streams", 256, "independent streams to multiplex")
+	instances := flag.Int("instances", 4000, "observations per stream")
+	features := flag.Int("features", 20, "features per stream")
+	classes := flag.Int("classes", 5, "classes per stream")
+	shardList := flag.String("shards", "", "comma-separated shard counts to sweep (default 1,2,4,...,NumCPU)")
+	producers := flag.Int("producers", 0, "producer goroutines (default NumCPU)")
+	drift := flag.Bool("drift", false, "inject a sudden drift halfway through every stream")
+	queue := flag.Int("queue", 4096, "per-shard queue capacity")
+	flag.Parse()
+
+	shardCounts := parseShards(*shardList)
+	if *producers <= 0 {
+		*producers = runtime.NumCPU()
+	}
+
+	fmt.Printf("monitorbench: %d streams x %d instances, %d features, %d classes, %d producers (GOMAXPROCS=%d)\n\n",
+		*streams, *instances, *features, *classes, *producers, runtime.GOMAXPROCS(0))
+
+	// Pre-draw every stream's observations so the sweep measures the monitor,
+	// not the generators.
+	workload, err := buildWorkload(*streams, *instances, *features, *classes, *drift)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-8s %-14s %-12s %-10s %-10s %s\n", "shards", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
+	var base float64
+	for _, shards := range shardCounts {
+		res, err := runSweep(workload, *features, *classes, shards, *producers, *queue)
+		if err != nil {
+			fail(err)
+		}
+		speedup := ""
+		if base == 0 {
+			base = res.rate
+		} else {
+			speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", res.rate/base)
+		}
+		fmt.Printf("%-8d %-14s %-12s %-10d %-10d %s%s\n",
+			shards, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
+			res.drifts, res.streams, res.balance, speedup)
+	}
+}
+
+type workloadStream struct {
+	id  string
+	obs []rbmim.Observation
+}
+
+type sweepResult struct {
+	rate    float64
+	wall    time.Duration
+	drifts  uint64
+	streams int
+	balance string
+}
+
+// buildWorkload pre-generates every stream's observation sequence.
+func buildWorkload(streams, instances, features, classes int, drift bool) ([]workloadStream, error) {
+	out := make([]workloadStream, streams)
+	for s := range out {
+		cfg := synth.Config{Features: features, Classes: classes, Seed: int64(1000 + s)}
+		var src rbmim.Stream
+		src, err := synth.NewRBF(cfg, 3, 0.08)
+		if err != nil {
+			return nil, err
+		}
+		if drift {
+			afterCfg := cfg
+			afterCfg.Seed = cfg.Seed + 500000
+			after, err := synth.NewRBF(afterCfg, 3, 0.08)
+			if err != nil {
+				return nil, err
+			}
+			src = rbmim.NewDriftStream(src, after, rbmim.SuddenDrift, instances/2, 0, cfg.Seed)
+		}
+		obs := make([]rbmim.Observation, instances)
+		for i := range obs {
+			in := src.Next()
+			obs[i] = rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+		}
+		out[s] = workloadStream{id: fmt.Sprintf("stream-%04d", s), obs: obs}
+	}
+	return out, nil
+}
+
+// runSweep replays the whole workload through a fresh monitor with the given
+// shard count, producers feeding disjoint stream subsets.
+func runSweep(workload []workloadStream, features, classes, shards, producers, queue int) (sweepResult, error) {
+	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
+		Detector: rbmim.DetectorConfig{
+			Features: features,
+			Classes:  classes,
+			Seed:     7,
+		},
+		Shards:    shards,
+		QueueSize: queue,
+	})
+	if err != nil {
+		return sweepResult{}, err
+	}
+	// Drain events so slow consumers never distort the measurement.
+	go func() {
+		for range m.Events() {
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := p; s < len(workload); s += producers {
+				ws := workload[s]
+				for i := range ws.obs {
+					if err := m.Ingest(ws.id, ws.obs[i]); err != nil {
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	m.Close()
+	wall := time.Since(start)
+
+	sn := m.Snapshot()
+	return sweepResult{
+		rate:    float64(sn.Ingested) / wall.Seconds(),
+		wall:    wall,
+		drifts:  sn.Drifts,
+		streams: sn.Streams,
+		balance: balanceString(sn.ShardIngested),
+	}, nil
+}
+
+// balanceString compacts the per-shard ingest counts into min/median/max.
+func balanceString(loads []uint64) string {
+	if len(loads) == 0 {
+		return "-"
+	}
+	sorted := append([]uint64(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return fmt.Sprintf("min=%d med=%d max=%d", sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1])
+}
+
+// parseShards expands the -shards flag, defaulting to powers of two up to
+// NumCPU.
+func parseShards(s string) []int {
+	if s == "" {
+		var out []int
+		for n := 1; n <= runtime.NumCPU(); n *= 2 {
+			out = append(out, n)
+		}
+		if last := out[len(out)-1]; last != runtime.NumCPU() {
+			out = append(out, runtime.NumCPU())
+		}
+		return out
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fail(fmt.Errorf("bad -shards entry %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "monitorbench:", err)
+	os.Exit(1)
+}

@@ -17,6 +17,10 @@
 //   - A cost-sensitive perceptron tree base classifier, prequential
 //     multi-class AUC / G-mean metrics, and the full experiment harness
 //     that regenerates every table and figure of the paper's evaluation.
+//   - A sharded multi-stream Monitor service (NewMonitor) that hosts one
+//     independent detector per stream across a fixed pool of worker
+//     shards, with consistent-hash placement, drift-event subscription,
+//     idle-stream GC, and aggregate snapshot statistics.
 //
 // # Quick start
 //

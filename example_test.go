@@ -1,0 +1,87 @@
+package rbmim_test
+
+import (
+	"fmt"
+	"log"
+
+	"rbmim"
+)
+
+// ExampleNewDetector attaches RBM-IM to a multi-class imbalanced stream
+// whose concept changes suddenly halfway through, and reports whether the
+// detector flagged the change.
+func ExampleNewDetector() {
+	det, err := rbmim.NewDetector(rbmim.DetectorConfig{Features: 12, Classes: 5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two different RBF concepts glued together with a sudden transition at
+	// instance 15000, reshaped to a 1:50 class imbalance.
+	before, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: 12, Classes: 5, Seed: 2}, 3, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: 12, Classes: 5, Seed: 3}, 3, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := rbmim.NewImbalanced(
+		rbmim.NewDriftStream(before, after, rbmim.SuddenDrift, 15000, 0, 4), 50, 4)
+
+	detected := false
+	for i := 0; i < 30000; i++ {
+		in := s.Next()
+		// In production Predicted comes from your classifier; RBM-IM's
+		// detection uses the instance and its true label.
+		state := det.Update(rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y})
+		if state == rbmim.Drift {
+			detected = true
+			break
+		}
+	}
+	fmt.Println("drift detected:", detected)
+	// Output:
+	// drift detected: true
+}
+
+// ExampleMonitor multiplexes several independent streams onto one sharded
+// Monitor, each stream getting its own RBM-IM detector, and reads the
+// aggregate snapshot.
+func ExampleMonitor() {
+	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
+		Detector: rbmim.DetectorConfig{Features: 8, Classes: 3, Seed: 7},
+		Shards:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscribe to drift events from every stream (none fire here: the
+	// streams below are stationary).
+	go func() {
+		for ev := range m.Events() {
+			log.Printf("stream %s drifted on classes %v", ev.StreamID, ev.Classes)
+		}
+	}()
+
+	for s := 0; s < 4; s++ {
+		gen, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: 8, Classes: 3, Seed: int64(s)}, 3, 0.08)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := fmt.Sprintf("sensor-%d", s)
+		for i := 0; i < 2000; i++ {
+			in := gen.Next()
+			if err := m.Ingest(id, rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	m.Close() // drains the shards and closes the event channel
+
+	sn := m.Snapshot()
+	fmt.Printf("streams=%d ingested=%d\n", sn.Streams, sn.Ingested)
+	// Output:
+	// streams=4 ingested=8000
+}

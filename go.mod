@@ -1,0 +1,3 @@
+module rbmim
+
+go 1.24

@@ -123,17 +123,29 @@ const minPointSupport = 3
 // detectors.ClassAttributor so the evaluation harness treats it exactly like
 // the baselines while exposing local (per-class) drift attribution.
 type Detector struct {
-	cfg     Config
-	rbm     *RBM
-	scaler  *stream.Scaler
-	batchX  [][]float64
-	batchY  []int
-	monitor []*classMonitor
-	batches int
-	drifted []int
+	cfg    Config
+	rbm    *RBM
+	scaler *stream.Scaler
+	// batchX holds BatchSize preallocated rows (views into batchBuf) that
+	// are scaled into in place; batchN counts the filled rows. Together with
+	// the struct-owned scratch below this keeps steady-state Update calls
+	// free of heap allocations.
+	batchX   [][]float64
+	batchBuf []float64
+	batchY   []int
+	batchN   int
+	monitor  []*classMonitor
+	batches  int
+	drifted  []int
 	// historyCap bounds the retained per-class trend history: two Granger
 	// windows.
 	historyCap int
+	// Per-batch scratch: per-class reconstruction-error sums/counts and the
+	// regression buffers of trendCandidate.
+	errSums   []float64
+	errCounts []int
+	xsScratch []float64
+	vScratch  []float64
 }
 
 var _ detectors.Detector = (*Detector)(nil)
@@ -172,11 +184,24 @@ func NewDetector(cfg Config) (*Detector, error) {
 		scaler:     stream.NewScaler(stream.Schema{Features: cfg.Features, Classes: cfg.Classes}),
 		historyCap: 2 * cfg.TrendWindow,
 	}
+	d.batchBuf = make([]float64, cfg.BatchSize*cfg.Features)
+	d.batchX = make([][]float64, cfg.BatchSize)
+	for i := range d.batchX {
+		d.batchX[i] = d.batchBuf[i*cfg.Features : (i+1)*cfg.Features : (i+1)*cfg.Features]
+	}
+	d.batchY = make([]int, cfg.BatchSize)
+	d.errSums = make([]float64, cfg.Classes)
+	d.errCounts = make([]int, cfg.Classes)
+	// The adaptive window is clamped to 4*TrendWindow, so these scratch
+	// slices never grow after construction.
+	d.xsScratch = make([]float64, 0, 4*cfg.TrendWindow)
+	d.vScratch = make([]float64, 0, 4*cfg.TrendWindow)
 	d.monitor = make([]*classMonitor, cfg.Classes)
 	for k := range d.monitor {
 		d.monitor[k] = &classMonitor{
-			trend: stats.NewSlidingTrend(cfg.TrendWindow),
-			adwin: stats.NewADWIN(0.002),
+			trend:   stats.NewSlidingTrend(cfg.TrendWindow),
+			adwin:   stats.NewADWIN(0.002),
+			history: make([]float64, 0, d.historyCap),
 		}
 	}
 	return d, nil
@@ -198,28 +223,33 @@ func (d *Detector) Reset() {
 	for _, m := range d.monitor {
 		m.trend = stats.NewSlidingTrend(d.cfg.TrendWindow)
 		m.adwin = stats.NewADWIN(0.002)
-		m.history = nil
+		m.history = m.history[:0]
 		m.batches = 0
+		m.lastErr = 0
+		m.accSum, m.accCount = 0, 0
 		m.pending = false
 	}
 	d.drifted = nil
-	d.batchX = d.batchX[:0]
-	d.batchY = d.batchY[:0]
+	d.batchN = 0
 }
 
 // Update consumes one observation; detection work happens when a mini-batch
 // completes.
 func (d *Detector) Update(o detectors.Observation) detectors.State {
+	if len(o.X) != d.cfg.Features {
+		// Fail loudly: silently padding or truncating would train the RBM
+		// on garbage (the batch rows are fixed at cfg.Features wide).
+		panic(fmt.Sprintf("core: observation has %d features, detector configured for %d", len(o.X), d.cfg.Features))
+	}
 	d.scaler.Observe(o.X)
-	scaled := d.scaler.Scale(o.X, nil)
-	d.batchX = append(d.batchX, scaled)
-	d.batchY = append(d.batchY, o.TrueClass)
-	if len(d.batchX) < d.cfg.BatchSize {
+	d.scaler.Scale(o.X, d.batchX[d.batchN])
+	d.batchY[d.batchN] = o.TrueClass
+	d.batchN++
+	if d.batchN < d.cfg.BatchSize {
 		return detectors.None
 	}
 	state := d.processBatch()
-	d.batchX = d.batchX[:0]
-	d.batchY = d.batchY[:0]
+	d.batchN = 0
 	return state
 }
 
@@ -236,8 +266,10 @@ func (d *Detector) processBatch() detectors.State {
 	// Per-class mean reconstruction error over the instances of the class
 	// in this mini-batch (Eq. 27). Classes absent from the batch get no
 	// update, so minority series are sparse but always fresh.
-	sums := make([]float64, d.cfg.Classes)
-	counts := make([]int, d.cfg.Classes)
+	sums := d.errSums
+	counts := d.errCounts
+	clear(sums)
+	clear(counts)
 	for i, x := range d.batchX {
 		y := d.batchY[i]
 		if y < 0 || y >= d.cfg.Classes {
@@ -286,7 +318,7 @@ func (d *Detector) processBatch() detectors.State {
 				// keeps training online.
 				m.trend = stats.NewSlidingTrend(d.cfg.TrendWindow)
 				m.adwin = stats.NewADWIN(0.002)
-				m.history = nil
+				m.history = m.history[:0]
 				m.batches = 0
 				m.pending = false
 				continue
@@ -312,10 +344,13 @@ func (d *Detector) processBatch() detectors.State {
 			}
 		}
 		m.trend.Add(r)
-		m.history = append(m.history, m.trend.Slope())
-		if len(m.history) > d.historyCap {
-			m.history = m.history[len(m.history)-d.historyCap:]
+		// Fixed-capacity history: shift-and-append instead of reslicing the
+		// tail, so the backing array is reused forever.
+		if len(m.history) == d.historyCap {
+			copy(m.history, m.history[1:])
+			m.history = m.history[:d.historyCap-1]
 		}
+		m.history = append(m.history, m.trend.Slope())
 	}
 	if len(d.drifted) > 0 {
 		return detectors.Drift
@@ -342,8 +377,12 @@ func (d *Detector) trendCandidate(m *classMonitor, r float64) (candidate, escape
 	if n < 5 {
 		return false, false
 	}
-	vals := m.trend.Values()
-	xs := make([]float64, n)
+	vals := m.trend.ValuesInto(d.vScratch)
+	d.vScratch = vals[:0]
+	if cap(d.xsScratch) < n {
+		d.xsScratch = make([]float64, 0, n)
+	}
+	xs := d.xsScratch[:n]
 	for i := range xs {
 		xs[i] = float64(i)
 	}

@@ -77,19 +77,25 @@ func (c *RBMConfig) Validate() error {
 // RBM is the three-layer network of Eq. 6-12: visible layer v (features),
 // hidden layer h, and class layer z with softmax activation. Weights W
 // connect v-h and U connects h-z.
+//
+// Both weight matrices are stored flat in row-major order — w[i*H+j] is
+// W_ij, u[j*Z+k] is U_jk — so every inner loop of the Gibbs sampler and the
+// gradient accumulation walks memory sequentially, and all scratch needed by
+// TrainBatch / ReconstructionError lives on the struct: steady-state
+// training and scoring perform zero heap allocations.
 type RBM struct {
 	cfg RBMConfig
 	rng *rand.Rand
 
-	w [][]float64 // [visible][hidden]
-	u [][]float64 // [hidden][classes]
-	a []float64   // visible biases
-	b []float64   // hidden biases
-	c []float64   // class biases
+	w []float64 // flat [Visible][Hidden], row-major
+	u []float64 // flat [Hidden][Classes], row-major
+	a []float64 // visible biases
+	b []float64 // hidden biases
+	c []float64 // class biases
 
-	// Momentum buffers.
-	dw [][]float64
-	du [][]float64
+	// Momentum buffers (same layouts as w / u).
+	dw []float64
+	du []float64
 	da []float64
 	db []float64
 	dc []float64
@@ -97,12 +103,18 @@ type RBM struct {
 	// Class-balanced loss state: decayed per-class counts (Eq. 13).
 	classCounts []float64
 
-	// Scratch buffers reused across calls.
+	// Gibbs / reconstruction scratch reused across calls.
 	hProb, hState  []float64
 	vProb          []float64
 	zProb          []float64
 	hRecon, vRecon []float64
 	zRecon         []float64
+
+	// TrainBatch gradient scratch (same layouts as the parameters).
+	gw, gu     []float64
+	ga, gb, gc []float64
+	z0         []float64
+	zLabel     []float64 // one-hot scratch for ReconstructionError
 }
 
 // NewRBM builds the network with small random weights.
@@ -112,13 +124,13 @@ func NewRBM(cfg RBMConfig) (*RBM, error) {
 	}
 	r := &RBM{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	V, H, Z := cfg.Visible, cfg.Hidden, cfg.Classes
-	r.w = gaussianMatrix(r.rng, V, H, 0.1)
-	r.u = gaussianMatrix(r.rng, H, Z, 0.1)
+	r.w = gaussianSlice(r.rng, V*H, 0.1)
+	r.u = gaussianSlice(r.rng, H*Z, 0.1)
 	r.a = make([]float64, V)
 	r.b = make([]float64, H)
 	r.c = make([]float64, Z)
-	r.dw = zeroMatrix(V, H)
-	r.du = zeroMatrix(H, Z)
+	r.dw = make([]float64, V*H)
+	r.du = make([]float64, H*Z)
 	r.da = make([]float64, V)
 	r.db = make([]float64, H)
 	r.dc = make([]float64, Z)
@@ -130,40 +142,48 @@ func NewRBM(cfg RBMConfig) (*RBM, error) {
 	r.hRecon = make([]float64, H)
 	r.vRecon = make([]float64, V)
 	r.zRecon = make([]float64, Z)
+	r.gw = make([]float64, V*H)
+	r.gu = make([]float64, H*Z)
+	r.ga = make([]float64, V)
+	r.gb = make([]float64, H)
+	r.gc = make([]float64, Z)
+	r.z0 = make([]float64, Z)
+	r.zLabel = make([]float64, Z)
 	return r, nil
 }
 
 // Config returns the active configuration (with defaults resolved).
 func (r *RBM) Config() RBMConfig { return r.cfg }
 
-func gaussianMatrix(rng *rand.Rand, rows, cols int, sd float64) [][]float64 {
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i] = make([]float64, cols)
-		for j := range m[i] {
-			m[i][j] = rng.NormFloat64() * sd
-		}
+func gaussianSlice(rng *rand.Rand, n int, sd float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * sd
 	}
-	return m
+	return s
 }
 
-func zeroMatrix(rows, cols int) [][]float64 {
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i] = make([]float64, cols)
-	}
-	return m
-}
-
-// hiddenProbs computes P(h_j | v, z) of Eq. 10 into dst.
+// hiddenProbs computes P(h_j | v, z) of Eq. 10 into dst. The v-h pass
+// accumulates row-by-row over w so memory access stays sequential; the z-h
+// pass dots each contiguous u row against z.
 func (r *RBM) hiddenProbs(v []float64, z []float64, dst []float64) {
-	for j := 0; j < r.cfg.Hidden; j++ {
-		s := r.b[j]
-		for i := 0; i < r.cfg.Visible; i++ {
-			s += v[i] * r.w[i][j]
+	H, Z := r.cfg.Hidden, r.cfg.Classes
+	copy(dst, r.b)
+	for i := 0; i < r.cfg.Visible; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
 		}
-		for k := 0; k < r.cfg.Classes; k++ {
-			s += z[k] * r.u[j][k]
+		row := r.w[i*H : i*H+H]
+		for j, wij := range row {
+			dst[j] += vi * wij
+		}
+	}
+	for j := 0; j < H; j++ {
+		s := dst[j]
+		row := r.u[j*Z : j*Z+Z]
+		for k, ujk := range row {
+			s += z[k] * ujk
 		}
 		dst[j] = sigmoid(s)
 	}
@@ -171,24 +191,34 @@ func (r *RBM) hiddenProbs(v []float64, z []float64, dst []float64) {
 
 // visibleProbs computes P(v_i | h) of Eq. 11 into dst.
 func (r *RBM) visibleProbs(h []float64, dst []float64) {
+	H := r.cfg.Hidden
 	for i := 0; i < r.cfg.Visible; i++ {
 		s := r.a[i]
-		for j := 0; j < r.cfg.Hidden; j++ {
-			s += h[j] * r.w[i][j]
+		row := r.w[i*H : i*H+H]
+		for j, wij := range row {
+			s += h[j] * wij
 		}
 		dst[i] = sigmoid(s)
 	}
 }
 
-// classProbs computes the softmax P(z = 1_k | h) of Eq. 12 into dst.
+// classProbs computes the softmax P(z = 1_k | h) of Eq. 12 into dst,
+// accumulating over the contiguous rows of u.
 func (r *RBM) classProbs(h []float64, dst []float64) {
-	maxS := math.Inf(-1)
-	for k := 0; k < r.cfg.Classes; k++ {
-		s := r.c[k]
-		for j := 0; j < r.cfg.Hidden; j++ {
-			s += h[j] * r.u[j][k]
+	Z := r.cfg.Classes
+	copy(dst, r.c)
+	for j := 0; j < r.cfg.Hidden; j++ {
+		hj := h[j]
+		if hj == 0 {
+			continue
 		}
-		dst[k] = s
+		row := r.u[j*Z : j*Z+Z]
+		for k, ujk := range row {
+			dst[k] += hj * ujk
+		}
+	}
+	maxS := math.Inf(-1)
+	for _, s := range dst {
 		if s > maxS {
 			maxS = s
 		}
@@ -253,18 +283,21 @@ func (r *RBM) observeClass(y int) {
 // TrainBatch performs one CD-k update (Eq. 15-21) over the mini-batch of
 // scaled feature vectors xs with labels ys, applying the class-balanced
 // gradient weighting. Inputs must be scaled to [0,1]. Returns the mean
-// (weighted) reconstruction error of the batch.
+// (weighted) reconstruction error of the batch. Steady-state calls perform
+// no heap allocations: all gradient and Gibbs scratch is struct-owned.
 func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	V, H, Z := r.cfg.Visible, r.cfg.Hidden, r.cfg.Classes
-	gw := zeroMatrix(V, H)
-	gu := zeroMatrix(H, Z)
-	ga := make([]float64, V)
-	gb := make([]float64, H)
-	gc := make([]float64, Z)
-	z0 := make([]float64, Z)
+	gw, gu := r.gw, r.gu
+	ga, gb, gc := r.ga, r.gb, r.gc
+	z0 := r.z0
+	clear(gw)
+	clear(gu)
+	clear(ga)
+	clear(gb)
+	clear(gc)
 	totalErr := 0.0
 
 	for n := range xs {
@@ -298,16 +331,21 @@ func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
 
 		// Accumulate weighted gradients: E_data[..] - E_recon[..].
 		for i := 0; i < V; i++ {
-			di := x[i] - r.vRecon[i]
-			ga[i] += weight * di
-			for j := 0; j < H; j++ {
-				gw[i][j] += weight * (x[i]*r.hProb[j] - r.vRecon[i]*r.hRecon[j])
+			xi, vi := x[i], r.vRecon[i]
+			ga[i] += weight * (xi - vi)
+			wxi, wvi := weight*xi, weight*vi
+			grow := gw[i*H : i*H+H]
+			for j := range grow {
+				grow[j] += wxi*r.hProb[j] - wvi*r.hRecon[j]
 			}
 		}
 		for j := 0; j < H; j++ {
-			gb[j] += weight * (r.hProb[j] - r.hRecon[j])
-			for k := 0; k < Z; k++ {
-				gu[j][k] += weight * (r.hProb[j]*z0[k] - r.hRecon[j]*r.zRecon[k])
+			hp, hr := r.hProb[j], r.hRecon[j]
+			gb[j] += weight * (hp - hr)
+			whp, whr := weight*hp, weight*hr
+			grow := gu[j*Z : j*Z+Z]
+			for k := range grow {
+				grow[k] += whp*z0[k] - whr*r.zRecon[k]
 			}
 		}
 		for k := 0; k < Z; k++ {
@@ -319,24 +357,25 @@ func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
 	// Apply momentum-smoothed updates (Eq. 17-21).
 	inv := 1 / float64(len(xs))
 	eta, mom := r.cfg.LearningRate, r.cfg.Momentum
+	scale := eta * inv
 	for i := 0; i < V; i++ {
-		r.da[i] = mom*r.da[i] + eta*ga[i]*inv
+		r.da[i] = mom*r.da[i] + scale*ga[i]
 		r.a[i] += r.da[i]
-		for j := 0; j < H; j++ {
-			r.dw[i][j] = mom*r.dw[i][j] + eta*gw[i][j]*inv
-			r.w[i][j] += r.dw[i][j]
-		}
+	}
+	for p := range r.w {
+		r.dw[p] = mom*r.dw[p] + scale*gw[p]
+		r.w[p] += r.dw[p]
 	}
 	for j := 0; j < H; j++ {
-		r.db[j] = mom*r.db[j] + eta*gb[j]*inv
+		r.db[j] = mom*r.db[j] + scale*gb[j]
 		r.b[j] += r.db[j]
-		for k := 0; k < Z; k++ {
-			r.du[j][k] = mom*r.du[j][k] + eta*gu[j][k]*inv
-			r.u[j][k] += r.du[j][k]
-		}
+	}
+	for p := range r.u {
+		r.du[p] = mom*r.du[p] + scale*gu[p]
+		r.u[p] += r.du[p]
 	}
 	for k := 0; k < Z; k++ {
-		r.dc[k] = mom*r.dc[k] + eta*gc[k]*inv
+		r.dc[k] = mom*r.dc[k] + scale*gc[k]
 		r.c[k] += r.dc[k]
 	}
 	return totalErr * inv
@@ -368,9 +407,12 @@ func (r *RBM) reconErrorFrom(x []float64, z []float64) float64 {
 }
 
 // ReconstructionError computes R(S_n) of Eq. 26 for a scaled instance with
-// label y.
+// label y. Allocation-free: the one-hot class input is struct scratch.
 func (r *RBM) ReconstructionError(x []float64, y int) float64 {
-	z := make([]float64, r.cfg.Classes)
+	z := r.zLabel
+	for k := range z {
+		z[k] = 0
+	}
 	if y >= 0 && y < r.cfg.Classes {
 		z[y] = 1
 	}
@@ -398,6 +440,7 @@ func (r *RBM) ClassCounts() []float64 {
 
 // Energy computes E(v, h, z) of Eq. 8 for explicit layer states.
 func (r *RBM) Energy(v, h, z []float64) float64 {
+	H, Z := r.cfg.Hidden, r.cfg.Classes
 	e := 0.0
 	for i := range v {
 		e -= v[i] * r.a[i]
@@ -410,12 +453,12 @@ func (r *RBM) Energy(v, h, z []float64) float64 {
 	}
 	for i := range v {
 		for j := range h {
-			e -= v[i] * h[j] * r.w[i][j]
+			e -= v[i] * h[j] * r.w[i*H+j]
 		}
 	}
 	for j := range h {
 		for k := range z {
-			e -= h[j] * z[k] * r.u[j][k]
+			e -= h[j] * z[k] * r.u[j*Z+k]
 		}
 	}
 	return e

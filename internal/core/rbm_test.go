@@ -169,7 +169,8 @@ func TestEnergyMatchesDefinition(t *testing.T) {
 	v := []float64{1, 0}
 	h := []float64{0, 1}
 	z := []float64{1, 0}
-	want := -(r.a[0] + r.b[1] + r.c[0] + r.w[0][1] + r.u[1][0])
+	H, Z := r.cfg.Hidden, r.cfg.Classes
+	want := -(r.a[0] + r.b[1] + r.c[0] + r.w[0*H+1] + r.u[1*Z+0])
 	if e := r.Energy(v, h, z); math.Abs(e-want) > 1e-12 {
 		t.Fatalf("energy = %v, want %v", e, want)
 	}

@@ -1,0 +1,39 @@
+package monitor
+
+// Stream-to-shard placement. Stream IDs are hashed with FNV-1a and placed on
+// a shard by Jump Consistent Hash (Lamping & Veach, 2014): when the shard
+// count changes between two monitor deployments, only ~1/n of the streams
+// move — the property that keeps per-stream detector state (which lives on
+// its shard) maximally reusable across resizes in systems that snapshot and
+// restore it.
+
+// fnv1a hashes s with the 64-bit FNV-1a function.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// jumpHash maps key onto one of buckets shards with the jump consistent
+// hash algorithm. buckets must be >= 1.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// shardFor returns the shard index for a stream ID.
+func shardFor(id string, shards int) int {
+	return jumpHash(fnv1a(id), shards)
+}

@@ -1,0 +1,479 @@
+// Package monitor multiplexes many independent data streams onto a fixed
+// pool of worker shards, giving every stream its own RBM-IM (or any other)
+// drift detector while bounding goroutines and memory to the shard count.
+// This is the multi-tenant deployment shape the paper motivates — thousands
+// of IoT / intrusion / sensor feeds, each imbalanced in its own way, each
+// needing skew-insensitive per-class drift detection — run as one service:
+//
+//	m, _ := monitor.New(monitor.Config{
+//		Detector: core.Config{Features: 20, Classes: 5},
+//	})
+//	defer m.Close()
+//	go func() {
+//		for ev := range m.Events() {
+//			log.Printf("stream %s drifted on classes %v", ev.StreamID, ev.Classes)
+//		}
+//	}()
+//	m.Ingest("sensor-17", detectors.Observation{X: x, TrueClass: y, Predicted: p})
+//
+// Streams are placed on shards by consistent hashing of the stream ID
+// (FNV-1a + jump hash), so placement is deterministic, balanced, and maximally
+// stable under shard-count changes. Each shard is a single goroutine that
+// owns its streams' detectors outright — no locks on the hot path — and
+// drains a buffered channel of observations. Detectors are created lazily on
+// first ingest, evicted explicitly via Evict, or garbage-collected after
+// Config.IdleTTL without traffic.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbmim/internal/core"
+	"rbmim/internal/detectors"
+)
+
+// Factory builds a fresh detector for a newly observed stream. The monitor
+// hands each detector observations whose X slice is a pooled buffer that is
+// reused the moment Update returns, so detectors built by a Factory must
+// not retain o.X past Update (copy it if they need history; RBM-IM and all
+// bundled baselines already comply).
+type Factory func(streamID string) (detectors.Detector, error)
+
+// Config parameterizes a Monitor. The zero value of every field except
+// Detector (or NewDetector) selects a sensible default.
+type Config struct {
+	// Detector is the RBM-IM configuration template used by the default
+	// factory; Features and Classes are required unless NewDetector is set.
+	// Every stream gets an independent detector seeded from Detector.Seed
+	// and the stream ID, so runs are reproducible per stream.
+	Detector core.Config
+	// NewDetector overrides the default RBM-IM factory, letting the monitor
+	// host any detectors.Detector implementation (e.g. a cheap baseline for
+	// low-value streams). When set, Detector is ignored except for Classes,
+	// which sizes the per-class drift statistics.
+	NewDetector Factory
+	// Shards is the number of worker goroutines; default runtime.NumCPU().
+	Shards int
+	// QueueSize is each shard's buffered-channel capacity; default 1024.
+	// Ingest blocks when the target shard's queue is full (backpressure);
+	// TryIngest drops instead.
+	QueueSize int
+	// EventBuffer is the capacity of the drift-event channel; default 256.
+	// Events are dropped (and counted) when the channel is full, so slow
+	// subscribers never stall detection.
+	EventBuffer int
+	// IdleTTL evicts streams that have received no observations for this
+	// long; zero disables idle GC.
+	IdleTTL time.Duration
+	// GCInterval is how often each shard sweeps for idle streams; default
+	// IdleTTL/4 (bounded to [1s, 1min]).
+	GCInterval time.Duration
+	// MaxStreamsPerShard caps the streams a shard will host; new streams
+	// beyond the cap are dropped and counted. Zero means unlimited.
+	MaxStreamsPerShard int
+	// OnDrift, when set, is invoked synchronously on the shard goroutine for
+	// every drift (before the event is offered to the channel). It must be
+	// fast and safe for concurrent invocation across shards.
+	OnDrift func(Event)
+}
+
+func (c *Config) withDefaults() error {
+	if c.NewDetector == nil {
+		base := c.Detector
+		if base.Features < 1 || base.Classes < 2 {
+			return fmt.Errorf("monitor: Detector needs Features >= 1 and Classes >= 2 (got %d/%d); set Detector or NewDetector", base.Features, base.Classes)
+		}
+		c.NewDetector = func(streamID string) (detectors.Detector, error) {
+			cfg := base
+			// Decorrelate per-stream randomness while keeping every stream
+			// individually reproducible.
+			cfg.Seed = base.Seed ^ int64(fnv1a(streamID))
+			return core.NewDetector(cfg)
+		}
+		// Validate the template eagerly so misconfiguration surfaces at
+		// construction, not on the first ingest.
+		if _, err := c.NewDetector("monitor-probe"); err != nil {
+			return err
+		}
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.IdleTTL > 0 && c.GCInterval <= 0 {
+		c.GCInterval = c.IdleTTL / 4
+		if c.GCInterval < time.Second {
+			c.GCInterval = time.Second
+		}
+		if c.GCInterval > time.Minute {
+			c.GCInterval = time.Minute
+		}
+	}
+	return nil
+}
+
+// Event is one detected drift on one stream.
+type Event struct {
+	// StreamID identifies the drifted stream.
+	StreamID string
+	// Classes lists the classes the detector attributed the drift to
+	// (nil for detectors that cannot attribute).
+	Classes []int
+	// Seq is the observation count of the stream at detection time.
+	Seq uint64
+	// At is the wall-clock detection time.
+	At time.Time
+}
+
+// ErrClosed is returned by Ingest/TryIngest/Evict after Close.
+var ErrClosed = errors.New("monitor: closed")
+
+// Monitor is the sharded multi-stream drift-detection service. All methods
+// are safe for concurrent use.
+type Monitor struct {
+	cfg    Config
+	shards []*shard
+	events chan Event
+	start  time.Time
+
+	mu     sync.RWMutex // guards closed against in-flight sends
+	closed bool
+	wg     sync.WaitGroup
+
+	eventsDropped atomic.Uint64
+}
+
+// New builds and starts a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		cfg:    cfg,
+		events: make(chan Event, cfg.EventBuffer),
+		start:  time.Now(),
+	}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		s := &shard{
+			m:       m,
+			in:      make(chan envelope, cfg.QueueSize),
+			streams: make(map[string]*streamState),
+			// Pool of pointers: putting a *[]float64 into an interface is
+			// allocation-free, unlike a raw slice header.
+			pool: sync.Pool{New: func() any {
+				b := make([]float64, 0, 64)
+				return &b
+			}},
+		}
+		if cfg.Detector.Classes > 0 {
+			s.driftsByClass = make([]atomic.Uint64, cfg.Detector.Classes)
+		}
+		m.shards[i] = s
+		m.wg.Add(1)
+		go s.run()
+	}
+	return m, nil
+}
+
+// Ingest routes one observation to the given stream's detector, creating the
+// detector on first sight. It blocks when the stream's shard queue is full
+// (backpressure) and returns ErrClosed after Close. The observation's X
+// slice is copied; callers may reuse its backing array immediately.
+func (m *Monitor) Ingest(streamID string, o detectors.Observation) error {
+	s := m.shards[shardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	env := envelope{op: opIngest, id: streamID, obs: o}
+	env.buf = s.copyX(o.X)
+	env.obs.X = *env.buf
+	s.in <- env
+	return nil
+}
+
+// TryIngest is Ingest without backpressure: when the shard queue is full the
+// observation is dropped, counted, and false is returned.
+func (m *Monitor) TryIngest(streamID string, o detectors.Observation) (bool, error) {
+	s := m.shards[shardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	env := envelope{op: opIngest, id: streamID, obs: o}
+	env.buf = s.copyX(o.X)
+	env.obs.X = *env.buf
+	select {
+	case s.in <- env:
+		return true, nil
+	default:
+		s.pool.Put(env.buf)
+		s.dropped.Add(1)
+		return false, nil
+	}
+}
+
+// Evict asynchronously removes a stream and its detector.
+func (m *Monitor) Evict(streamID string) error {
+	s := m.shards[shardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	s.in <- envelope{op: opEvict, id: streamID}
+	return nil
+}
+
+// Events returns the drift-event channel. It is closed by Close after all
+// shards drain, so a range loop over it terminates cleanly.
+func (m *Monitor) Events() <-chan Event { return m.events }
+
+// Close stops ingestion, drains every shard queue, waits for the workers to
+// exit, and closes the event channel. It is idempotent.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, s := range m.shards {
+		close(s.in)
+	}
+	m.wg.Wait()
+	close(m.events)
+}
+
+// publish offers a drift event to the subscriber, dropping when the channel
+// is full so shards never stall on a slow consumer.
+func (m *Monitor) publish(ev Event) {
+	if m.cfg.OnDrift != nil {
+		m.cfg.OnDrift(ev)
+	}
+	select {
+	case m.events <- ev:
+	default:
+		m.eventsDropped.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time aggregate view of the monitor.
+type Snapshot struct {
+	// Shards is the worker count; Streams the live stream count.
+	Shards, Streams int
+	// Ingested / Drifts / Warnings count processed observations and
+	// detector signals since start.
+	Ingested, Drifts, Warnings uint64
+	// DriftsByClass breaks drifts down by attributed class (nil when the
+	// class count is unknown, i.e. a custom factory without Detector.Classes).
+	DriftsByClass []uint64
+	// Dropped counts TryIngest drops; EventsDropped counts drift events
+	// dropped on the full event channel; IdleEvicted counts idle-GC
+	// evictions; StreamErrors counts detector-factory failures and
+	// per-shard stream-cap rejections.
+	Dropped, EventsDropped, IdleEvicted, StreamErrors uint64
+	// ShardStreams / ShardIngested expose the per-shard balance.
+	ShardStreams  []int
+	ShardIngested []uint64
+	// Uptime is time since New; InstancesPerSec is Ingested / Uptime.
+	Uptime          time.Duration
+	InstancesPerSec float64
+}
+
+// Snapshot aggregates the per-shard statistics. It is cheap (atomic reads)
+// and safe to call at any time, including after Close.
+func (m *Monitor) Snapshot() Snapshot {
+	sn := Snapshot{
+		Shards:        len(m.shards),
+		EventsDropped: m.eventsDropped.Load(),
+		Uptime:        time.Since(m.start),
+		ShardStreams:  make([]int, len(m.shards)),
+		ShardIngested: make([]uint64, len(m.shards)),
+	}
+	if m.cfg.Detector.Classes > 0 {
+		sn.DriftsByClass = make([]uint64, m.cfg.Detector.Classes)
+	}
+	for i, s := range m.shards {
+		sn.ShardStreams[i] = int(s.streamCount.Load())
+		sn.ShardIngested[i] = s.ingested.Load()
+		sn.Streams += sn.ShardStreams[i]
+		sn.Ingested += sn.ShardIngested[i]
+		sn.Drifts += s.drifts.Load()
+		sn.Warnings += s.warnings.Load()
+		sn.Dropped += s.dropped.Load()
+		sn.IdleEvicted += s.idleEvicted.Load()
+		sn.StreamErrors += s.streamErrors.Load()
+		for k := range sn.DriftsByClass {
+			sn.DriftsByClass[k] += s.driftsByClass[k].Load()
+		}
+	}
+	if secs := sn.Uptime.Seconds(); secs > 0 {
+		sn.InstancesPerSec = float64(sn.Ingested) / secs
+	}
+	return sn
+}
+
+// Streams returns the number of live streams across all shards.
+func (m *Monitor) Streams() int {
+	n := 0
+	for _, s := range m.shards {
+		n += int(s.streamCount.Load())
+	}
+	return n
+}
+
+type opcode uint8
+
+const (
+	opIngest opcode = iota
+	opEvict
+)
+
+// envelope is one message on a shard's queue. buf owns the pooled copy of
+// obs.X and is returned to the shard's pool once the detector consumes it.
+type envelope struct {
+	op  opcode
+	id  string
+	obs detectors.Observation
+	buf *[]float64
+}
+
+// streamState is one stream's detector plus bookkeeping; owned exclusively
+// by its shard goroutine.
+type streamState struct {
+	det      detectors.Detector
+	seq      uint64
+	lastSeen time.Time
+}
+
+// shard is one worker: a goroutine draining a queue of observations for the
+// streams consistently hashed onto it. All mutable per-stream state is
+// confined to the goroutine; only the atomic counters are shared.
+type shard struct {
+	m       *Monitor
+	in      chan envelope
+	streams map[string]*streamState
+	pool    sync.Pool // []float64 buffers carrying copied X vectors
+
+	streamCount   atomic.Int64
+	ingested      atomic.Uint64
+	drifts        atomic.Uint64
+	warnings      atomic.Uint64
+	dropped       atomic.Uint64
+	idleEvicted   atomic.Uint64
+	streamErrors  atomic.Uint64
+	driftsByClass []atomic.Uint64
+}
+
+// copyX copies x into a pooled buffer so callers can reuse their slice the
+// moment Ingest returns; the buffer is returned to the pool after the
+// detector consumes it (steady state allocates nothing).
+func (s *shard) copyX(x []float64) *[]float64 {
+	bp := s.pool.Get().(*[]float64)
+	b := *bp
+	if cap(b) < len(x) {
+		b = make([]float64, 0, len(x))
+	}
+	b = b[:len(x)]
+	copy(b, x)
+	*bp = b
+	return bp
+}
+
+func (s *shard) run() {
+	defer s.m.wg.Done()
+	var gcC <-chan time.Time
+	if s.m.cfg.IdleTTL > 0 {
+		t := time.NewTicker(s.m.cfg.GCInterval)
+		defer t.Stop()
+		gcC = t.C
+	}
+	for {
+		select {
+		case env, ok := <-s.in:
+			if !ok {
+				return
+			}
+			s.handle(env)
+		case <-gcC:
+			s.gcIdle()
+		}
+	}
+}
+
+func (s *shard) handle(env envelope) {
+	switch env.op {
+	case opEvict:
+		if _, ok := s.streams[env.id]; ok {
+			delete(s.streams, env.id)
+			s.streamCount.Add(-1)
+		}
+	case opIngest:
+		st, ok := s.streams[env.id]
+		if !ok {
+			max := s.m.cfg.MaxStreamsPerShard
+			if max > 0 && len(s.streams) >= max {
+				s.streamErrors.Add(1)
+				s.pool.Put(env.buf)
+				return
+			}
+			det, err := s.m.cfg.NewDetector(env.id)
+			if err != nil {
+				s.streamErrors.Add(1)
+				s.pool.Put(env.buf)
+				return
+			}
+			st = &streamState{det: det}
+			s.streams[env.id] = st
+			s.streamCount.Add(1)
+		}
+		st.seq++
+		st.lastSeen = time.Now()
+		state := st.det.Update(env.obs)
+		s.pool.Put(env.buf)
+		s.ingested.Add(1)
+		switch state {
+		case detectors.Warning:
+			s.warnings.Add(1)
+		case detectors.Drift:
+			s.drifts.Add(1)
+			ev := Event{StreamID: env.id, Seq: st.seq, At: st.lastSeen}
+			if attr, ok := st.det.(detectors.ClassAttributor); ok {
+				ev.Classes = append(ev.Classes, attr.DriftClasses()...)
+			}
+			for _, k := range ev.Classes {
+				if k >= 0 && k < len(s.driftsByClass) {
+					s.driftsByClass[k].Add(1)
+				}
+			}
+			s.m.publish(ev)
+		}
+	}
+}
+
+// gcIdle evicts streams idle for longer than IdleTTL.
+func (s *shard) gcIdle() {
+	cutoff := time.Now().Add(-s.m.cfg.IdleTTL)
+	for id, st := range s.streams {
+		if st.lastSeen.Before(cutoff) {
+			delete(s.streams, id)
+			s.streamCount.Add(-1)
+			s.idleEvicted.Add(1)
+		}
+	}
+}

@@ -118,18 +118,27 @@ func (s *SlidingTrend) Window() int { return s.w }
 
 // Values returns the retained observations in chronological order.
 func (s *SlidingTrend) Values() []float64 {
+	return s.ValuesInto(nil)
+}
+
+// ValuesInto writes the retained observations in chronological order into
+// dst, reusing its backing array when large enough (the detector hot path
+// passes a struct-owned scratch slice to stay allocation-free). Returns the
+// filled slice.
+func (s *SlidingTrend) ValuesInto(dst []float64) []float64 {
 	n := s.Count()
-	out := make([]float64, 0, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	if s.full {
 		for i := 0; i < s.w; i++ {
-			out = append(out, s.hist[(s.head+i)%s.w])
+			dst[i] = s.hist[(s.head+i)%s.w]
 		}
-		return out
+		return dst
 	}
-	for i := 0; i < s.head; i++ {
-		out = append(out, s.hist[i])
-	}
-	return out
+	copy(dst, s.hist[:s.head])
+	return dst
 }
 
 // Slope returns the regression slope Qr(t) of Eq. 28 over the current

@@ -4,6 +4,7 @@ import (
 	"rbmim/internal/core"
 	"rbmim/internal/detectors"
 	"rbmim/internal/eval"
+	"rbmim/internal/monitor"
 	"rbmim/internal/realworld"
 	"rbmim/internal/stream"
 	"rbmim/internal/synth"
@@ -155,6 +156,32 @@ func NewDynamicImbalance(base Stream, irLow, irHigh float64, period, roleSwitchE
 	sched.RoleSwitchEvery = roleSwitchEvery
 	return stream.NewImbalanceWrapper(base, sched, seed)
 }
+
+// Multi-stream monitor re-exports: a sharded, concurrent service hosting one
+// independent drift detector per stream (see internal/monitor).
+type (
+	// Monitor multiplexes many independent streams over worker shards.
+	Monitor = monitor.Monitor
+	// MonitorConfig parameterizes a Monitor; the Detector field is the
+	// RBM-IM template applied to every stream.
+	MonitorConfig = monitor.Config
+	// MonitorEvent is one detected drift on one monitored stream.
+	MonitorEvent = monitor.Event
+	// MonitorSnapshot is a point-in-time aggregate view of a Monitor.
+	MonitorSnapshot = monitor.Snapshot
+	// DetectorFactory builds a detector for a newly observed stream
+	// (MonitorConfig.NewDetector).
+	DetectorFactory = monitor.Factory
+)
+
+// ErrMonitorClosed is returned by Monitor methods after Close.
+var ErrMonitorClosed = monitor.ErrClosed
+
+// NewMonitor builds and starts a sharded multi-stream drift monitor. Streams
+// are created lazily on first Ingest, placed on shards by consistent hashing
+// of the stream ID, and evicted explicitly or after MonitorConfig.IdleTTL of
+// inactivity.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
 
 // Evaluation harness re-exports.
 type (
