@@ -8,6 +8,7 @@
 // Usage:
 //
 //	driftbench [-run all|table3|ranks|bayes|fig8|fig9] [-scale 0.02] [-seed 42]
+//	           [-block 1]
 //
 // A full run at -scale 0.02 finishes in a few minutes on a laptop; use
 // -scale 1.0 for the paper's full stream lengths.
@@ -30,6 +31,7 @@ func main() {
 	window := flag.Int("window", 1000, "prequential metric window")
 	parallel := flag.Int("parallel", 0, "worker goroutines (default: NumCPU)")
 	rope := flag.Float64("rope", 1.0, "Bayesian signed test rope (metric points)")
+	blockSize := flag.Int("block", 1, "prequential block length fed to every pipeline (1 = classic per-instance loop)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -48,6 +50,7 @@ func main() {
 			Seed:         *seed,
 			MetricWindow: *window,
 			Parallelism:  *parallel,
+			BlockSize:    *blockSize,
 		})
 		if err != nil {
 			fail(err)
@@ -81,6 +84,7 @@ func main() {
 			Seed:         *seed,
 			MetricWindow: *window,
 			Parallelism:  *parallel,
+			BlockSize:    *blockSize,
 		})
 		if err != nil {
 			fail(err)
@@ -95,6 +99,7 @@ func main() {
 			Seed:         *seed,
 			MetricWindow: *window,
 			Parallelism:  *parallel,
+			BlockSize:    *blockSize,
 		})
 		if err != nil {
 			fail(err)

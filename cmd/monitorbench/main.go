@@ -10,12 +10,18 @@
 //
 //	monitorbench [-streams 256] [-instances 4000] [-features 20] [-classes 5]
 //	             [-shards 1,2,4,8] [-producers 0] [-drift]
+//	             [-batch 256] [-json BENCH_monitor.json]
 //
 // With -drift every stream undergoes a sudden concept change halfway
 // through, so the drift-event column should be non-zero for most streams.
+// With -batch N > 0 every shard count is swept twice — per-instance Ingest
+// and N-observation IngestBatch — and each batched row reports its speedup
+// over the per-instance row. With -json the run is appended as one record
+// to the given trajectory file (an array of runs, one per invocation).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +44,9 @@ func main() {
 	shardList := flag.String("shards", "", "comma-separated shard counts to sweep (default 1,2,4,...,NumCPU)")
 	producers := flag.Int("producers", 0, "producer goroutines (default NumCPU)")
 	drift := flag.Bool("drift", false, "inject a sudden drift halfway through every stream")
-	queue := flag.Int("queue", 4096, "per-shard queue capacity")
+	queue := flag.Int("queue", 4096, "per-shard queue capacity in observations (envelopes for batch mode are sized accordingly)")
+	batch := flag.Int("batch", 0, "IngestBatch block size; > 0 additionally sweeps the batched path against per-instance Ingest")
+	jsonPath := flag.String("json", "", "append this run's rows to the given JSON trajectory file")
 	flag.Parse()
 
 	shardCounts := parseShards(*shardList)
@@ -56,23 +64,104 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Printf("%-8s %-14s %-12s %-10s %-10s %s\n", "shards", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
-	var base float64
+	modes := []int{0}
+	if *batch > 0 {
+		modes = []int{0, *batch}
+	}
+	fmt.Printf("%-8s %-10s %-14s %-12s %-10s %-10s %s\n", "shards", "mode", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
+	var rows []runRow
+	base := map[int]float64{} // per-instance rate per shard count
+	var firstRate float64
 	for _, shards := range shardCounts {
-		res, err := runSweep(workload, *features, *classes, shards, *producers, *queue)
-		if err != nil {
+		for _, b := range modes {
+			res, err := runSweep(workload, *features, *classes, shards, *producers, *queue, b)
+			if err != nil {
+				fail(err)
+			}
+			mode := "single"
+			note := ""
+			if b > 0 {
+				mode = fmt.Sprintf("batch%d", b)
+				if s := base[shards]; s > 0 {
+					note = fmt.Sprintf("  (%.2fx vs single)", res.rate/s)
+				}
+			} else {
+				base[shards] = res.rate
+				if firstRate == 0 {
+					firstRate = res.rate
+				} else {
+					note = fmt.Sprintf("  (%.2fx vs 1 shard)", res.rate/firstRate)
+				}
+			}
+			fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s%s\n",
+				shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
+				res.drifts, res.streams, res.balance, note)
+			rows = append(rows, runRow{
+				Shards: shards, Batch: b, InstancesPerSec: res.rate,
+				WallMS: float64(res.wall.Microseconds()) / 1000,
+				Drifts: res.drifts, Streams: res.streams,
+			})
+		}
+	}
+	if *jsonPath != "" {
+		rec := runRecord{
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Config: runConfig{
+				Streams: *streams, Instances: *instances, Features: *features,
+				Classes: *classes, Producers: *producers, Queue: *queue,
+				Drift: *drift, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			},
+			Rows: rows,
+		}
+		if err := appendRecord(*jsonPath, rec); err != nil {
 			fail(err)
 		}
-		speedup := ""
-		if base == 0 {
-			base = res.rate
-		} else {
-			speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", res.rate/base)
-		}
-		fmt.Printf("%-8d %-14s %-12s %-10d %-10d %s%s\n",
-			shards, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
-			res.drifts, res.streams, res.balance, speedup)
+		fmt.Printf("\nappended run record to %s\n", *jsonPath)
 	}
+}
+
+// runRecord is one monitorbench invocation in the JSON trajectory file.
+type runRecord struct {
+	Generated string    `json:"generated"`
+	Config    runConfig `json:"config"`
+	Rows      []runRow  `json:"rows"`
+}
+
+type runConfig struct {
+	Streams    int  `json:"streams"`
+	Instances  int  `json:"instances"`
+	Features   int  `json:"features"`
+	Classes    int  `json:"classes"`
+	Producers  int  `json:"producers"`
+	Queue      int  `json:"queue"`
+	Drift      bool `json:"drift"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+}
+
+type runRow struct {
+	Shards          int     `json:"shards"`
+	Batch           int     `json:"batch"` // 0 = per-instance Ingest
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	WallMS          float64 `json:"wall_ms"`
+	Drifts          uint64  `json:"drifts"`
+	Streams         int     `json:"streams"`
+}
+
+// appendRecord appends rec to the JSON array at path (creating it when
+// missing), keeping the file a growing benchmark trajectory.
+func appendRecord(path string, rec runRecord) error {
+	var records []runRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("existing %s is not a run-record array: %w", path, err)
+		}
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 type workloadStream struct {
@@ -118,8 +207,17 @@ func buildWorkload(streams, instances, features, classes int, drift bool) ([]wor
 }
 
 // runSweep replays the whole workload through a fresh monitor with the given
-// shard count, producers feeding disjoint stream subsets.
-func runSweep(workload []workloadStream, features, classes, shards, producers, queue int) (sweepResult, error) {
+// shard count, producers feeding disjoint stream subsets. batch > 0 sends
+// the workload in IngestBatch blocks of that size; the queue capacity is
+// then scaled down so both modes bound the same number of in-flight
+// observations.
+func runSweep(workload []workloadStream, features, classes, shards, producers, queue, batch int) (sweepResult, error) {
+	qs := queue
+	if batch > 0 {
+		if qs = queue / batch; qs < 1 {
+			qs = 1
+		}
+	}
 	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
 		Detector: rbmim.DetectorConfig{
 			Features: features,
@@ -127,7 +225,7 @@ func runSweep(workload []workloadStream, features, classes, shards, producers, q
 			Seed:     7,
 		},
 		Shards:    shards,
-		QueueSize: queue,
+		QueueSize: qs,
 	})
 	if err != nil {
 		return sweepResult{}, err
@@ -146,6 +244,18 @@ func runSweep(workload []workloadStream, features, classes, shards, producers, q
 			defer wg.Done()
 			for s := p; s < len(workload); s += producers {
 				ws := workload[s]
+				if batch > 0 {
+					for i := 0; i < len(ws.obs); i += batch {
+						end := i + batch
+						if end > len(ws.obs) {
+							end = len(ws.obs)
+						}
+						if err := m.IngestBatch(ws.id, ws.obs[i:end]); err != nil {
+							return
+						}
+					}
+					continue
+				}
 				for i := range ws.obs {
 					if err := m.Ingest(ws.id, ws.obs[i]); err != nil {
 						return

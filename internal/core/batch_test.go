@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"rbmim/internal/detectors"
+	"rbmim/internal/stream"
+	"rbmim/internal/synth"
+)
+
+// driftObservations pre-draws a drifting stream so the sequential and
+// batched detectors consume the exact same instances.
+func driftObservations(t *testing.T, n int) []detectors.Observation {
+	t.Helper()
+	before, err := synth.NewRBF(synth.Config{Features: 10, Classes: 4, Seed: 5}, 3, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := synth.NewRBF(synth.Config{Features: 10, Classes: 4, Seed: 99}, 3, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.NewDriftStream(before, after, stream.Sudden, n/2, 0, 1)
+	obs := make([]detectors.Observation, n)
+	for i := range obs {
+		in := s.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	return obs
+}
+
+// TestUpdateBatchMatchesSequential is the core batched-path contract: for
+// every chunking, UpdateBatch must emit the exact per-observation states of
+// the sequential Update loop, and the RBM must end in the same weights (same
+// CD-k randomness consumed in the same order).
+func TestUpdateBatchMatchesSequential(t *testing.T) {
+	const n = 20000
+	obs := driftObservations(t, n)
+	for _, chunk := range []int{1, 7, 50, 256, 1000} {
+		seq, err := NewDetector(testConfig(10, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := NewDetector(testConfig(10, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]detectors.State, n)
+		for i := range obs {
+			want[i] = seq.Update(obs[i])
+		}
+		got := make([]detectors.State, n)
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			bat.UpdateBatch(obs[start:end], got[start:end])
+		}
+		drifts := 0
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d: state[%d] = %v batched, %v sequential", chunk, i, got[i], want[i])
+			}
+			if want[i] == detectors.Drift {
+				drifts++
+			}
+		}
+		if drifts == 0 {
+			t.Fatal("comparison stream produced no drift; the test is vacuous")
+		}
+		seqErr, batErr := seq.LastErrors(), bat.LastErrors()
+		for k := range seqErr {
+			if seqErr[k] != batErr[k] {
+				t.Fatalf("chunk=%d: class %d reconstruction error %v batched vs %v sequential", chunk, k, batErr[k], seqErr[k])
+			}
+		}
+	}
+}
+
+// TestUpdateBatchDriftClassesSurviveBlock checks the documented
+// BatchDetector attribution semantics: a drift signalled by a mini-batch in
+// the middle of a block must still be attributed after UpdateBatch returns,
+// even when later mini-batches in the same block are quiet.
+func TestUpdateBatchDriftClassesSurviveBlock(t *testing.T) {
+	const n = 24000
+	gen, err := synth.NewRBF(synth.Config{Features: 10, Classes: 5, Seed: 6}, 3, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream.NewLocalDriftInjector(gen, []int{3}, stream.Sudden, n/2, 0, 2)
+	obs := make([]detectors.Observation, n)
+	for i := range obs {
+		in := s.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	d, err := NewDetector(testConfig(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks of 1000 span 20 mini-batches of 50, so a drifting batch is
+	// almost always followed by quiet ones inside the same block.
+	const block = 1000
+	states := make([]detectors.State, block)
+	foundOnClass := false
+	for start := 0; start < n; start += block {
+		d.UpdateBatch(obs[start:start+block], states)
+		for i, st := range states {
+			if st != detectors.Drift || start+i < n/2 {
+				continue
+			}
+			for _, c := range d.DriftClasses() {
+				if c == 3 {
+					foundOnClass = true
+				}
+			}
+		}
+	}
+	if !foundOnClass {
+		t.Fatal("mid-block drift on class 3 lost its attribution after UpdateBatch")
+	}
+}
+
+// TestTrainBatchUnscoredMatchesTrainBatch verifies the amortization claim:
+// skipping the scoring pass must leave the weights bit-identical.
+func TestTrainBatchUnscoredMatchesTrainBatch(t *testing.T) {
+	build := func() *RBM {
+		r, err := NewRBM(RBMConfig{Visible: 8, Hidden: 16, Classes: 3, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := build(), build()
+	gen, err := synth.NewRBF(synth.Config{Features: 8, Classes: 3, Seed: 2}, 3, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 50)
+	ys := make([]int, 50)
+	for batch := 0; batch < 40; batch++ {
+		for i := range xs {
+			in := gen.Next()
+			xs[i] = in.X
+			ys[i] = in.Y
+		}
+		a.TrainBatch(xs, ys)
+		b.TrainBatchUnscored(xs, ys)
+	}
+	x := xs[0]
+	for y := 0; y < 3; y++ {
+		if ea, eb := a.ReconstructionError(x, y), b.ReconstructionError(x, y); ea != eb {
+			t.Fatalf("class %d: reconstruction error %v scored vs %v unscored", y, ea, eb)
+		}
+	}
+}

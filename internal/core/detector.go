@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"rbmim/internal/detectors"
 	"rbmim/internal/stats"
@@ -137,6 +138,9 @@ type Detector struct {
 	monitor  []*classMonitor
 	batches  int
 	drifted  []int
+	// blockDrifted accumulates the union of drifted classes across the
+	// mini-batches completed inside one UpdateBatch call.
+	blockDrifted []int
 	// historyCap bounds the retained per-class trend history: two Granger
 	// windows.
 	historyCap int
@@ -149,6 +153,7 @@ type Detector struct {
 }
 
 var _ detectors.Detector = (*Detector)(nil)
+var _ detectors.BatchDetector = (*Detector)(nil)
 var _ detectors.ClassAttributor = (*Detector)(nil)
 
 // NewDetector builds an RBM-IM detector for the given stream schema.
@@ -253,11 +258,59 @@ func (d *Detector) Update(o detectors.Observation) detectors.State {
 	return state
 }
 
+// UpdateBatch consumes a block of observations through the same scale →
+// mini-batch → CD-k path as Update, writing the per-observation state into
+// states; it implements detectors.BatchDetector. The per-observation states
+// and the detector's internal evolution are identical to calling Update in a
+// loop — batching amortizes the interface dispatch and bounds checks, and
+// lets the monitor and the evaluation pipeline move whole blocks at once.
+// After the call, DriftClasses lists the union of classes over every
+// mini-batch that drifted within the block (see detectors.BatchDetector).
+func (d *Detector) UpdateBatch(obs []detectors.Observation, states []detectors.State) {
+	d.blockDrifted = d.blockDrifted[:0]
+	blockDrifts := false
+	for i := range obs {
+		o := &obs[i]
+		if len(o.X) != d.cfg.Features {
+			panic(fmt.Sprintf("core: observation has %d features, detector configured for %d", len(o.X), d.cfg.Features))
+		}
+		d.scaler.Observe(o.X)
+		d.scaler.Scale(o.X, d.batchX[d.batchN])
+		d.batchY[d.batchN] = o.TrueClass
+		d.batchN++
+		if d.batchN < d.cfg.BatchSize {
+			states[i] = detectors.None
+			continue
+		}
+		states[i] = d.processBatch()
+		d.batchN = 0
+		if states[i] == detectors.Drift {
+			blockDrifts = true
+			for _, k := range d.drifted {
+				if !slices.Contains(d.blockDrifted, k) {
+					d.blockDrifted = append(d.blockDrifted, k)
+				}
+			}
+		}
+	}
+	// A drifting mini-batch followed by quiet ones inside the same block
+	// would leave d.drifted describing only the last batch; restore the
+	// block-wide union so DriftClasses matches the states the caller sees.
+	// Without any drift in the block, d.drifted keeps whatever the
+	// sequential loop would have left (allocation only on actual drifts).
+	if blockDrifts {
+		d.drifted = append([]int(nil), d.blockDrifted...)
+	}
+}
+
 // processBatch trains the RBM on the completed mini-batch and runs the
 // per-class trend + Granger drift tests.
 func (d *Detector) processBatch() detectors.State {
 	d.batches++
-	d.rbm.TrainBatch(d.batchX, d.batchY)
+	// The unscored variant skips the pre-update error pass behind
+	// TrainBatch's return value: Eq. 27 is evaluated below against the
+	// updated weights, so that pass would be discarded work.
+	d.rbm.TrainBatchUnscored(d.batchX, d.batchY)
 	if d.batches <= d.cfg.WarmupBatches {
 		return detectors.None
 	}

@@ -286,6 +286,21 @@ func (r *RBM) observeClass(y int) {
 // (weighted) reconstruction error of the batch. Steady-state calls perform
 // no heap allocations: all gradient and Gibbs scratch is struct-owned.
 func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
+	return r.trainBatch(xs, ys, true)
+}
+
+// TrainBatchUnscored performs the identical CD-k update without computing
+// the per-instance reconstruction errors behind TrainBatch's return value.
+// The detector's batched path scores every instance against the *updated*
+// weights afterwards (Eq. 27 is evaluated post-update), so TrainBatch's
+// pre-update errors would be discarded; skipping them removes three of the
+// roughly seven layer passes per instance. The scoring passes draw no
+// randomness, so the resulting weights are bit-identical to TrainBatch's.
+func (r *RBM) TrainBatchUnscored(xs [][]float64, ys []int) {
+	r.trainBatch(xs, ys, false)
+}
+
+func (r *RBM) trainBatch(xs [][]float64, ys []int, score bool) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
@@ -351,7 +366,9 @@ func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
 		for k := 0; k < Z; k++ {
 			gc[k] += weight * (z0[k] - r.zRecon[k])
 		}
-		totalErr += r.reconErrorFrom(x, z0)
+		if score {
+			totalErr += r.reconErrorFrom(x, z0)
+		}
 	}
 
 	// Apply momentum-smoothed updates (Eq. 17-21).

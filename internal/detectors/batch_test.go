@@ -1,0 +1,63 @@
+package detectors
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchObs draws a deterministic prequential outcome sequence whose error
+// rate jumps halfway, so detectors traverse warning and drift states during
+// the comparison (not just None).
+func batchObs(n int, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	obs := make([]Observation, n)
+	for i := range obs {
+		rate := 0.1
+		if i >= n/2 {
+			rate = 0.6
+		}
+		pred := 0
+		if rng.Float64() < rate {
+			pred = 1
+		}
+		obs[i] = Observation{TrueClass: 0, Predicted: pred}
+	}
+	return obs
+}
+
+func TestUpdateBatchAdapterMatchesSequential(t *testing.T) {
+	const n = 12000
+	obs := batchObs(n, 11)
+	for _, chunk := range []int{1, 7, 64, 256} {
+		seq := allDetectors()
+		bat := allDetectors()
+		for di := range seq {
+			want := make([]State, n)
+			for i := range obs {
+				want[i] = seq[di].Update(obs[i])
+			}
+			got := make([]State, n)
+			for start := 0; start < n; start += chunk {
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				UpdateBatch(bat[di], obs[start:end], got[start:end])
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s chunk=%d: state[%d] = %v via UpdateBatch, %v sequentially",
+						seq[di].Name(), chunk, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateBatchEmptyIsNoop(t *testing.T) {
+	d := NewDDM()
+	UpdateBatch(d, nil, nil)
+	if got := d.Update(Observation{TrueClass: 0, Predicted: 0}); got != None {
+		t.Fatalf("state after empty batch = %v, want None", got)
+	}
+}

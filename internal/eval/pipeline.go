@@ -47,6 +47,18 @@ type PipelineConfig struct {
 	// classifier, entering a reset storm. The detector is also Reset after
 	// each handled drift, as MOA's drift-handling wrappers do.
 	Cooldown int
+	// BlockSize is the prequential block length B: each iteration predicts
+	// (and records metrics for) a block of up to B instances, updates the
+	// detector over the whole block in one detectors.UpdateBatch call, then
+	// applies drift handling and classifier training per instance in order.
+	// The default 1 reproduces the classic per-instance test-then-train
+	// loop exactly; larger blocks amortize dispatch and engage the
+	// detectors' native batched paths — the block-based prequential
+	// processing of the online class-imbalance literature — at the cost of
+	// intra-block staleness (predictions inside a block are made before the
+	// classifier trains on the block's earlier instances, and drift
+	// handling runs after the whole block's detector states are known).
+	BlockSize int
 }
 
 func (c *PipelineConfig) fill() {
@@ -65,6 +77,9 @@ func (c *PipelineConfig) fill() {
 	if c.Cooldown <= 0 {
 		c.Cooldown = c.MetricWindow / 2
 	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1
+	}
 }
 
 // Result summarizes one prequential run.
@@ -81,6 +96,10 @@ type Result struct {
 	Kappa    float64
 	// Signals is the list of instance indices where drift was signalled.
 	Signals []int
+	// Warnings counts the Warning states the detector emitted over the run.
+	// Warnings buy no adaptation (see PipelineConfig.AdaptWindow) but are a
+	// cheap chattiness diagnostic next to FalseAlarms.
+	Warnings int
 	// DetectorSeconds is the cumulative wall time spent inside
 	// Detector.Update ("test + self-update" time of Table III).
 	DetectorSeconds float64
@@ -98,10 +117,14 @@ type Result struct {
 	MeanDelay float64
 }
 
-// RunPipeline executes the prequential test-then-train loop: predict,
-// record metrics, update the detector, adapt the classifier on drift
-// signals, and train the classifier while in warmup or inside a
-// detector-opened adaptation window (see PipelineConfig.AdaptWindow).
+// RunPipeline executes the prequential test-then-train loop in blocks of
+// PipelineConfig.BlockSize: predict and record metrics for a block, update
+// the detector over the whole block (one detectors.UpdateBatch call —
+// batched detectors take their native path), then, per instance in order,
+// adapt the classifier on drift signals and train it while in warmup or
+// inside a detector-opened adaptation window (see
+// PipelineConfig.AdaptWindow). BlockSize 1 is exactly the classic
+// per-instance loop.
 func RunPipeline(s stream.Stream, det detectors.Detector, cfg PipelineConfig) Result {
 	cfg.fill()
 	schema := s.Schema()
@@ -114,46 +137,80 @@ func RunPipeline(s stream.Stream, det detectors.Detector, cfg PipelineConfig) Re
 	coolUntil := 0
 	// Recent-instance ring used to rebuild the classifier on drift signals
 	// (the MOA background-learner pattern: a false alarm costs little
-	// because the replacement is retrained on the recent window).
+	// because the replacement is retrained on the recent window). The ring
+	// owns its feature buffers: X is copied in (slot capacity reused, so the
+	// steady state allocates nothing), which keeps the replay window intact
+	// even if a stream implementation reuses the backing arrays it emits.
+	// Today's generators all allocate a fresh X per Next (audited:
+	// internal/synth, internal/stream wrappers, internal/realworld), so the
+	// copy is pure insurance — but replay integrity should not depend on an
+	// unstated contract with every future stream.
 	ring := make([]stream.Instance, 0, 2*cfg.MetricWindow)
 	ringPos := 0
-	for i := 0; i < cfg.Instances; i++ {
-		in := s.Next()
-		pred, scores := tree.Predict(in.X)
-		preq.Add(in.Y, pred, scores)
-
-		obs := detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: pred, Scores: scores}
+	// Block staging. Scores returned by Predict view per-leaf scratch that
+	// the next Predict may overwrite, so each block observation gets its own
+	// row of a flat scores slab.
+	B := cfg.BlockSize
+	blockIns := make([]stream.Instance, B)
+	blockObs := make([]detectors.Observation, B)
+	blockStates := make([]detectors.State, B)
+	scoresSlab := make([]float64, B*schema.Classes)
+	for base := 0; base < cfg.Instances; base += B {
+		n := B
+		if rem := cfg.Instances - base; rem < n {
+			n = rem
+		}
+		// Test phase: predict and record metrics for the whole block. The
+		// block holds instances across Next calls, so each slot keeps a
+		// defensive copy of X (same ownership contract as the ring below) —
+		// a stream that reuses its backing arrays must not be able to
+		// rewrite the block behind the detector's and classifier's backs.
+		for j := 0; j < n; j++ {
+			copyInstance(&blockIns[j], s.Next())
+			in := blockIns[j]
+			pred, scores := tree.Predict(in.X)
+			preq.Add(in.Y, pred, scores)
+			row := scoresSlab[j*schema.Classes : (j+1)*schema.Classes]
+			copy(row, scores)
+			blockObs[j] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: pred, Scores: row}
+		}
+		// Detector phase: one batched update over the block ("test +
+		// self-update" time of Table III).
 		t0 := time.Now()
-		state := det.Update(obs)
+		detectors.UpdateBatch(det, blockObs[:n], blockStates[:n])
 		detTime += time.Since(t0)
-
-		switch state {
-		case detectors.Drift:
-			if i >= coolUntil {
-				res.Signals = append(res.Signals, i)
-				t1 := time.Now()
-				adaptClassifier(tree, det, ring)
-				adaptTime += time.Since(t1)
-				det.Reset()
-				coolUntil = i + cfg.Cooldown
-				if i+cfg.AdaptWindow > trainUntil {
-					trainUntil = i + cfg.AdaptWindow
+		// Handling + train phase, per instance in block order.
+		for j := 0; j < n; j++ {
+			i := base + j
+			in := blockIns[j]
+			switch blockStates[j] {
+			case detectors.Drift:
+				if i >= coolUntil {
+					res.Signals = append(res.Signals, i)
+					t1 := time.Now()
+					adaptClassifier(tree, det, ring)
+					adaptTime += time.Since(t1)
+					det.Reset()
+					coolUntil = i + cfg.Cooldown
+					if i+cfg.AdaptWindow > trainUntil {
+						trainUntil = i + cfg.AdaptWindow
+					}
 				}
+			case detectors.Warning:
+				// Warnings are counted but buy no adaptation (and therefore
+				// no training), so chatty detectors cannot subsidize a
+				// frozen classifier with a stream of warnings.
+				res.Warnings++
 			}
-		case detectors.Warning:
-			// Warnings are informational: adaptation (and therefore
-			// training) is bought by drift signals only, so chatty
-			// detectors cannot subsidize a frozen classifier with a stream
-			// of warnings.
-		}
-		if cfg.TrainContinuously || i < trainUntil {
-			tree.Train(in.X, in.Y)
-		}
-		if len(ring) < cap(ring) {
-			ring = append(ring, in)
-		} else if cap(ring) > 0 {
-			ring[ringPos] = in
-			ringPos = (ringPos + 1) % cap(ring)
+			if cfg.TrainContinuously || i < trainUntil {
+				tree.Train(in.X, in.Y)
+			}
+			if len(ring) < cap(ring) {
+				ring = append(ring, in.Clone())
+			} else if cap(ring) > 0 {
+				copyInstance(&ring[ringPos], in)
+				ringPos = (ringPos + 1) % cap(ring)
+			}
 		}
 	}
 	preq.Finish()
@@ -165,6 +222,20 @@ func RunPipeline(s stream.Stream, det detectors.Detector, cfg PipelineConfig) Re
 	res.AdaptSeconds = adaptTime.Seconds()
 	scoreDrifts(&res, s, cfg)
 	return res
+}
+
+// copyInstance overwrites a block or ring slot with a defensive copy of in,
+// reusing the slot's X buffer when it is large enough so the steady state
+// allocates nothing.
+func copyInstance(slot *stream.Instance, in stream.Instance) {
+	if cap(slot.X) >= len(in.X) {
+		slot.X = slot.X[:len(in.X)]
+	} else {
+		slot.X = make([]float64, len(in.X))
+	}
+	copy(slot.X, in.X)
+	slot.Y = in.Y
+	slot.Weight = in.Weight
 }
 
 // adaptClassifier applies the drift signal to the base learner: a local

@@ -73,6 +73,23 @@ func WriteTable3(w io.Writer, out *Table3Output) {
 		fmt.Fprintf(w, " %9.4f", sum/maxFloat(n, 1))
 	}
 	fmt.Fprintln(w, " |")
+
+	// Warning chattiness: average Warning states per 1k instances across
+	// streams (drift signals are already visible via the ranks and the
+	// sweep tables; warnings were previously discarded).
+	fmt.Fprintf(w, "%-14s |", "warn/1k inst")
+	for j := range cols {
+		sum, n := 0.0, 0.0
+		for _, row := range out.Rows {
+			r := row.Results[j]
+			if r.Instances > 0 {
+				sum += float64(r.Warnings) / float64(r.Instances) * 1000
+				n++
+			}
+		}
+		fmt.Fprintf(w, " %9.2f", sum/maxFloat(n, 1))
+	}
+	fmt.Fprintln(w, " |")
 }
 
 // WriteRankAnalysis renders the Friedman test and the Bonferroni-Dunn

@@ -39,6 +39,9 @@ type SweepConfig struct {
 	// Values overrides the swept values (Figure 8: class counts 1..K;
 	// Figure 9: IRs 50..500).
 	Values []int
+	// BlockSize is the prequential block length forwarded to every pipeline
+	// (see PipelineConfig.BlockSize; default 1 = per-instance loop).
+	BlockSize int
 }
 
 func (c *SweepConfig) fill() {
@@ -183,6 +186,7 @@ func runSweep(cfg SweepConfig, specs []ArtificialSpec,
 					Instances:    n,
 					MetricWindow: cfg.MetricWindow,
 					Seed:         cfg.Seed + int64(j.detector),
+					BlockSize:    cfg.BlockSize,
 				})
 				res.Stream = spec.Name
 				results <- done{job: j, res: res}

@@ -24,6 +24,9 @@ type Table3Config struct {
 	Benchmarks []string
 	// IncludeExtras adds the DDM/EDDM/ADWIN/HDDM-A baselines to the grid.
 	IncludeExtras bool
+	// BlockSize is the prequential block length forwarded to every pipeline
+	// (see PipelineConfig.BlockSize; default 1 = per-instance loop).
+	BlockSize int
 }
 
 // Table3Row is one stream's results across detectors.
@@ -122,6 +125,7 @@ func RunTable3(cfg Table3Config) (*Table3Output, error) {
 					Instances:    n,
 					MetricWindow: cfg.MetricWindow,
 					Seed:         cfg.Seed + int64(j.detector),
+					BlockSize:    cfg.BlockSize,
 				})
 				res.Stream = b.Name
 				results <- done{job: j, res: res}

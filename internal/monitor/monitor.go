@@ -20,7 +20,11 @@
 // (FNV-1a + jump hash), so placement is deterministic, balanced, and maximally
 // stable under shard-count changes. Each shard is a single goroutine that
 // owns its streams' detectors outright — no locks on the hot path — and
-// drains a buffered channel of observations. Detectors are created lazily on
+// drains a buffered channel of observations in micro-batches: every wakeup
+// pulls whatever is queued (bounded), groups it per stream, and hands each
+// stream's run to its detector in one UpdateBatch call. Producers with
+// blocks of observations should use IngestBatch, which moves a whole block
+// through the queue in a single copied slab. Detectors are created lazily on
 // first ingest, evicted explicitly via Evict, or garbage-collected after
 // Config.IdleTTL without traffic.
 package monitor
@@ -38,10 +42,12 @@ import (
 )
 
 // Factory builds a fresh detector for a newly observed stream. The monitor
-// hands each detector observations whose X slice is a pooled buffer that is
-// reused the moment Update returns, so detectors built by a Factory must
-// not retain o.X past Update (copy it if they need history; RBM-IM and all
-// bundled baselines already comply).
+// hands each detector observations whose X and Scores slices view a pooled
+// slab that is reused the moment the detector consumed them, so detectors
+// built by a Factory must not retain o.X or o.Scores past Update /
+// UpdateBatch (copy them if they need history; RBM-IM and all bundled
+// baselines already comply). Detectors implementing detectors.BatchDetector
+// receive whole micro-batches in one call.
 type Factory func(streamID string) (detectors.Detector, error)
 
 // Config parameterizes a Monitor. The zero value of every field except
@@ -169,12 +175,10 @@ func New(cfg Config) (*Monitor, error) {
 			m:       m,
 			in:      make(chan envelope, cfg.QueueSize),
 			streams: make(map[string]*streamState),
-			// Pool of pointers: putting a *[]float64 into an interface is
-			// allocation-free, unlike a raw slice header.
-			pool: sync.Pool{New: func() any {
-				b := make([]float64, 0, 64)
-				return &b
-			}},
+			groups:  make(map[string]*obsGroup),
+			// Pool of pointers: putting a *batchBuf into an interface is
+			// allocation-free, unlike a value would be.
+			pool: sync.Pool{New: func() any { return new(batchBuf) }},
 		}
 		if cfg.Detector.Classes > 0 {
 			s.driftsByClass = make([]atomic.Uint64, cfg.Detector.Classes)
@@ -188,8 +192,9 @@ func New(cfg Config) (*Monitor, error) {
 
 // Ingest routes one observation to the given stream's detector, creating the
 // detector on first sight. It blocks when the stream's shard queue is full
-// (backpressure) and returns ErrClosed after Close. The observation's X
-// slice is copied; callers may reuse its backing array immediately.
+// (backpressure) and returns ErrClosed after Close. The observation's X and
+// Scores slices are copied; callers may reuse their backing arrays
+// immediately.
 func (m *Monitor) Ingest(streamID string, o detectors.Observation) error {
 	s := m.shards[shardFor(streamID, len(m.shards))]
 	m.mu.RLock()
@@ -197,10 +202,28 @@ func (m *Monitor) Ingest(streamID string, o detectors.Observation) error {
 	if m.closed {
 		return ErrClosed
 	}
-	env := envelope{op: opIngest, id: streamID, obs: o}
-	env.buf = s.copyX(o.X)
-	env.obs.X = *env.buf
-	s.in <- env
+	s.in <- envelope{op: opIngest, id: streamID, bat: s.copyOne(o)}
+	return nil
+}
+
+// IngestBatch routes a block of observations for one stream through a single
+// queue operation: all X and Scores slices are copied into one pooled slab,
+// the block travels as one envelope (one channel hop instead of len(obs)),
+// and the shard hands it to the stream's detector in one UpdateBatch call.
+// Per-stream observation order is preserved. Like Ingest it blocks when the
+// shard queue is full and returns ErrClosed after Close; callers may reuse
+// every backing array the moment it returns. An empty block is a no-op.
+func (m *Monitor) IngestBatch(streamID string, obs []detectors.Observation) error {
+	s := m.shards[shardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if len(obs) == 0 {
+		return nil
+	}
+	s.in <- envelope{op: opIngest, id: streamID, bat: s.copyBatch(obs)}
 	return nil
 }
 
@@ -213,15 +236,37 @@ func (m *Monitor) TryIngest(streamID string, o detectors.Observation) (bool, err
 	if m.closed {
 		return false, ErrClosed
 	}
-	env := envelope{op: opIngest, id: streamID, obs: o}
-	env.buf = s.copyX(o.X)
-	env.obs.X = *env.buf
+	env := envelope{op: opIngest, id: streamID, bat: s.copyOne(o)}
 	select {
 	case s.in <- env:
 		return true, nil
 	default:
-		s.pool.Put(env.buf)
+		s.pool.Put(env.bat)
 		s.dropped.Add(1)
+		return false, nil
+	}
+}
+
+// TryIngestBatch is IngestBatch without backpressure: when the shard queue
+// is full the whole block is dropped, its observations counted as dropped,
+// and false is returned.
+func (m *Monitor) TryIngestBatch(streamID string, obs []detectors.Observation) (bool, error) {
+	s := m.shards[shardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	if len(obs) == 0 {
+		return true, nil
+	}
+	env := envelope{op: opIngest, id: streamID, bat: s.copyBatch(obs)}
+	select {
+	case s.in <- env:
+		return true, nil
+	default:
+		s.pool.Put(env.bat)
+		s.dropped.Add(uint64(len(obs)))
 		return false, nil
 	}
 }
@@ -282,10 +327,11 @@ type Snapshot struct {
 	// DriftsByClass breaks drifts down by attributed class (nil when the
 	// class count is unknown, i.e. a custom factory without Detector.Classes).
 	DriftsByClass []uint64
-	// Dropped counts TryIngest drops; EventsDropped counts drift events
-	// dropped on the full event channel; IdleEvicted counts idle-GC
-	// evictions; StreamErrors counts detector-factory failures and
-	// per-shard stream-cap rejections.
+	// Dropped counts observations dropped by TryIngest / TryIngestBatch on
+	// full shard queues; EventsDropped counts drift events dropped on the
+	// full event channel; IdleEvicted counts idle-GC evictions; StreamErrors
+	// counts observations rejected by detector-factory failures and
+	// per-shard stream-cap limits (MaxStreamsPerShard).
 	Dropped, EventsDropped, IdleEvicted, StreamErrors uint64
 	// ShardStreams / ShardIngested expose the per-shard balance.
 	ShardStreams  []int
@@ -344,13 +390,21 @@ const (
 	opEvict
 )
 
-// envelope is one message on a shard's queue. buf owns the pooled copy of
-// obs.X and is returned to the shard's pool once the detector consumes it.
+// batchBuf is the pooled carrier of one Ingest/IngestBatch call: the copied
+// observations, whose X and Scores slices view slab — one allocation-free
+// block per queue hop instead of one pooled buffer per observation.
+type batchBuf struct {
+	obs  []detectors.Observation
+	slab []float64
+}
+
+// envelope is one message on a shard's queue. bat owns the pooled copies of
+// the observations (nil for opEvict) and is returned to the shard's pool
+// once the detector consumed the block.
 type envelope struct {
 	op  opcode
 	id  string
-	obs detectors.Observation
-	buf *[]float64
+	bat *batchBuf
 }
 
 // streamState is one stream's detector plus bookkeeping; owned exclusively
@@ -361,14 +415,37 @@ type streamState struct {
 	lastSeen time.Time
 }
 
+// obsGroup accumulates one stream's observations across the envelopes of a
+// micro-batch, keeping the owning batchBufs alive until the flush.
+type obsGroup struct {
+	obs  []detectors.Observation
+	bats []*batchBuf
+}
+
+// microBatch bounds how many envelopes one shard wakeup drains before
+// flushing. It trades per-observation channel/dispatch overhead against
+// event latency: 128 envelopes is far below queue capacity, so a drift is
+// never delayed by more than one flush of work already queued anyway.
+const microBatch = 128
+
 // shard is one worker: a goroutine draining a queue of observations for the
-// streams consistently hashed onto it. All mutable per-stream state is
-// confined to the goroutine; only the atomic counters are shared.
+// streams consistently hashed onto it. Every wakeup drains the queue in a
+// micro-batch, groups the observations per stream, and feeds each stream's
+// run to its detector in one UpdateBatch call. All mutable per-stream state
+// is confined to the goroutine; only the atomic counters are shared.
 type shard struct {
 	m       *Monitor
 	in      chan envelope
 	streams map[string]*streamState
-	pool    sync.Pool // []float64 buffers carrying copied X vectors
+	pool    sync.Pool // *batchBuf slabs carrying copied observations
+
+	// Micro-batch scratch, reused across wakeups so the steady-state drain
+	// allocates nothing: per-stream groups (map + first-appearance order +
+	// freelist) and the per-flush detector states.
+	groups    map[string]*obsGroup
+	order     []string
+	groupFree []*obsGroup
+	states    []detectors.State
 
 	streamCount   atomic.Int64
 	ingested      atomic.Uint64
@@ -380,19 +457,57 @@ type shard struct {
 	driftsByClass []atomic.Uint64
 }
 
-// copyX copies x into a pooled buffer so callers can reuse their slice the
-// moment Ingest returns; the buffer is returned to the pool after the
-// detector consumes it (steady state allocates nothing).
-func (s *shard) copyX(x []float64) *[]float64 {
-	bp := s.pool.Get().(*[]float64)
-	b := *bp
-	if cap(b) < len(x) {
-		b = make([]float64, 0, len(x))
+// appendObs copies o's X (and Scores, when present) onto slab and returns
+// the rewritten observation whose slices view slab. Callers presize slab so
+// the appends never relocate earlier observations' views.
+func appendObs(slab []float64, o detectors.Observation) ([]float64, detectors.Observation) {
+	start := len(slab)
+	slab = append(slab, o.X...)
+	o.X = slab[start:len(slab):len(slab)]
+	if o.Scores != nil {
+		start = len(slab)
+		slab = append(slab, o.Scores...)
+		o.Scores = slab[start:len(slab):len(slab)]
 	}
-	b = b[:len(x)]
-	copy(b, x)
-	*bp = b
-	return bp
+	return slab, o
+}
+
+// copyOne copies a single observation into a pooled batchBuf so callers can
+// reuse their slices the moment Ingest returns (steady state allocates
+// nothing).
+func (s *shard) copyOne(o detectors.Observation) *batchBuf {
+	bat := s.pool.Get().(*batchBuf)
+	if need := len(o.X) + len(o.Scores); cap(bat.slab) < need {
+		bat.slab = make([]float64, 0, need)
+	}
+	bat.slab = bat.slab[:0]
+	if cap(bat.obs) < 1 {
+		bat.obs = make([]detectors.Observation, 0, 16)
+	}
+	bat.obs = bat.obs[:1]
+	bat.slab, bat.obs[0] = appendObs(bat.slab, o)
+	return bat
+}
+
+// copyBatch copies a block of observations into one pooled slab.
+func (s *shard) copyBatch(obs []detectors.Observation) *batchBuf {
+	bat := s.pool.Get().(*batchBuf)
+	need := 0
+	for i := range obs {
+		need += len(obs[i].X) + len(obs[i].Scores)
+	}
+	if cap(bat.slab) < need {
+		bat.slab = make([]float64, 0, need)
+	}
+	bat.slab = bat.slab[:0]
+	if cap(bat.obs) < len(obs) {
+		bat.obs = make([]detectors.Observation, 0, len(obs))
+	}
+	bat.obs = bat.obs[:len(obs)]
+	for i := range obs {
+		bat.slab, bat.obs[i] = appendObs(bat.slab, obs[i])
+	}
+	return bat
 }
 
 func (s *shard) run() {
@@ -403,66 +518,172 @@ func (s *shard) run() {
 		defer t.Stop()
 		gcC = t.C
 	}
+	pending := make([]envelope, 0, microBatch)
 	for {
 		select {
 		case env, ok := <-s.in:
 			if !ok {
 				return
 			}
-			s.handle(env)
+			// Drain whatever else is already queued (bounded) so the
+			// per-stream grouping below amortizes detector dispatch over
+			// the whole micro-batch.
+			pending = append(pending[:0], env)
+		drain:
+			for len(pending) < microBatch {
+				select {
+				case env, ok := <-s.in:
+					if !ok {
+						s.process(pending)
+						return
+					}
+					pending = append(pending, env)
+				default:
+					break drain
+				}
+			}
+			s.process(pending)
 		case <-gcC:
 			s.gcIdle()
 		}
 	}
 }
 
-func (s *shard) handle(env envelope) {
-	switch env.op {
-	case opEvict:
-		if _, ok := s.streams[env.id]; ok {
-			delete(s.streams, env.id)
-			s.streamCount.Add(-1)
+// process groups a drained micro-batch per stream and flushes each stream's
+// run through its detector once. Per-stream observation order is preserved:
+// observations accumulate in arrival order and an Evict flushes the stream's
+// queued observations before removing it.
+func (s *shard) process(pending []envelope) {
+	for _, env := range pending {
+		switch env.op {
+		case opEvict:
+			if g, ok := s.groups[env.id]; ok {
+				s.flush(env.id, g)
+			}
+			if _, ok := s.streams[env.id]; ok {
+				delete(s.streams, env.id)
+				s.streamCount.Add(-1)
+			}
+		case opIngest:
+			g, ok := s.groups[env.id]
+			if !ok {
+				g = s.getGroup()
+				s.groups[env.id] = g
+				s.order = append(s.order, env.id)
+			}
+			g.obs = append(g.obs, env.bat.obs...)
+			g.bats = append(g.bats, env.bat)
 		}
-	case opIngest:
-		st, ok := s.streams[env.id]
-		if !ok {
-			max := s.m.cfg.MaxStreamsPerShard
-			if max > 0 && len(s.streams) >= max {
-				s.streamErrors.Add(1)
-				s.pool.Put(env.buf)
-				return
-			}
-			det, err := s.m.cfg.NewDetector(env.id)
-			if err != nil {
-				s.streamErrors.Add(1)
-				s.pool.Put(env.buf)
-				return
-			}
-			st = &streamState{det: det}
-			s.streams[env.id] = st
-			s.streamCount.Add(1)
+	}
+	for _, id := range s.order {
+		g := s.groups[id]
+		if len(g.obs) > 0 {
+			s.flush(id, g)
 		}
-		st.seq++
-		st.lastSeen = time.Now()
-		state := st.det.Update(env.obs)
-		s.pool.Put(env.buf)
-		s.ingested.Add(1)
-		switch state {
-		case detectors.Warning:
-			s.warnings.Add(1)
-		case detectors.Drift:
-			s.drifts.Add(1)
-			ev := Event{StreamID: env.id, Seq: st.seq, At: st.lastSeen}
-			if attr, ok := st.det.(detectors.ClassAttributor); ok {
-				ev.Classes = append(ev.Classes, attr.DriftClasses()...)
-			}
-			for _, k := range ev.Classes {
-				if k >= 0 && k < len(s.driftsByClass) {
-					s.driftsByClass[k].Add(1)
+		delete(s.groups, id)
+		s.putGroup(g)
+	}
+	s.order = s.order[:0]
+}
+
+func (s *shard) getGroup() *obsGroup {
+	if n := len(s.groupFree); n > 0 {
+		g := s.groupFree[n-1]
+		s.groupFree = s.groupFree[:n-1]
+		return g
+	}
+	return &obsGroup{}
+}
+
+func (s *shard) putGroup(g *obsGroup) {
+	s.groupFree = append(s.groupFree, g)
+}
+
+// release returns a flushed group's batchBufs to the pool and resets it for
+// reuse within the same micro-batch (an Evict may flush mid-batch).
+func (s *shard) release(g *obsGroup) {
+	for i, bat := range g.bats {
+		s.pool.Put(bat)
+		g.bats[i] = nil
+	}
+	g.bats = g.bats[:0]
+	g.obs = g.obs[:0]
+}
+
+// flush runs one stream's accumulated observations through its detector,
+// creating the detector on first sight, and records states and drift events.
+func (s *shard) flush(id string, g *obsGroup) {
+	n := len(g.obs)
+	st, ok := s.streams[id]
+	if !ok {
+		if max := s.m.cfg.MaxStreamsPerShard; max > 0 && len(s.streams) >= max {
+			s.streamErrors.Add(uint64(n))
+			s.release(g)
+			return
+		}
+		det, err := s.m.cfg.NewDetector(id)
+		if err != nil {
+			s.streamErrors.Add(uint64(n))
+			s.release(g)
+			return
+		}
+		st = &streamState{det: det}
+		s.streams[id] = st
+		s.streamCount.Add(1)
+	}
+	now := time.Now()
+	st.lastSeen = now
+	if bd, ok := st.det.(detectors.BatchDetector); ok {
+		if cap(s.states) < n {
+			s.states = make([]detectors.State, n)
+		}
+		states := s.states[:n]
+		bd.UpdateBatch(g.obs, states)
+		// Batched attribution is per block: DriftClasses after UpdateBatch
+		// is the union over the block's drifting mini-batches, so every
+		// drift event of this flush carries the same class list.
+		var classes []int
+		if attr, ok := st.det.(detectors.ClassAttributor); ok {
+			classes = attr.DriftClasses()
+		}
+		for _, state := range states {
+			st.seq++
+			s.tally(id, st, state, classes, now)
+		}
+	} else {
+		// Legacy detectors keep exact per-observation attribution: classes
+		// are read immediately after the Update that signalled the drift.
+		for i := range g.obs {
+			st.seq++
+			state := st.det.Update(g.obs[i])
+			var classes []int
+			if state == detectors.Drift {
+				if attr, ok := st.det.(detectors.ClassAttributor); ok {
+					classes = attr.DriftClasses()
 				}
 			}
-			s.m.publish(ev)
+			s.tally(id, st, state, classes, now)
 		}
+	}
+	s.ingested.Add(uint64(n))
+	s.release(g)
+}
+
+// tally records one observation's detector state and publishes drift events.
+func (s *shard) tally(id string, st *streamState, state detectors.State, classes []int, now time.Time) {
+	switch state {
+	case detectors.Warning:
+		s.warnings.Add(1)
+	case detectors.Drift:
+		s.drifts.Add(1)
+		ev := Event{StreamID: id, Seq: st.seq, At: now}
+		ev.Classes = append(ev.Classes, classes...)
+		for _, k := range ev.Classes {
+			if k >= 0 && k < len(s.driftsByClass) {
+				s.driftsByClass[k].Add(1)
+			}
+		}
+		s.m.publish(ev)
 	}
 }
 

@@ -27,6 +27,19 @@ const (
 // reference detectors.
 type Detector = detectors.Detector
 
+// BatchDetector is implemented by detectors with a native batched update
+// path (RBM-IM). UpdateBatch is observationally equivalent to a sequential
+// Update loop; batching amortizes dispatch and scratch setup per block.
+type BatchDetector = detectors.BatchDetector
+
+// UpdateBatch feeds a block of observations to det, taking its native
+// batched path when it implements BatchDetector and falling back to a
+// per-observation loop otherwise. states must have at least len(obs)
+// elements; states[i] is the state Update would have returned for obs[i].
+func UpdateBatch(det Detector, obs []Observation, states []State) {
+	detectors.UpdateBatch(det, obs, states)
+}
+
 // ClassAttributor is implemented by detectors that attribute drifts to
 // specific classes (RBM-IM, DDM-OCI).
 type ClassAttributor = detectors.ClassAttributor
@@ -180,7 +193,9 @@ var ErrMonitorClosed = monitor.ErrClosed
 // NewMonitor builds and starts a sharded multi-stream drift monitor. Streams
 // are created lazily on first Ingest, placed on shards by consistent hashing
 // of the stream ID, and evicted explicitly or after MonitorConfig.IdleTTL of
-// inactivity.
+// inactivity. Producers holding blocks of observations should prefer
+// Monitor.IngestBatch: a block travels the shard queue as one slab-copied
+// envelope and reaches the stream's detector in one batched update.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
 
 // Evaluation harness re-exports.
