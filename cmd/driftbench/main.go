@@ -8,16 +8,21 @@
 // Usage:
 //
 //	driftbench [-run all|table3|ranks|bayes|fig8|fig9] [-scale 0.02] [-seed 42]
-//	           [-block 1]
+//	           [-block 1] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // A full run at -scale 0.02 finishes in a few minutes on a laptop; use
-// -scale 1.0 for the paper's full stream lengths.
+// -scale 1.0 for the paper's full stream lengths. The -cpuprofile and
+// -memprofile flags write pprof profiles of the selected experiments so
+// performance PRs can ship before/after evidence (see EXPERIMENTS.md,
+// "Profiling the reproduction").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,7 +37,48 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (default: NumCPU)")
 	rope := flag.Float64("rope", 1.0, "Bayesian signed test rope (metric points)")
 	blockSize := flag.Int("block", 1, "prequential block length fed to every pipeline (1 = classic per-instance loop)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "driftbench:", err)
+				return
+			}
+			fmt.Printf("wrote CPU profile to %s\n", *cpuprofile)
+		}
+		defer flushProfiles()
+	}
+	if *memprofile != "" {
+		writeHeapProfile = func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "driftbench:", err)
+				return
+			}
+			runtime.GC() // materialize the steady-state live set
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "driftbench:", err)
+				return
+			}
+			fmt.Printf("wrote heap profile to %s\n", *memprofile)
+		}
+		defer flushProfiles()
+	}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*run, ",") {
@@ -110,7 +156,26 @@ func main() {
 	fmt.Printf("done in %s\n", time.Since(started).Round(time.Second))
 }
 
+// stopCPUProfile / writeHeapProfile are installed by main when the
+// corresponding flags are set; flushProfiles runs each at most once, both
+// on the normal defer path and from fail — os.Exit skips defers, and a
+// truncated CPU profile of a failed run is exactly the artifact one wants
+// most.
+var stopCPUProfile, writeHeapProfile func()
+
+func flushProfiles() {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
+	if writeHeapProfile != nil {
+		writeHeapProfile()
+		writeHeapProfile = nil
+	}
+}
+
 func fail(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "driftbench:", err)
 	os.Exit(1)
 }

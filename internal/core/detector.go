@@ -144,8 +144,10 @@ type Detector struct {
 	// historyCap bounds the retained per-class trend history: two Granger
 	// windows.
 	historyCap int
-	// Per-batch scratch: per-class reconstruction-error sums/counts and the
-	// regression buffers of trendCandidate.
+	// Per-batch scratch: the batched per-instance reconstruction errors,
+	// per-class error sums/counts, and the regression buffers of
+	// trendCandidate.
+	errs      []float64
 	errSums   []float64
 	errCounts []int
 	xsScratch []float64
@@ -195,6 +197,10 @@ func NewDetector(cfg Config) (*Detector, error) {
 		d.batchX[i] = d.batchBuf[i*cfg.Features : (i+1)*cfg.Features : (i+1)*cfg.Features]
 	}
 	d.batchY = make([]int, cfg.BatchSize)
+	d.errs = make([]float64, cfg.BatchSize)
+	// Pre-grow the RBM's batch-major matrices for the configured mini-batch
+	// so the detector never allocates on the hot path, first batch included.
+	rbm.ensureBatch(cfg.BatchSize)
 	d.errSums = make([]float64, cfg.Classes)
 	d.errCounts = make([]int, cfg.Classes)
 	// The adaptive window is clamped to 4*TrendWindow, so these scratch
@@ -318,17 +324,20 @@ func (d *Detector) processBatch() detectors.State {
 	warning := false
 	// Per-class mean reconstruction error over the instances of the class
 	// in this mini-batch (Eq. 27). Classes absent from the batch get no
-	// update, so minority series are sparse but always fresh.
+	// update, so minority series are sparse but always fresh. Scoring runs
+	// batch-major (ScoreBatch: three blocked layer passes for the whole
+	// mini-batch, bit-identical to per-instance ReconstructionError calls).
 	sums := d.errSums
 	counts := d.errCounts
 	clear(sums)
 	clear(counts)
-	for i, x := range d.batchX {
+	d.rbm.ScoreBatch(d.batchX, d.batchY, d.errs)
+	for i := range d.batchX {
 		y := d.batchY[i]
 		if y < 0 || y >= d.cfg.Classes {
 			continue
 		}
-		sums[y] += d.rbm.ReconstructionError(x, y)
+		sums[y] += d.errs[i]
 		counts[y]++
 	}
 	for k, m := range d.monitor {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTrainBatchKernels measures one CD-1 update per observation for
+// the two training paths at the shapes the kernel refactor targets
+// (V ∈ {20, 80}, H = 2V, Z = 5, batch ∈ {32, 256}):
+//
+//   - "batch": the production batch-major path (blocked kernels, per-batch
+//     weight table).
+//   - "seq": the frozen pre-kernel reference — per-instance matvec layer
+//     passes with the pre-PR per-instance class weighting.
+//
+// ns/op is per mini-batch; the ns/obs metric is comparable across paths and
+// sizes and is the number BENCH_core.json tracks (scripts/benchguard fails
+// CI when the batch path regresses against the committed baseline).
+func BenchmarkTrainBatchKernels(b *testing.B) {
+	const Z = 5
+	for _, V := range []int{20, 80} {
+		for _, bn := range []int{32, 256} {
+			draw := seqBatchStream(int64(V*1000+bn), V, Z)
+			xs, ys := draw(bn)
+			newRBM := func(b *testing.B) *RBM {
+				r, err := NewRBM(RBMConfig{
+					Visible: V, Hidden: 2 * V, Classes: Z,
+					LearningRate: 0.5, Momentum: 0.9, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return r
+			}
+			perObs := func(b *testing.B) {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(bn), "ns/obs")
+			}
+			b.Run(fmt.Sprintf("V%d/B%d/batch", V, bn), func(b *testing.B) {
+				r := newRBM(b)
+				r.TrainBatchUnscored(xs, ys) // grow the matrices outside the timing
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.TrainBatchUnscored(xs, ys)
+				}
+				perObs(b)
+			})
+			b.Run(fmt.Sprintf("V%d/B%d/seq", V, bn), func(b *testing.B) {
+				r := newRBM(b)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					seqTrainBatch(r, xs, ys, true, false)
+				}
+				perObs(b)
+			})
+		}
+	}
+}
+
+// BenchmarkScoreBatch measures the batched Eq. 26 scorer against the
+// per-instance ReconstructionError loop it replaced in the detector. The
+// reference sub-benchmark is named "seq" so scripts/benchguard pairs it
+// with "batch" for the speedup floor.
+func BenchmarkScoreBatch(b *testing.B) {
+	const V, H, Z, bn = 20, 40, 5, 50
+	draw := seqBatchStream(6, V, Z)
+	xs, ys := draw(bn)
+	errs := make([]float64, bn)
+	newRBM := func(b *testing.B) *RBM {
+		r, err := NewRBM(RBMConfig{Visible: V, Hidden: H, Classes: Z, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.TrainBatchUnscored(xs, ys)
+		return r
+	}
+	perObs := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(bn), "ns/obs")
+	}
+	b.Run("batch", func(b *testing.B) {
+		r := newRBM(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.ScoreBatch(xs, ys, errs)
+		}
+		perObs(b)
+	})
+	b.Run("seq", func(b *testing.B) {
+		r := newRBM(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for n := range xs {
+				errs[n] = r.ReconstructionError(xs[n], ys[n])
+			}
+		}
+		perObs(b)
+	})
+}

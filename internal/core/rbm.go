@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"rbmim/internal/kernels"
 )
 
 // RBMConfig parameterizes the skew-insensitive RBM (Table II row "RBM-IM").
@@ -74,15 +76,28 @@ func (c *RBMConfig) Validate() error {
 	return nil
 }
 
+// countRescaleFloor triggers the periodic re-materialization of the
+// lazily-decayed class counts: when the global decay multiplier shrinks past
+// it, the scaled counts are folded down and the multiplier resets to 1.
+// 1e-12 keeps both the multiplier and its cached inverse far from the
+// float64 range limits while making the O(Z) fold-down amortize over
+// ~27k observations at the default decay.
+const countRescaleFloor = 1e-12
+
 // RBM is the three-layer network of Eq. 6-12: visible layer v (features),
 // hidden layer h, and class layer z with softmax activation. Weights W
 // connect v-h and U connects h-z.
 //
 // Both weight matrices are stored flat in row-major order — w[i*H+j] is
-// W_ij, u[j*Z+k] is U_jk — so every inner loop of the Gibbs sampler and the
-// gradient accumulation walks memory sequentially, and all scratch needed by
-// TrainBatch / ReconstructionError lives on the struct: steady-state
-// training and scoring perform zero heap allocations.
+// W_ij, u[j*Z+k] is U_jk — and training is batch-major: TrainBatch packs the
+// mini-batch into struct-owned [B×V]/[B×H]/[B×Z] matrices and runs every
+// Gibbs layer pass as one blocked product over the whole batch
+// (internal/kernels), instead of B per-instance matvecs. The kernels
+// preserve each output element's exact accumulation order and CD-k
+// randomness is pre-drawn in instance order, so the resulting weights are
+// bit-identical to the per-instance loop (pinned at CD-1 and CD-4 by the
+// regression tests in seqref_test.go). All scratch lives on the struct:
+// steady-state training and scoring perform zero heap allocations.
 type RBM struct {
 	cfg RBMConfig
 	rng *rand.Rand
@@ -93,6 +108,19 @@ type RBM struct {
 	b []float64 // hidden biases
 	c []float64 // class biases
 
+	// Per-batch transposes of w and u (wT is [Hidden][Visible], uT is
+	// [Classes][Hidden]). The Gibbs chain's h→v and z→h passes run as
+	// zero-skipping MatMul against these instead of MatMulT against w/u:
+	// the chain's hidden input is always a sampled {0,1} state and its
+	// class input starts one-hot, so the row-level skip halves the h→v
+	// work and reduces the z→h pass to one row-add per instance. The
+	// transpose costs O(VH + HZ) once per mini-batch.
+	wT []float64
+	uT []float64
+	// wuStale marks wT/uT as out of date (set by the weight update, cleared
+	// by ensureTransposed).
+	wuStale bool
+
 	// Momentum buffers (same layouts as w / u).
 	dw []float64
 	du []float64
@@ -100,21 +128,49 @@ type RBM struct {
 	db []float64
 	dc []float64
 
-	// Class-balanced loss state: decayed per-class counts (Eq. 13).
+	// Class-balanced loss state (Eq. 13): lazily-decayed per-class counts.
+	// The true count of class k is classCounts[k] * countScale; observeClass
+	// multiplies countScale by the decay once (O(1)) instead of walking all
+	// Z counts, and adds countGain (= 1/countScale, maintained incrementally)
+	// for the observed class. countScale is folded back into the counts
+	// whenever it passes countRescaleFloor.
 	classCounts []float64
+	countScale  float64
+	countGain   float64
 
-	// Gibbs / reconstruction scratch reused across calls.
-	hProb, hState  []float64
-	vProb          []float64
-	zProb          []float64
-	hRecon, vRecon []float64
-	zRecon         []float64
+	// Per-batch class-weight table: wTab[k] is the normalized Eq. 13 weight
+	// shared by every instance of class k in the current mini-batch, wVec its
+	// per-instance expansion.
+	wTab []float64
+	wVec []float64
+
+	// Single-instance scoring scratch (ReconstructionError, ClassScores).
+	hProb  []float64
+	vProb  []float64
+	zProb  []float64
+	zLabel []float64 // class-input scratch (one-hot / uniform)
 
 	// TrainBatch gradient scratch (same layouts as the parameters).
 	gw, gu     []float64
 	ga, gb, gc []float64
-	z0         []float64
-	zLabel     []float64 // one-hot scratch for ReconstructionError
+
+	// Batch-major matrices, grown once to the largest mini-batch seen. The
+	// inputs, one-hot labels and pre-drawn CD-k uniforms hold the whole
+	// batch (B rows); the Gibbs-chain activations only ever hold one
+	// trainTile-row tile — the chain runs tile by tile so its working set
+	// stays cache-resident at large B (tiling is invisible to the results:
+	// instances never interact inside a pass, and the gradient tiles
+	// accumulate in ascending instance order).
+	batchCap   int
+	xMat       []float64 // [B×V]
+	z0Mat      []float64 // [B×Z]
+	hPos       []float64 // [tile×H] P(h | v=x, z=1_y)
+	hSt        []float64 // [tile×H] sampled positive states
+	hRec       []float64 // [tile×H] chain hidden layer
+	vRec       []float64 // [tile×V] chain visible layer
+	zRec       []float64 // [tile×Z] chain class layer
+	uRand      []float64 // [B×GibbsSteps×H] pre-drawn uniforms
+	trainSteps int       // GibbsSteps snapshot backing uRand's layout
 }
 
 // NewRBM builds the network with small random weights.
@@ -126,6 +182,9 @@ func NewRBM(cfg RBMConfig) (*RBM, error) {
 	V, H, Z := cfg.Visible, cfg.Hidden, cfg.Classes
 	r.w = gaussianSlice(r.rng, V*H, 0.1)
 	r.u = gaussianSlice(r.rng, H*Z, 0.1)
+	r.wT = make([]float64, V*H)
+	r.uT = make([]float64, H*Z)
+	r.wuStale = true
 	r.a = make([]float64, V)
 	r.b = make([]float64, H)
 	r.c = make([]float64, Z)
@@ -135,20 +194,19 @@ func NewRBM(cfg RBMConfig) (*RBM, error) {
 	r.db = make([]float64, H)
 	r.dc = make([]float64, Z)
 	r.classCounts = make([]float64, Z)
+	r.countScale = 1
+	r.countGain = 1
+	r.wTab = make([]float64, Z)
 	r.hProb = make([]float64, H)
-	r.hState = make([]float64, H)
 	r.vProb = make([]float64, V)
 	r.zProb = make([]float64, Z)
-	r.hRecon = make([]float64, H)
-	r.vRecon = make([]float64, V)
-	r.zRecon = make([]float64, Z)
+	r.zLabel = make([]float64, Z)
 	r.gw = make([]float64, V*H)
 	r.gu = make([]float64, H*Z)
 	r.ga = make([]float64, V)
 	r.gb = make([]float64, H)
 	r.gc = make([]float64, Z)
-	r.z0 = make([]float64, Z)
-	r.zLabel = make([]float64, Z)
+	r.trainSteps = cfg.GibbsSteps
 	return r, nil
 }
 
@@ -163,9 +221,89 @@ func gaussianSlice(rng *rand.Rand, n int, sd float64) []float64 {
 	return s
 }
 
+// trainTile is the number of instances the Gibbs chain and the gradient
+// pass move through the kernels at once. 64 keeps every activation tile
+// (tile×H plus tile×V rows) within a few hundred kilobytes for the paper's
+// stream widths, so each layer pass re-reads cache-resident tiles instead
+// of streaming whole-batch matrices from L2/L3 at large block sizes.
+const trainTile = 64
+
+// ensureBatch grows the batch-major matrices to hold bn rows. Growth happens
+// at most a handful of times (callers reuse a fixed mini-batch size), after
+// which training is allocation-free.
+func (r *RBM) ensureBatch(bn int) {
+	if bn <= r.batchCap {
+		return
+	}
+	V, H, Z := r.cfg.Visible, r.cfg.Hidden, r.cfg.Classes
+	tile := bn
+	if tile > trainTile {
+		tile = trainTile
+	}
+	r.xMat = make([]float64, bn*V)
+	r.z0Mat = make([]float64, bn*Z)
+	r.hPos = make([]float64, tile*H)
+	r.hSt = make([]float64, tile*H)
+	r.hRec = make([]float64, tile*H)
+	r.vRec = make([]float64, tile*V)
+	r.zRec = make([]float64, tile*Z)
+	r.uRand = make([]float64, bn*r.trainSteps*H)
+	r.wVec = make([]float64, bn)
+	r.batchCap = bn
+}
+
+// ensureTransposed refreshes wT and uT from the current w and u when a
+// weight update left them stale — at most once per trainBatch or ScoreBatch
+// call (the weights only change in trainBatch's final update step).
+func (r *RBM) ensureTransposed() {
+	if !r.wuStale {
+		return
+	}
+	r.wuStale = false
+	V, H, Z := r.cfg.Visible, r.cfg.Hidden, r.cfg.Classes
+	for i := 0; i < V; i++ {
+		row := r.w[i*H : i*H+H]
+		for j, wij := range row {
+			r.wT[j*V+i] = wij
+		}
+	}
+	for j := 0; j < H; j++ {
+		row := r.u[j*Z : j*Z+Z]
+		for k, ujk := range row {
+			r.uT[k*H+j] = ujk
+		}
+	}
+}
+
+// packBatch copies the mini-batch into the struct-owned input and one-hot
+// label matrices. Out-of-range labels produce an all-zero class row, exactly
+// like the one-hot scratch of the per-instance path.
+func (r *RBM) packBatch(xs [][]float64, ys []int) (xMat, z0 []float64) {
+	V, Z := r.cfg.Visible, r.cfg.Classes
+	B := len(xs)
+	r.ensureBatch(B)
+	xMat = r.xMat[:B*V]
+	z0 = r.z0Mat[:B*Z]
+	for n, x := range xs {
+		if len(x) != V {
+			panic(fmt.Sprintf("core: instance has %d features, RBM configured for %d", len(x), V))
+		}
+		copy(xMat[n*V:n*V+V], x)
+	}
+	clear(z0)
+	for n, y := range ys[:B] {
+		if y >= 0 && y < Z {
+			z0[n*Z+y] = 1
+		}
+	}
+	return xMat, z0
+}
+
 // hiddenProbs computes P(h_j | v, z) of Eq. 10 into dst. The v-h pass
 // accumulates row-by-row over w so memory access stays sequential; the z-h
-// pass dots each contiguous u row against z.
+// pass dots each contiguous u row against z. (Single-instance path, used by
+// the scoring helpers; training runs the same passes batch-major through
+// internal/kernels.)
 func (r *RBM) hiddenProbs(v []float64, z []float64, dst []float64) {
 	H, Z := r.cfg.Hidden, r.cfg.Classes
 	copy(dst, r.b)
@@ -217,23 +355,13 @@ func (r *RBM) classProbs(h []float64, dst []float64) {
 			dst[k] += hj * ujk
 		}
 	}
-	maxS := math.Inf(-1)
-	for _, s := range dst {
-		if s > maxS {
-			maxS = s
-		}
-	}
-	sum := 0.0
-	for k := range dst {
-		dst[k] = math.Exp(dst[k] - maxS)
-		sum += dst[k]
-	}
-	for k := range dst {
-		dst[k] /= sum
-	}
+	kernels.Softmax(dst)
 }
 
-// sampleBinary draws Bernoulli states from probabilities.
+// sampleBinary draws Bernoulli states from probabilities, consuming one
+// uniform per element from the RBM's generator. (Kept for the sequential
+// reference path in tests; trainBatch pre-draws the identical uniforms via
+// sampleBinaryPre.)
 func (r *RBM) sampleBinary(p []float64, dst []float64) {
 	for i, pi := range p {
 		if r.rng.Float64() < pi {
@@ -244,11 +372,31 @@ func (r *RBM) sampleBinary(p []float64, dst []float64) {
 	}
 }
 
+// sampleBinaryPre draws Bernoulli states from probabilities using pre-drawn
+// uniforms: dst[i] = 1 iff u[i] < p[i], the exact comparison sampleBinary
+// performs against a fresh draw. The comparison is computed branchlessly
+// from the sign of u-p (for finite operands u < p iff u-p is strictly
+// negative: IEEE gradual underflow keeps u-p nonzero whenever u != p, and
+// u == p yields +0.0) — the data-dependent branch would mispredict half the
+// time on well-trained probabilities.
+func sampleBinaryPre(u, p, dst []float64) {
+	u = u[:len(p)]
+	dst = dst[:len(p)]
+	for i, pi := range p {
+		dst[i] = float64(math.Float64bits(u[i]-pi) >> 63)
+	}
+}
+
+// count returns the decayed observation count of class k (Eq. 13's n_k),
+// materializing the lazy global decay multiplier.
+func (r *RBM) count(k int) float64 { return r.classCounts[k] * r.countScale }
+
 // classWeight returns the class-balanced loss weight of Eq. 13 for class m:
 // (1 - beta) / (1 - beta^{n_m}), normalized so the average weight over
-// observed classes is 1.
+// observed classes is 1. TrainBatch computes the same table once per batch
+// (computeBatchWeights); this per-class form serves diagnostics and tests.
 func (r *RBM) classWeight(m int) float64 {
-	n := r.classCounts[m]
+	n := r.count(m)
 	if n < 1 {
 		n = 1
 	}
@@ -257,7 +405,7 @@ func (r *RBM) classWeight(m int) float64 {
 	// learning-rate scale is imbalance-invariant.
 	sum, cnt := 0.0, 0
 	for k := range r.classCounts {
-		nk := r.classCounts[k]
+		nk := r.count(k)
 		if nk < 1 {
 			continue
 		}
@@ -270,21 +418,81 @@ func (r *RBM) classWeight(m int) float64 {
 	return w / (sum / float64(cnt))
 }
 
-// observeClass updates the decayed class counts feeding the balanced loss.
+// observeClass updates the decayed class counts feeding the balanced loss in
+// O(1): the decay of all Z counts is a single multiply on the global scale,
+// and the increment is pre-scaled by the cached inverse. The scale is folded
+// back into the counts before it can underflow (or its inverse overflow).
 func (r *RBM) observeClass(y int) {
-	for k := range r.classCounts {
-		r.classCounts[k] *= r.cfg.CountDecay
+	d := r.cfg.CountDecay
+	r.countScale *= d
+	r.countGain /= d
+	if r.countScale < countRescaleFloor {
+		for k := range r.classCounts {
+			r.classCounts[k] *= r.countScale
+		}
+		r.countScale = 1
+		r.countGain = 1
 	}
 	if y >= 0 && y < r.cfg.Classes {
-		r.classCounts[y]++
+		r.classCounts[y] += r.countGain
+	}
+}
+
+// computeBatchWeights observes every label of the mini-batch and rebuilds
+// the per-batch class-weight table (Eq. 13, normalized to mean 1 over seen
+// classes — the same arithmetic as classWeight, factored so the O(Z·pow)
+// normalization runs once per batch instead of once per instance). Every
+// instance of class k in the batch shares wTab[k]; out-of-range labels get
+// the neutral weight 1. See DESIGN.md for the exactness argument versus the
+// per-instance weighting this replaces.
+func (r *RBM) computeBatchWeights(ys []int) {
+	for _, y := range ys {
+		r.observeClass(y)
+	}
+	beta := r.cfg.Beta
+	sum, cnt := 0.0, 0
+	for k := range r.wTab {
+		n := r.count(k)
+		seen := n >= 1
+		if n < 1 {
+			n = 1
+		}
+		wk := (1 - beta) / (1 - math.Pow(beta, n))
+		r.wTab[k] = wk
+		if seen {
+			sum += wk
+			cnt++
+		}
+	}
+	if cnt == 0 || sum == 0 {
+		for k := range r.wTab {
+			r.wTab[k] = 1
+		}
+	} else {
+		mean := sum / float64(cnt)
+		for k := range r.wTab {
+			r.wTab[k] /= mean
+		}
+	}
+	if len(r.wVec) < len(ys) {
+		r.wVec = make([]float64, len(ys))
+	}
+	wVec := r.wVec[:len(ys)]
+	for i, y := range ys {
+		if y >= 0 && y < len(r.wTab) {
+			wVec[i] = r.wTab[y]
+		} else {
+			wVec[i] = 1
+		}
 	}
 }
 
 // TrainBatch performs one CD-k update (Eq. 15-21) over the mini-batch of
 // scaled feature vectors xs with labels ys, applying the class-balanced
 // gradient weighting. Inputs must be scaled to [0,1]. Returns the mean
-// (weighted) reconstruction error of the batch. Steady-state calls perform
-// no heap allocations: all gradient and Gibbs scratch is struct-owned.
+// reconstruction error of the batch against the pre-update weights.
+// Steady-state calls perform no heap allocations: all matrices and gradient
+// scratch are struct-owned.
 func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
 	return r.trainBatch(xs, ys, true)
 }
@@ -293,109 +501,231 @@ func (r *RBM) TrainBatch(xs [][]float64, ys []int) float64 {
 // the per-instance reconstruction errors behind TrainBatch's return value.
 // The detector's batched path scores every instance against the *updated*
 // weights afterwards (Eq. 27 is evaluated post-update), so TrainBatch's
-// pre-update errors would be discarded; skipping them removes three of the
-// roughly seven layer passes per instance. The scoring passes draw no
-// randomness, so the resulting weights are bit-identical to TrainBatch's.
+// pre-update errors would be discarded; skipping them removes the three
+// scoring layer passes. The scoring passes draw no randomness, so the
+// resulting weights are bit-identical to TrainBatch's.
 func (r *RBM) TrainBatchUnscored(xs [][]float64, ys []int) {
 	r.trainBatch(xs, ys, false)
 }
 
+// trainBatch is the batch-major CD-k core: it packs the mini-batch into
+// [B×V]/[B×H]/[B×Z] matrices and runs every Gibbs layer pass as one blocked
+// kernel over the whole batch. The kernels preserve each element's exact
+// accumulation order and the Bernoulli uniforms are pre-drawn in instance
+// order (positive phase first, then each chain step, per instance — the
+// order a per-instance loop consumes them), so the updated weights are
+// bit-identical to sequential per-instance training; only the class-weight
+// table (computed once per batch, see computeBatchWeights) deviates from the
+// original per-instance weighting, within the tolerance documented in
+// DESIGN.md.
 func (r *RBM) trainBatch(xs [][]float64, ys []int, score bool) float64 {
-	if len(xs) == 0 {
+	B := len(xs)
+	if B == 0 {
 		return 0
 	}
 	V, H, Z := r.cfg.Visible, r.cfg.Hidden, r.cfg.Classes
+	xMat, z0 := r.packBatch(xs, ys)
+	r.computeBatchWeights(ys[:B])
+	r.ensureTransposed()
+
+	// Pre-draw all CD-k randomness in the per-instance consumption order:
+	// instance n's positive-phase draws occupy uRand[n*kH : n*kH+H], its
+	// chain-step s draws the following H-wide windows.
+	steps := r.cfg.GibbsSteps
+	kH := steps * H
+	ur := r.uRand[:B*kH]
+	for i := range ur {
+		ur[i] = r.rng.Float64()
+	}
+
+	// Gradient accumulators, filled tile by tile below.
 	gw, gu := r.gw, r.gu
 	ga, gb, gc := r.ga, r.gb, r.gc
-	z0 := r.z0
 	clear(gw)
 	clear(gu)
 	clear(ga)
 	clear(gb)
 	clear(gc)
+	wVec := r.wVec[:B]
 	totalErr := 0.0
 
-	for n := range xs {
-		x, y := xs[n], ys[n]
-		r.observeClass(y)
-		weight := r.classWeight(y)
-		for k := range z0 {
-			z0[k] = 0
+	// The positive phase, Gibbs chain, gradient accumulation and optional
+	// scoring run over trainTile-instance tiles: instances never interact
+	// inside a layer pass and the gradient tiles land in ascending instance
+	// order, so tiling leaves every result bit-identical while the
+	// activation tiles stay cache-resident at large B.
+	for t0 := 0; t0 < B; t0 += trainTile {
+		t1 := t0 + trainTile
+		if t1 > B {
+			t1 = B
 		}
-		if y >= 0 && y < Z {
-			z0[y] = 1
-		}
-		// Positive phase: h ~ P(h | v = x, z = 1_y) (Eq. 25).
-		r.hiddenProbs(x, z0, r.hProb)
-		copy(r.hState, r.hProb)
-		r.sampleBinary(r.hProb, r.hState)
+		tb := t1 - t0
+		xT := xMat[t0*V : t1*V]
+		z0T := z0[t0*Z : t1*Z]
+		wTile := wVec[t0:t1]
 
-		// Gibbs chain (CD-k): alternate reconstruction of (v, z) and h.
-		copy(r.vRecon, x)
-		copy(r.zRecon, z0)
-		hCur := r.hState
-		for step := 0; step < r.cfg.GibbsSteps; step++ {
-			r.visibleProbs(hCur, r.vRecon)
-			r.classProbs(hCur, r.zRecon)
-			r.hiddenProbs(r.vRecon, r.zRecon, r.hRecon)
-			if step < r.cfg.GibbsSteps-1 {
-				r.sampleBinary(r.hRecon, r.hRecon)
-			}
-			hCur = r.hRecon
+		// Positive phase: h ~ P(h | v = x, z = 1_y) (Eq. 25). The one-hot
+		// class rows go through the transposed MatMul, whose zero-skip
+		// reduces the z→h pass to one uT row-add per instance. The skip is
+		// exact here (and in every chain pass below) because MatMul's
+		// accumulators are seeded from the biases, which round-to-nearest
+		// addition can never drive to -0.0 — so the skipped `s += ±0.0`
+		// terms of the unskipped per-instance loops are no-ops (see the
+		// MatMul docs; the bit-identity regression tests pin this end to
+		// end).
+		hPos := r.hPos[:tb*H]
+		kernels.Broadcast(hPos, r.b, tb)
+		kernels.MatMul(hPos, xT, r.w, tb, V, H)
+		kernels.MatMul(hPos, z0T, r.uT, tb, Z, H)
+		kernels.Sigmoid(hPos)
+		hSt := r.hSt[:tb*H]
+		for n := 0; n < tb; n++ {
+			off := (t0 + n) * kH
+			sampleBinaryPre(ur[off:off+H], hPos[n*H:n*H+H], hSt[n*H:n*H+H])
 		}
 
-		// Accumulate weighted gradients: E_data[..] - E_recon[..].
-		for i := 0; i < V; i++ {
-			xi, vi := x[i], r.vRecon[i]
-			ga[i] += weight * (xi - vi)
-			wxi, wvi := weight*xi, weight*vi
-			grow := gw[i*H : i*H+H]
-			for j := range grow {
-				grow[j] += wxi*r.hProb[j] - wvi*r.hRecon[j]
+		// Gibbs chain (CD-k): alternate reconstruction of (v, z) and h, one
+		// blocked layer pass per step over the tile. hCur is always a
+		// sampled {0,1} state, so the transposed h→v pass skips roughly
+		// half its rows.
+		vRec := r.vRec[:tb*V]
+		zRec := r.zRec[:tb*Z]
+		hRec := r.hRec[:tb*H]
+		hCur := hSt
+		for step := 0; step < steps; step++ {
+			kernels.Broadcast(vRec, r.a, tb)
+			kernels.MatMul(vRec, hCur, r.wT, tb, H, V)
+			kernels.Sigmoid(vRec)
+			kernels.Broadcast(zRec, r.c, tb)
+			kernels.MatMul(zRec, hCur, r.u, tb, H, Z)
+			for n := 0; n < tb; n++ {
+				kernels.Softmax(zRec[n*Z : n*Z+Z])
 			}
-		}
-		for j := 0; j < H; j++ {
-			hp, hr := r.hProb[j], r.hRecon[j]
-			gb[j] += weight * (hp - hr)
-			whp, whr := weight*hp, weight*hr
-			grow := gu[j*Z : j*Z+Z]
-			for k := range grow {
-				grow[k] += whp*z0[k] - whr*r.zRecon[k]
+			kernels.Broadcast(hRec, r.b, tb)
+			kernels.MatMul(hRec, vRec, r.w, tb, V, H)
+			kernels.MatMul(hRec, zRec, r.uT, tb, Z, H)
+			kernels.Sigmoid(hRec)
+			if step < steps-1 {
+				for n := 0; n < tb; n++ {
+					off := (t0+n)*kH + (step+1)*H
+					sampleBinaryPre(ur[off:off+H], hRec[n*H:n*H+H], hRec[n*H:n*H+H])
+				}
 			}
+			hCur = hRec
 		}
-		for k := 0; k < Z; k++ {
-			gc[k] += weight * (z0[k] - r.zRecon[k])
+
+		// Accumulate weighted gradients, E_data[..] - E_recon[..]: the bias
+		// gradients instance by instance, the two weight matrices as
+		// blocked rank-tb updates.
+		for n := 0; n < tb; n++ {
+			wn := wTile[n]
+			kernels.AxpyDiff(wn, xT[n*V:n*V+V], vRec[n*V:n*V+V], ga)
+			kernels.AxpyDiff(wn, hPos[n*H:n*H+H], hRec[n*H:n*H+H], gb)
+			kernels.AxpyDiff(wn, z0T[n*Z:n*Z+Z], zRec[n*Z:n*Z+Z], gc)
 		}
+		kernels.AccumRankK(gw, wTile, xT, vRec, hPos, hRec, tb, V, H)
+		kernels.AccumRankK(gu, wTile, hPos, hRec, z0T, zRec, tb, H, Z)
+
+		// Optional pre-update scoring (Eq. 26), before the updates are
+		// applied: hPos already holds hiddenProbs(x, z0), so only the
+		// visible and class reconstructions remain; vRec/zRec are dead
+		// after the gradient pass and are reused.
 		if score {
-			totalErr += r.reconErrorFrom(x, z0)
+			kernels.Broadcast(vRec, r.a, tb)
+			kernels.MatMulT(vRec, hPos, r.w, tb, H, V)
+			kernels.Sigmoid(vRec)
+			kernels.Broadcast(zRec, r.c, tb)
+			kernels.MatMul(zRec, hPos, r.u, tb, H, Z)
+			for n := 0; n < tb; n++ {
+				kernels.Softmax(zRec[n*Z : n*Z+Z])
+			}
+			for n := 0; n < tb; n++ {
+				totalErr += reconErrorRow(xT[n*V:n*V+V], vRec[n*V:n*V+V], z0T[n*Z:n*Z+Z], zRec[n*Z:n*Z+Z], V, Z)
+			}
 		}
 	}
 
 	// Apply momentum-smoothed updates (Eq. 17-21).
-	inv := 1 / float64(len(xs))
-	eta, mom := r.cfg.LearningRate, r.cfg.Momentum
-	scale := eta * inv
-	for i := 0; i < V; i++ {
-		r.da[i] = mom*r.da[i] + scale*ga[i]
-		r.a[i] += r.da[i]
-	}
-	for p := range r.w {
-		r.dw[p] = mom*r.dw[p] + scale*gw[p]
-		r.w[p] += r.dw[p]
-	}
-	for j := 0; j < H; j++ {
-		r.db[j] = mom*r.db[j] + scale*gb[j]
-		r.b[j] += r.db[j]
-	}
-	for p := range r.u {
-		r.du[p] = mom*r.du[p] + scale*gu[p]
-		r.u[p] += r.du[p]
-	}
-	for k := 0; k < Z; k++ {
-		r.dc[k] = mom*r.dc[k] + scale*gc[k]
-		r.c[k] += r.dc[k]
-	}
+	inv := 1 / float64(B)
+	scale := r.cfg.LearningRate * inv
+	mom := r.cfg.Momentum
+	kernels.AddScaled(r.da, mom, r.da, scale, ga)
+	kernels.Axpy(1, r.da, r.a)
+	kernels.AddScaled(r.dw, mom, r.dw, scale, gw)
+	kernels.Axpy(1, r.dw, r.w)
+	kernels.AddScaled(r.db, mom, r.db, scale, gb)
+	kernels.Axpy(1, r.db, r.b)
+	kernels.AddScaled(r.du, mom, r.du, scale, gu)
+	kernels.Axpy(1, r.du, r.u)
+	kernels.AddScaled(r.dc, mom, r.dc, scale, gc)
+	kernels.Axpy(1, r.dc, r.c)
+	r.wuStale = true
 	return totalErr * inv
+}
+
+// ScoreBatch computes R(S) of Eq. 26 for every instance of the mini-batch
+// into errs (len(errs) >= len(xs)), running the three scoring layer passes
+// as blocked kernels over the whole batch. Each error is bit-identical to
+// ReconstructionError(xs[i], ys[i]) — the kernels preserve the
+// single-instance accumulation order — at roughly a third of the
+// per-instance cost on detector-sized batches. Allocation-free in steady
+// state; shares the training matrices, so do not interleave with a
+// concurrent TrainBatch on the same RBM (the type is single-goroutine like
+// the rest of the detector).
+func (r *RBM) ScoreBatch(xs [][]float64, ys []int, errs []float64) {
+	B := len(xs)
+	if B == 0 {
+		return
+	}
+	V, H, Z := r.cfg.Visible, r.cfg.Hidden, r.cfg.Classes
+	xMat, z0 := r.packBatch(xs, ys)
+	r.ensureTransposed()
+	for t0 := 0; t0 < B; t0 += trainTile {
+		t1 := t0 + trainTile
+		if t1 > B {
+			t1 = B
+		}
+		tb := t1 - t0
+		xT := xMat[t0*V : t1*V]
+		z0T := z0[t0*Z : t1*Z]
+		hPos := r.hPos[:tb*H]
+		kernels.Broadcast(hPos, r.b, tb)
+		kernels.MatMul(hPos, xT, r.w, tb, V, H)
+		kernels.MatMul(hPos, z0T, r.uT, tb, Z, H)
+		kernels.Sigmoid(hPos)
+		vRec := r.vRec[:tb*V]
+		kernels.Broadcast(vRec, r.a, tb)
+		kernels.MatMulT(vRec, hPos, r.w, tb, H, V)
+		kernels.Sigmoid(vRec)
+		zRec := r.zRec[:tb*Z]
+		kernels.Broadcast(zRec, r.c, tb)
+		kernels.MatMul(zRec, hPos, r.u, tb, H, Z)
+		for n := 0; n < tb; n++ {
+			kernels.Softmax(zRec[n*Z : n*Z+Z])
+		}
+		for n := 0; n < tb; n++ {
+			errs[t0+n] = reconErrorRow(xT[n*V:n*V+V], vRec[n*V:n*V+V], z0T[n*Z:n*Z+Z], zRec[n*Z:n*Z+Z], V, Z)
+		}
+	}
+}
+
+// reconErrorRow sums one instance's squared feature and class reconstruction
+// gaps (Eq. 26) in the exact order of the single-instance scorer: features
+// first, then the V/Z-weighted class block.
+func reconErrorRow(x, vp, z, zp []float64, V, Z int) float64 {
+	sum := 0.0
+	vp = vp[:len(x)]
+	for i := range x {
+		d := x[i] - vp[i]
+		sum += d * d
+	}
+	classWeight := float64(V) / float64(Z)
+	zp = zp[:len(z)]
+	for k := range z {
+		d := z[k] - zp[k]
+		sum += classWeight * d * d
+	}
+	return math.Sqrt(sum)
 }
 
 // reconErrorFrom computes R(S) of Eq. 26 for a single already-scaled
@@ -410,17 +740,7 @@ func (r *RBM) reconErrorFrom(x []float64, z []float64) float64 {
 	r.hiddenProbs(x, z, r.hProb)
 	r.visibleProbs(r.hProb, r.vProb)
 	r.classProbs(r.hProb, r.zProb)
-	sum := 0.0
-	for i := range x {
-		d := x[i] - r.vProb[i]
-		sum += d * d
-	}
-	classWeight := float64(r.cfg.Visible) / float64(r.cfg.Classes)
-	for k := range z {
-		d := z[k] - r.zProb[k]
-		sum += classWeight * d * d
-	}
-	return math.Sqrt(sum)
+	return reconErrorRow(x, r.vProb, z, r.zProb, r.cfg.Visible, r.cfg.Classes)
 }
 
 // ReconstructionError computes R(S_n) of Eq. 26 for a scaled instance with
@@ -436,47 +756,57 @@ func (r *RBM) ReconstructionError(x []float64, y int) float64 {
 	return r.reconErrorFrom(x, z)
 }
 
-// ClassScores returns the class-layer softmax for a scaled instance using a
-// neutral class input, i.e. the RBM's own class posterior; usable as a
-// generative classifier and in tests.
-func (r *RBM) ClassScores(x []float64) []float64 {
-	z := make([]float64, r.cfg.Classes)
+// ClassScoresInto computes the class-layer softmax for a scaled instance
+// using a neutral class input — the RBM's own class posterior — into dst
+// (len(dst) must be Classes). Allocation-free: the hidden pass and the
+// neutral class input use struct scratch.
+func (r *RBM) ClassScoresInto(x []float64, dst []float64) {
+	if len(dst) != r.cfg.Classes {
+		panic(fmt.Sprintf("core: ClassScoresInto dst has %d entries, RBM has %d classes", len(dst), r.cfg.Classes))
+	}
+	z := r.zLabel
 	for k := range z {
 		z[k] = 1.0 / float64(r.cfg.Classes)
 	}
 	r.hiddenProbs(x, z, r.hProb)
+	r.classProbs(r.hProb, dst)
+}
+
+// ClassScores is the allocating convenience wrapper around ClassScoresInto;
+// usable as a generative classifier and in tests.
+func (r *RBM) ClassScores(x []float64) []float64 {
 	out := make([]float64, r.cfg.Classes)
-	r.classProbs(r.hProb, out)
+	r.ClassScoresInto(x, out)
 	return out
 }
 
-// ClassCounts exposes the decayed class counts (diagnostics and tests).
+// ClassCounts exposes the decayed class counts (diagnostics and tests),
+// materializing the lazy decay multiplier.
 func (r *RBM) ClassCounts() []float64 {
-	return append([]float64(nil), r.classCounts...)
+	out := make([]float64, len(r.classCounts))
+	for k := range out {
+		out[k] = r.count(k)
+	}
+	return out
 }
 
-// Energy computes E(v, h, z) of Eq. 8 for explicit layer states.
+// Energy computes E(v, h, z) of Eq. 8 for explicit layer states: the
+// negated bias terms plus the two interaction blocks, each a dot of a layer
+// state with a contiguous weight row.
 func (r *RBM) Energy(v, h, z []float64) float64 {
 	H, Z := r.cfg.Hidden, r.cfg.Classes
-	e := 0.0
+	e := -kernels.Dot(v, r.a) - kernels.Dot(h, r.b) - kernels.Dot(z, r.c)
 	for i := range v {
-		e -= v[i] * r.a[i]
+		if v[i] == 0 {
+			continue
+		}
+		e -= v[i] * kernels.Dot(h, r.w[i*H:i*H+H])
 	}
 	for j := range h {
-		e -= h[j] * r.b[j]
-	}
-	for k := range z {
-		e -= z[k] * r.c[k]
-	}
-	for i := range v {
-		for j := range h {
-			e -= v[i] * h[j] * r.w[i*H+j]
+		if h[j] == 0 {
+			continue
 		}
-	}
-	for j := range h {
-		for k := range z {
-			e -= h[j] * z[k] * r.u[j*Z+k]
-		}
+		e -= h[j] * kernels.Dot(z, r.u[j*Z:j*Z+Z])
 	}
 	return e
 }

@@ -208,6 +208,28 @@ func TestClassScoresLearnLabels(t *testing.T) {
 	}
 }
 
+func TestClassScoresIntoAllocationFreeAndMatchesWrapper(t *testing.T) {
+	r := newTestRBM(t, 6, 8, 3)
+	x := []float64{0.1, 0.9, 0.3, 0.7, 0.5, 0.2}
+	dst := make([]float64, 3)
+	if allocs := testing.AllocsPerRun(100, func() { r.ClassScoresInto(x, dst) }); allocs != 0 {
+		t.Fatalf("ClassScoresInto allocates %.1f per call, want 0", allocs)
+	}
+	want := r.ClassScores(x)
+	r.ClassScoresInto(x, dst)
+	for k := range dst {
+		if math.Float64bits(dst[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("class %d: ClassScoresInto %v vs ClassScores %v", k, dst[k], want[k])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClassScoresInto should panic on a wrong-length dst")
+		}
+	}()
+	r.ClassScoresInto(x, make([]float64, 2))
+}
+
 func TestReconstructionErrorNonNegativeProperty(t *testing.T) {
 	r := newTestRBM(t, 5, 4, 3)
 	f := func(raw [5]float64, yRaw uint8) bool {

@@ -1,0 +1,18 @@
+package kernels
+
+// useAVX gates the assembly bodies in kernels_amd64.s. The AVX paths use
+// only per-lane IEEE mul/add/sub (no FMA), so enabling them never changes a
+// result bit; the package tests exercise both settings.
+var useAVX = cpuHasAVX()
+
+// cpuHasAVX reports CPUID+XGETBV support for AVX with OS-enabled YMM state.
+func cpuHasAVX() bool
+
+//go:noescape
+func axpyAVX(alpha float64, x, y []float64)
+
+//go:noescape
+func gradQuadAVX(g, p, q []float64, wx, wv *[4]float64)
+
+//go:noescape
+func matmulRowAVX(dst, a, b []float64)

@@ -1,0 +1,323 @@
+// AVX bodies for the hottest kernels. Bit-exactness: only VMULPD / VADDPD /
+// VSUBPD (and their scalar SD forms in the tails) are used — each lane
+// performs the exact IEEE-754 operation of the corresponding scalar Go
+// expression, and no FMA contraction is introduced — so these produce
+// bit-identical results to the pure-Go bodies (asserted by the package's
+// property tests, which run both paths on amd64).
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 28 = AVX, bit 27 = OSXSAVE; XGETBV(0) bits 1-2 =
+// XMM+YMM state enabled by the OS.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  noavx
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpyAVX(alpha float64, x, y []float64)
+//
+// y[i] += alpha * x[i]. Requires len(y) >= len(x); iterates over x.
+// Each element: one VMULPD lane (alpha*x rounded) then one VADDPD lane
+// (+y rounded) — the exact two roundings of the scalar loop.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-56
+	MOVSD alpha+0(FP), X0
+	MOVQ  x_base+8(FP), SI
+	MOVQ  x_len+16(FP), CX
+	MOVQ  y_base+32(FP), DI
+	VBROADCASTSD X0, Y0
+	XORQ  AX, AX
+	MOVQ  CX, BX
+	ANDQ  $-4, BX
+
+axpyloop4:
+	CMPQ AX, BX
+	JGE  axpytail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpyloop4
+
+axpytail:
+	// VEX-encoded scalar ops: legacy SSE here would pay an AVX-SSE
+	// transition penalty on every call whose length is not a multiple
+	// of four.
+	CMPQ AX, CX
+	JGE  axpydone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ   AX
+	JMP    axpytail
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func gradQuadAVX(g, p, q []float64, wx, wv *[4]float64)
+//
+// Adds four weighted instance contributions to the gradient row g:
+//
+//	g[j] += wx[0]*p0[j] - wv[0]*q0[j]   ... then instances 1, 2, 3
+//
+// where p and q each hold four consecutive len(g)-long rows. Per element
+// and instance, the operation sequence is mul, mul, sub, add — the exact
+// four roundings of the scalar expression, applied in instance order onto
+// a register accumulator that replaces the scalar loop's exact store/load
+// round-trips.
+TEXT ·gradQuadAVX(SB), NOSPLIT, $0-88
+	MOVQ g_base+0(FP), DI
+	MOVQ g_len+8(FP), CX
+	MOVQ p_base+24(FP), SI
+	MOVQ q_base+48(FP), DX
+	MOVQ wx+72(FP), R8
+	MOVQ wv+80(FP), R9
+
+	VBROADCASTSD 0(R8), Y0
+	VBROADCASTSD 8(R8), Y1
+	VBROADCASTSD 16(R8), Y2
+	VBROADCASTSD 24(R8), Y3
+	VBROADCASTSD 0(R9), Y4
+	VBROADCASTSD 8(R9), Y5
+	VBROADCASTSD 16(R9), Y6
+	VBROADCASTSD 24(R9), Y7
+
+	// Row pointers: stride = len(g)*8 bytes; R10 holds the stride until the
+	// last row pointer is formed, then becomes q3.
+	MOVQ CX, R10
+	SHLQ $3, R10
+	LEAQ (SI)(R10*1), R8
+	LEAQ (R8)(R10*1), R9
+	LEAQ (R9)(R10*1), R11
+	LEAQ (DX)(R10*1), R12
+	LEAQ (R12)(R10*1), R13
+	LEAQ (R13)(R10*1), R10
+
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+gradloop4:
+	CMPQ AX, BX
+	JGE  gradtail
+	VMOVUPD (DI)(AX*8), Y8
+
+	VMOVUPD (SI)(AX*8), Y9
+	VMULPD  Y0, Y9, Y9
+	VMOVUPD (DX)(AX*8), Y10
+	VMULPD  Y4, Y10, Y10
+	VSUBPD  Y10, Y9, Y9
+	VADDPD  Y9, Y8, Y8
+
+	VMOVUPD (R8)(AX*8), Y9
+	VMULPD  Y1, Y9, Y9
+	VMOVUPD (R12)(AX*8), Y10
+	VMULPD  Y5, Y10, Y10
+	VSUBPD  Y10, Y9, Y9
+	VADDPD  Y9, Y8, Y8
+
+	VMOVUPD (R9)(AX*8), Y9
+	VMULPD  Y2, Y9, Y9
+	VMOVUPD (R13)(AX*8), Y10
+	VMULPD  Y6, Y10, Y10
+	VSUBPD  Y10, Y9, Y9
+	VADDPD  Y9, Y8, Y8
+
+	VMOVUPD (R11)(AX*8), Y9
+	VMULPD  Y3, Y9, Y9
+	VMOVUPD (R10)(AX*8), Y10
+	VMULPD  Y7, Y10, Y10
+	VSUBPD  Y10, Y9, Y9
+	VADDPD  Y9, Y8, Y8
+
+	VMOVUPD Y8, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  gradloop4
+
+gradtail:
+	// VEX-encoded scalar ops: see axpytail.
+	CMPQ AX, CX
+	JGE  graddone
+	VMOVSD (DI)(AX*8), X8
+
+	VMOVSD (SI)(AX*8), X9
+	VMULSD X0, X9, X9
+	VMOVSD (DX)(AX*8), X10
+	VMULSD X4, X10, X10
+	VSUBSD X10, X9, X9
+	VADDSD X9, X8, X8
+
+	VMOVSD (R8)(AX*8), X9
+	VMULSD X1, X9, X9
+	VMOVSD (R12)(AX*8), X10
+	VMULSD X5, X10, X10
+	VSUBSD X10, X9, X9
+	VADDSD X9, X8, X8
+
+	VMOVSD (R9)(AX*8), X9
+	VMULSD X2, X9, X9
+	VMOVSD (R13)(AX*8), X10
+	VMULSD X6, X10, X10
+	VSUBSD X10, X9, X9
+	VADDSD X9, X8, X8
+
+	VMOVSD (R11)(AX*8), X9
+	VMULSD X3, X9, X9
+	VMOVSD (R10)(AX*8), X10
+	VMULSD X7, X10, X10
+	VSUBSD X10, X9, X9
+	VADDSD X9, X8, X8
+
+	VMOVSD X8, (DI)(AX*8)
+	INCQ   AX
+	JMP    gradtail
+
+graddone:
+	VZEROUPPER
+	RET
+
+// func matmulRowAVX(dst, a, b []float64)
+//
+// One MatMul output row: dst[c] += Σ_i a[i]*b[i*n+c] with n = len(dst) and
+// k = len(a), skipping a[i] == 0 rows (bit test, so ±0.0 both skip, exactly
+// like the Go loop's `ai == 0`). Columns are processed in register-resident
+// chunks of 16/4/1: per element the products accumulate in ascending i with
+// one VMULPD and one VADDPD lane each — the exact roundings of the scalar
+// loop — and the chunk registers only replace exact store/load round-trips.
+TEXT ·matmulRowAVX(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ a_base+24(FP), R11
+	MOVQ a_len+32(FP), R12
+	MOVQ b_base+48(FP), DX
+	MOVQ CX, R9
+	SHLQ $3, R9                  // b row stride in bytes
+	XORQ R10, R10                // c0: first column of the current chunk
+
+chunk16:
+	LEAQ 16(R10), AX
+	CMPQ AX, CX
+	JGT  chunk4
+	LEAQ (DX)(R10*8), BX
+	VMOVUPD (DI)(R10*8), Y8
+	VMOVUPD 32(DI)(R10*8), Y9
+	VMOVUPD 64(DI)(R10*8), Y10
+	VMOVUPD 96(DI)(R10*8), Y11
+	MOVQ R11, SI
+	MOVQ R12, R13
+	TESTQ R13, R13
+	JZ   store16
+
+i16:
+	MOVQ (SI), AX
+	SHLQ $1, AX
+	JZ   skip16
+	VBROADCASTSD (SI), Y0
+	VMOVUPD (BX), Y12
+	VMULPD  Y0, Y12, Y12
+	VADDPD  Y12, Y8, Y8
+	VMOVUPD 32(BX), Y13
+	VMULPD  Y0, Y13, Y13
+	VADDPD  Y13, Y9, Y9
+	VMOVUPD 64(BX), Y14
+	VMULPD  Y0, Y14, Y14
+	VADDPD  Y14, Y10, Y10
+	VMOVUPD 96(BX), Y15
+	VMULPD  Y0, Y15, Y15
+	VADDPD  Y15, Y11, Y11
+
+skip16:
+	ADDQ $8, SI
+	ADDQ R9, BX
+	DECQ R13
+	JNZ  i16
+
+store16:
+	VMOVUPD Y8, (DI)(R10*8)
+	VMOVUPD Y9, 32(DI)(R10*8)
+	VMOVUPD Y10, 64(DI)(R10*8)
+	VMOVUPD Y11, 96(DI)(R10*8)
+	ADDQ $16, R10
+	JMP  chunk16
+
+chunk4:
+	LEAQ 4(R10), AX
+	CMPQ AX, CX
+	JGT  tail1
+	LEAQ (DX)(R10*8), BX
+	VMOVUPD (DI)(R10*8), Y8
+	MOVQ R11, SI
+	MOVQ R12, R13
+	TESTQ R13, R13
+	JZ   store4
+
+i4:
+	MOVQ (SI), AX
+	SHLQ $1, AX
+	JZ   skip4
+	VBROADCASTSD (SI), Y0
+	VMOVUPD (BX), Y12
+	VMULPD  Y0, Y12, Y12
+	VADDPD  Y12, Y8, Y8
+
+skip4:
+	ADDQ $8, SI
+	ADDQ R9, BX
+	DECQ R13
+	JNZ  i4
+
+store4:
+	VMOVUPD Y8, (DI)(R10*8)
+	ADDQ $4, R10
+	JMP  chunk4
+
+tail1:
+	CMPQ R10, CX
+	JGE  rowdone
+	LEAQ (DX)(R10*8), BX
+	VMOVSD (DI)(R10*8), X8
+	MOVQ R11, SI
+	MOVQ R12, R13
+	TESTQ R13, R13
+	JZ   store1
+
+i1:
+	MOVQ (SI), AX
+	SHLQ $1, AX
+	JZ   skip1
+	VMOVSD (SI), X0
+	VMOVSD (BX), X12
+	VMULSD X0, X12, X12
+	VADDSD X12, X8, X8
+
+skip1:
+	ADDQ $8, SI
+	ADDQ R9, BX
+	DECQ R13
+	JNZ  i1
+
+store1:
+	VMOVSD X8, (DI)(R10*8)
+	INCQ R10
+	JMP  tail1
+
+rowdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package kernels
+
+// useAVX is permanently false off amd64; the pure-Go bodies are the only
+// implementation and the stubs below are unreachable.
+var useAVX = false
+
+func axpyAVX(alpha float64, x, y []float64) {
+	panic("kernels: axpyAVX without amd64 support")
+}
+
+func gradQuadAVX(g, p, q []float64, wx, wv *[4]float64) {
+	panic("kernels: gradQuadAVX without amd64 support")
+}
+
+func matmulRowAVX(dst, a, b []float64) {
+	panic("kernels: matmulRowAVX without amd64 support")
+}

@@ -1,0 +1,406 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernels' contract is bitwise: every primitive must produce, per output
+// element, the exact float64 of its naive reference loop, because core.RBM
+// relies on that to keep batch-major CD-k training bit-identical to the
+// per-instance path. Each property test therefore draws random shapes
+// (including empty and length-1 edges) and random data (with exact zeros
+// injected, exercising the zero-skip branches) and compares bit for bit.
+
+// randSlice fills a slice with values in [-2, 2); about one in five entries
+// is an exact zero so the zero-skip paths are exercised.
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		if rng.Intn(5) == 0 {
+			continue // exact zero
+		}
+		s[i] = 4*rng.Float64() - 2
+	}
+	return s
+}
+
+// randDim draws a dimension biased toward the edge cases 0 and 1.
+func randDim(rng *rand.Rand, max int) int {
+	switch rng.Intn(6) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return rng.Intn(max) + 1
+	}
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- naive references (the contract, written as the obvious loops) ---
+
+func naiveDot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func naiveAxpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+func naiveAddScaled(dst []float64, a float64, x []float64, b float64, y []float64) {
+	for i := range dst {
+		dst[i] = a*x[i] + b*y[i]
+	}
+}
+
+func naiveAxpyDiff(w float64, x, v, dst []float64) {
+	for i := range dst {
+		dst[i] += w * (x[i] - v[i])
+	}
+}
+
+func naiveMatMul(dst, a, b []float64, m, k, n int) {
+	for r := 0; r < m; r++ {
+		for i := 0; i < k; i++ {
+			ai := a[r*k+i]
+			if ai == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				dst[r*n+j] += ai * b[i*n+j]
+			}
+		}
+	}
+}
+
+func naiveMatMulT(dst, a, b []float64, m, k, n int) {
+	for r := 0; r < m; r++ {
+		for j := 0; j < n; j++ {
+			s := dst[r*n+j]
+			for l := 0; l < k; l++ {
+				s += a[r*k+l] * b[j*k+l]
+			}
+			dst[r*n+j] = s
+		}
+	}
+}
+
+func naiveAccumRankK(g, w, x, v, p, q []float64, m, rows, cols int) {
+	for n := 0; n < m; n++ {
+		wn := w[n]
+		for i := 0; i < rows; i++ {
+			wxi := wn * x[n*rows+i]
+			wvi := wn * v[n*rows+i]
+			for j := 0; j < cols; j++ {
+				g[i*cols+j] += wxi*p[n*cols+j] - wvi*q[n*cols+j]
+			}
+		}
+	}
+}
+
+func naiveSigmoid(dst []float64) {
+	for i := range dst {
+		dst[i] = 1 / (1 + math.Exp(-dst[i]))
+	}
+}
+
+func naiveSoftmax(dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	maxS := math.Inf(-1)
+	for _, s := range dst {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	sum := 0.0
+	for k := range dst {
+		dst[k] = math.Exp(dst[k] - maxS)
+		sum += dst[k]
+	}
+	for k := range dst {
+		dst[k] /= sum
+	}
+}
+
+// --- property tests ---
+
+const propRounds = 300
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 200)
+		x, y := randSlice(rng, n), randSlice(rng, n)
+		got, want := Dot(x, y), naiveDot(x, y)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: Dot = %v, naive = %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 200)
+		a := 4*rng.Float64() - 2
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		yRef := append([]float64(nil), y...)
+		Axpy(a, x, y)
+		naiveAxpy(a, x, yRef)
+		if !sameBits(y, yRef) {
+			t.Fatalf("n=%d: Axpy diverged from naive", n)
+		}
+	}
+}
+
+func TestAddScaledMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 200)
+		a, b := 4*rng.Float64()-2, 4*rng.Float64()-2
+		x, y := randSlice(rng, n), randSlice(rng, n)
+		dst := make([]float64, n)
+		dstRef := make([]float64, n)
+		AddScaled(dst, a, x, b, y)
+		naiveAddScaled(dstRef, a, x, b, y)
+		if !sameBits(dst, dstRef) {
+			t.Fatalf("n=%d: AddScaled diverged from naive", n)
+		}
+		// Aliased form dst == x (the momentum update's shape).
+		xAlias := append([]float64(nil), x...)
+		AddScaled(xAlias, a, xAlias, b, y)
+		if !sameBits(xAlias, dstRef) {
+			t.Fatalf("n=%d: aliased AddScaled diverged from naive", n)
+		}
+	}
+}
+
+func TestAxpyDiffMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 200)
+		w := 4*rng.Float64() - 2
+		x, v := randSlice(rng, n), randSlice(rng, n)
+		dst := randSlice(rng, n)
+		dstRef := append([]float64(nil), dst...)
+		AxpyDiff(w, x, v, dst)
+		naiveAxpyDiff(w, x, v, dstRef)
+		if !sameBits(dst, dstRef) {
+			t.Fatalf("n=%d: AxpyDiff diverged from naive", n)
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < propRounds; round++ {
+		m, k, n := randDim(rng, 12), randDim(rng, 150), randDim(rng, 150)
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		dst := randSlice(rng, m*n)
+		dstRef := append([]float64(nil), dst...)
+		MatMul(dst, a, b, m, k, n)
+		naiveMatMul(dstRef, a, b, m, k, n)
+		if !sameBits(dst, dstRef) {
+			t.Fatalf("m=%d k=%d n=%d: MatMul diverged from naive", m, k, n)
+		}
+	}
+}
+
+func TestMatMulTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < propRounds; round++ {
+		m, k, n := randDim(rng, 12), randDim(rng, 150), randDim(rng, 150)
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, n*k)
+		dst := randSlice(rng, m*n)
+		dstRef := append([]float64(nil), dst...)
+		MatMulT(dst, a, b, m, k, n)
+		naiveMatMulT(dstRef, a, b, m, k, n)
+		if !sameBits(dst, dstRef) {
+			t.Fatalf("m=%d k=%d n=%d: MatMulT diverged from naive", m, k, n)
+		}
+	}
+}
+
+func TestAccumRankKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < propRounds; round++ {
+		m, rows, cols := randDim(rng, 150), randDim(rng, 12), randDim(rng, 60)
+		w := randSlice(rng, m)
+		x, v := randSlice(rng, m*rows), randSlice(rng, m*rows)
+		p, q := randSlice(rng, m*cols), randSlice(rng, m*cols)
+		g := randSlice(rng, rows*cols)
+		gRef := append([]float64(nil), g...)
+		AccumRankK(g, w, x, v, p, q, m, rows, cols)
+		naiveAccumRankK(gRef, w, x, v, p, q, m, rows, cols)
+		if !sameBits(g, gRef) {
+			t.Fatalf("m=%d rows=%d cols=%d: AccumRankK diverged from naive", m, rows, cols)
+		}
+	}
+}
+
+func TestBroadcastFillsRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < propRounds; round++ {
+		m, n := randDim(rng, 20), randDim(rng, 50)
+		row := randSlice(rng, n)
+		dst := randSlice(rng, m*n)
+		Broadcast(dst, row, m)
+		for r := 0; r < m; r++ {
+			if !sameBits(dst[r*n:r*n+n], row) {
+				t.Fatalf("m=%d n=%d: row %d not broadcast", m, n, r)
+			}
+		}
+	}
+}
+
+func TestSigmoidMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 200)
+		dst := randSlice(rng, n)
+		dstRef := append([]float64(nil), dst...)
+		Sigmoid(dst)
+		naiveSigmoid(dstRef)
+		if !sameBits(dst, dstRef) {
+			t.Fatalf("n=%d: Sigmoid diverged from naive", n)
+		}
+	}
+}
+
+func TestSoftmaxMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 50)
+		dst := randSlice(rng, n)
+		dstRef := append([]float64(nil), dst...)
+		Softmax(dst)
+		naiveSoftmax(dstRef)
+		if !sameBits(dst, dstRef) {
+			t.Fatalf("n=%d: Softmax diverged from naive", n)
+		}
+		sum := 0.0
+		for _, p := range dst {
+			sum += p
+		}
+		if n > 0 && math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("n=%d: softmax sums to %v", n, sum)
+		}
+	}
+}
+
+// TestSIMDAndGenericPathsAgree reruns the two dispatched kernels with the
+// assembly path disabled and asserts bitwise agreement with the enabled
+// path over random shapes (on platforms without assembly both runs take the
+// generic path and the test is a tautology). The main property tests cover
+// whichever path the host dispatches to; this pins the other one.
+func TestSIMDAndGenericPathsAgree(t *testing.T) {
+	if !useAVX {
+		t.Skip("no SIMD path on this host; generic path already covered")
+	}
+	defer func() { useAVX = true }()
+	rng := rand.New(rand.NewSource(20))
+	for round := 0; round < propRounds; round++ {
+		n := randDim(rng, 200)
+		a := 4*rng.Float64() - 2
+		x, y := randSlice(rng, n), randSlice(rng, n)
+		ySIMD := append([]float64(nil), y...)
+		useAVX = true
+		Axpy(a, x, ySIMD)
+		useAVX = false
+		Axpy(a, x, y)
+		if !sameBits(y, ySIMD) {
+			t.Fatalf("n=%d: Axpy SIMD and generic paths disagree", n)
+		}
+
+		mm, mk, mn := randDim(rng, 8), randDim(rng, 100), randDim(rng, 100)
+		ma := randSlice(rng, mm*mk)
+		mb := randSlice(rng, mk*mn)
+		md := randSlice(rng, mm*mn)
+		mdSIMD := append([]float64(nil), md...)
+		useAVX = true
+		MatMul(mdSIMD, ma, mb, mm, mk, mn)
+		useAVX = false
+		MatMul(md, ma, mb, mm, mk, mn)
+		if !sameBits(md, mdSIMD) {
+			t.Fatalf("m=%d k=%d n=%d: MatMul SIMD and generic paths disagree", mm, mk, mn)
+		}
+
+		m, rows, cols := randDim(rng, 40), randDim(rng, 10), randDim(rng, 60)
+		w := randSlice(rng, m)
+		xm, vm := randSlice(rng, m*rows), randSlice(rng, m*rows)
+		p, q := randSlice(rng, m*cols), randSlice(rng, m*cols)
+		g := randSlice(rng, rows*cols)
+		gSIMD := append([]float64(nil), g...)
+		useAVX = true
+		AccumRankK(gSIMD, w, xm, vm, p, q, m, rows, cols)
+		useAVX = false
+		AccumRankK(g, w, xm, vm, p, q, m, rows, cols)
+		if !sameBits(g, gSIMD) {
+			t.Fatalf("m=%d rows=%d cols=%d: AccumRankK SIMD and generic paths disagree", m, rows, cols)
+		}
+	}
+}
+
+// TestEmptyAndUnitShapesExplicit pins the degenerate shapes the random
+// generators only hit probabilistically.
+func TestEmptyAndUnitShapesExplicit(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil, nil) = %v", got)
+	}
+	if got := Dot([]float64{3}, []float64{4}); got != 12 {
+		t.Fatalf("Dot length-1 = %v", got)
+	}
+	Axpy(2, nil, nil) // must not panic
+	y := []float64{1}
+	Axpy(2, []float64{3}, y)
+	if y[0] != 7 {
+		t.Fatalf("Axpy length-1 = %v", y[0])
+	}
+	AddScaled(nil, 1, nil, 1, nil)
+	MatMul(nil, nil, nil, 0, 0, 0)
+	MatMulT(nil, nil, nil, 0, 3, 0)
+	AccumRankK(nil, nil, nil, nil, nil, nil, 0, 0, 0)
+	Softmax(nil)
+	Sigmoid(nil)
+	Broadcast(nil, nil, 0)
+
+	d := []float64{0.5}
+	MatMul(d, []float64{2}, []float64{3}, 1, 1, 1)
+	if d[0] != 6.5 {
+		t.Fatalf("MatMul 1x1x1 = %v", d[0])
+	}
+	d = []float64{0.5}
+	MatMulT(d, []float64{2}, []float64{3}, 1, 1, 1)
+	if d[0] != 6.5 {
+		t.Fatalf("MatMulT 1x1x1 = %v", d[0])
+	}
+	s := []float64{4}
+	Softmax(s)
+	if s[0] != 1 {
+		t.Fatalf("Softmax length-1 = %v", s[0])
+	}
+}

@@ -1,0 +1,211 @@
+// Command benchguard turns `go test -bench` output into a regression gate
+// for the kernel-path benchmarks. It reads benchmark output on stdin, keeps
+// every benchmark that reports the custom "ns/obs" metric (taking the best
+// of repeated -count runs, which is the least-interfered sample), and:
+//
+//   - in check mode (default) compares each benchmark against the newest
+//     record in the baseline trajectory file, failing when ns/obs regressed
+//     by more than -threshold (relative); with -minspeedup > 0 it also
+//     fails when any measured batch-path speedup over its /seq sibling
+//     falls below the floor;
+//   - with -update it appends the run as a new record to the baseline file
+//     (an array of records, one per invocation — append, never overwrite),
+//     creating the file when missing.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkTrainBatchKernels ./internal/core/ |
+//	    go run ./scripts/benchguard -baseline BENCH_core.json [-threshold 0.25]
+//	    [-minspeedup 1.5] [-update]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// record is one benchguard invocation in the baseline trajectory file.
+type record struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+type benchmark struct {
+	Name     string  `json:"name"`
+	NsPerObs float64 `json:"ns_per_obs"`
+}
+
+// benchLine matches one `go test -bench` result line carrying the ns/obs
+// metric, e.g.:
+//
+//	BenchmarkTrainBatchKernels/V20/B256/batch-4  3082  808167 ns/op  3157 ns/obs
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op.*?\s([\d.]+) ns/obs`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_core.json", "baseline trajectory file")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative ns/obs regression vs the baseline")
+	minSpeedup := flag.Float64("minspeedup", 0, "minimum tolerated batch-vs-seq speedup (0 disables the floor)")
+	update := flag.Bool("update", false, "append this run to the baseline file instead of checking")
+	flag.Parse()
+
+	got := parseRuns(os.Stdin)
+	if len(got) == 0 {
+		fail(fmt.Errorf("no benchmark lines with an ns/obs metric on stdin"))
+	}
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	speedups := map[string]float64{}
+	for _, name := range names {
+		if !strings.HasSuffix(name, "/batch") {
+			continue
+		}
+		if seq, ok := got[strings.TrimSuffix(name, "/batch")+"/seq"]; ok {
+			speedups[strings.TrimSuffix(name, "/batch")] = seq / got[name]
+		}
+	}
+	for _, name := range names {
+		fmt.Printf("%-60s %10.0f ns/obs\n", name, got[name])
+	}
+	for _, pair := range sortedKeys(speedups) {
+		fmt.Printf("%-60s %9.2fx vs seq\n", pair, speedups[pair])
+	}
+
+	if *update {
+		if err := appendRecord(*baselinePath, record{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOARCH:     runtime.GOARCH,
+			Benchmarks: toList(names, got),
+			Speedups:   speedups,
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("appended run record to %s\n", *baselinePath)
+		return
+	}
+
+	base, err := latestRecord(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	failed := false
+	for _, b := range base.Benchmarks {
+		now, ok := got[b.Name]
+		if !ok {
+			continue
+		}
+		limit := b.NsPerObs * (1 + *threshold)
+		if now > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: %s regressed: %.0f ns/obs vs baseline %.0f (limit %.0f)\n",
+				b.Name, now, b.NsPerObs, limit)
+			failed = true
+		}
+	}
+	if *minSpeedup > 0 {
+		for _, pair := range sortedKeys(speedups) {
+			if speedups[pair] < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "benchguard: %s batch speedup %.2fx below the %.2fx floor\n",
+					pair, speedups[pair], *minSpeedup)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: ok (threshold %.0f%%, baseline %s)\n", *threshold*100, base.Generated)
+}
+
+// parseRuns collects the best (minimum) ns/obs per benchmark name from the
+// stream — repeated -count runs measure the same code, so the minimum is
+// the sample least distorted by machine noise.
+func parseRuns(f *os.File) map[string]float64 {
+	got := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if old, ok := got[name]; !ok || v < old {
+			got[name] = v
+		}
+	}
+	return got
+}
+
+func toList(names []string, got map[string]float64) []benchmark {
+	out := make([]benchmark, 0, len(names))
+	for _, name := range names {
+		out = append(out, benchmark{Name: name, NsPerObs: got[name]})
+	}
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func latestRecord(path string) (record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return record{}, fmt.Errorf("reading baseline: %w (run with -update to create it)", err)
+	}
+	var records []record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return record{}, fmt.Errorf("baseline %s is not a record array: %w", path, err)
+	}
+	if len(records) == 0 {
+		return record{}, fmt.Errorf("baseline %s is empty", path)
+	}
+	return records[len(records)-1], nil
+}
+
+// appendRecord appends rec to the JSON array at path, creating it when
+// missing — the file is a growing benchmark trajectory, like
+// BENCH_monitor.json.
+func appendRecord(path string, rec record) error {
+	var records []record
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("existing %s is not a record array: %w", path, err)
+		}
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
