@@ -19,6 +19,7 @@ import (
 	"io"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"rbmim/internal/core"
 	"rbmim/internal/detectors"
@@ -665,4 +666,109 @@ func newBenchTree() interface {
 	Train([]float64, int)
 } {
 	return benchTreeFactory()
+}
+
+// BenchmarkMonitorCheckpoint measures what state persistence costs the
+// ingest path: the single-stream single-shard Ingest loop (the monitor's
+// per-observation floor) with checkpointing off, against an in-memory store
+// snapshotting every 100 ms and a filesystem store at the same cadence.
+// Snapshots are serialized on the shard goroutine into pooled buffers and
+// written by the async writer, so ns/obs should be statistically unchanged
+// and steady state stays 0 allocs/op (run with -benchmem). The ns/obs
+// metric feeds scripts/benchguard against BENCH_checkpoint.json in CI.
+func BenchmarkMonitorCheckpoint(b *testing.B) {
+	gen, err := synth.NewRBF(synth.Config{Features: 20, Classes: 5, Seed: 17}, 3, 0.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]detectors.Observation, 4096)
+	for i := range obs {
+		in := gen.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	modes := []struct {
+		name  string
+		store func(b *testing.B) monitor.Store
+	}{
+		{"off", func(*testing.B) monitor.Store { return nil }},
+		{"mem", func(*testing.B) monitor.Store { return monitor.NewMemStore() }},
+		{"fs", func(b *testing.B) monitor.Store {
+			store, err := monitor.NewFSStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return store
+		}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			m, err := monitor.New(monitor.Config{
+				Detector:   core.Config{Features: 20, Classes: 5, Seed: 7},
+				Shards:     1,
+				QueueSize:  4096,
+				Checkpoint: monitor.CheckpointConfig{Store: mode.store(b), Interval: 100 * time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for range m.Events() {
+				}
+			}()
+			// Warm the detector, pools, and checkpoint scratch.
+			for i := 0; i < 512; i++ {
+				if err := m.Ingest("only", obs[i%len(obs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Ingest("only", obs[i%len(obs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.Close() // the drain is part of the measured throughput
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/obs")
+			if sn := m.Snapshot(); sn.CheckpointErrors != 0 {
+				b.Fatalf("checkpoint errors during bench: %d", sn.CheckpointErrors)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectorSaveState measures one full RBM-IM snapshot: the
+// serialization runs on the shard goroutine in production, so this is the
+// per-stream pause a checkpoint tick injects between micro-batches. The
+// snapshot_bytes metric records the per-stream footprint a Store holds.
+func BenchmarkDetectorSaveState(b *testing.B) {
+	for _, features := range []int{20, 80} {
+		features := features
+		b.Run(fmt.Sprintf("%dfeatures", features), func(b *testing.B) {
+			det, err := core.NewDetector(core.Config{Features: features, Classes: 5, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := synth.NewRBF(synth.Config{Features: features, Classes: 5, Seed: 3}, 3, 0.08)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				in := gen.Next()
+				det.Update(detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y})
+			}
+			var frame []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if frame, err = det.AppendState(frame[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(frame)), "snapshot_bytes")
+		})
+	}
 }

@@ -7,17 +7,31 @@
 //
 // Usage:
 //
-//	driftbench [-run all|table3|ranks|bayes|fig8|fig9] [-scale 0.02] [-seed 42]
-//	           [-block 1] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	driftbench [-run all|table3|ranks|bayes|fig8|fig9|resume] [-scale 0.02]
+//	           [-seed 42] [-block 1] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	           [-checkpoint ck.bin] [-resume ck.bin]
 //
 // A full run at -scale 0.02 finishes in a few minutes on a laptop; use
 // -scale 1.0 for the paper's full stream lengths. The -cpuprofile and
 // -memprofile flags write pprof profiles of the selected experiments so
 // performance PRs can ship before/after evidence (see EXPERIMENTS.md,
 // "Profiling the reproduction").
+//
+// -run resume demonstrates kill-and-resume mid-stream on a drifting
+// benchmark stream. Three invocations tell the whole story:
+//
+//	driftbench -run resume                       # uninterrupted reference
+//	driftbench -run resume -checkpoint ck.bin    # train half, save, "die"
+//	driftbench -run resume -resume ck.bin        # load, finish the stream
+//
+// The resumed invocation reports the same drift decisions and the same
+// final RBM weight checksum as the uninterrupted reference — the detector
+// state round-trips bit for bit (the checkpoint is taken mid-mini-batch on
+// purpose).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"rbmim"
 	"rbmim/internal/eval"
 )
 
@@ -39,6 +54,8 @@ func main() {
 	blockSize := flag.Int("block", 1, "prequential block length fed to every pipeline (1 = classic per-instance loop)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	checkpoint := flag.String("checkpoint", "", "with -run resume: save the detector mid-stream to this file and stop")
+	resume := flag.String("resume", "", "with -run resume: load the detector from this file and run the second half")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -86,6 +103,16 @@ func main() {
 	}
 	all := want["all"]
 	started := time.Now()
+
+	if want["resume"] {
+		if err := runResumeDemo(*seed, *checkpoint, *resume); err != nil {
+			fail(err)
+		}
+		if !all && len(want) == 1 {
+			fmt.Printf("done in %s\n", time.Since(started).Round(time.Millisecond))
+			return
+		}
+	}
 
 	var table3 *eval.Table3Output
 	needTable3 := all || want["table3"] || want["ranks"] || want["bayes"]
@@ -154,6 +181,106 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("done in %s\n", time.Since(started).Round(time.Second))
+}
+
+// resumeDemo parameters: a drifting stream long enough for several
+// mini-batches on each side of the cut, with the cut deliberately mid-batch
+// so the partial mini-batch rides through the checkpoint.
+const (
+	resumeTotal = 20000
+	resumeCut   = 10177
+)
+
+// resumeStream rebuilds the demo stream deterministically: two RBF concepts
+// with a sudden switch shortly after the cut, so the interesting detection
+// work happens in the resumed half.
+func resumeStream(seed int64) (rbmim.Stream, error) {
+	cfg := rbmim.GeneratorConfig{Features: 12, Classes: 5, Seed: seed + 1}
+	before, err := rbmim.NewRBF(cfg, 3, 0.08)
+	if err != nil {
+		return nil, err
+	}
+	afterCfg := cfg
+	afterCfg.Seed = seed + 2
+	after, err := rbmim.NewRBF(afterCfg, 3, 0.08)
+	if err != nil {
+		return nil, err
+	}
+	return rbmim.NewDriftStream(before, after, rbmim.SuddenDrift, resumeTotal*3/5, 0, seed+3), nil
+}
+
+// runResumeDemo is the -run resume experiment (kill-and-resume mid-stream);
+// see the package comment for the three-invocation walkthrough.
+func runResumeDemo(seed int64, checkpointPath, resumePath string) error {
+	fmt.Println("== Kill-and-resume demo (checkpointable detector state) ==")
+	s, err := resumeStream(seed)
+	if err != nil {
+		return err
+	}
+	det, err := rbmim.NewDetector(rbmim.DetectorConfig{Features: 12, Classes: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	feed := func(from, to int, drifts int) int {
+		for i := from; i < to; i++ {
+			in := s.Next()
+			if det.Update(rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}) == rbmim.Drift {
+				drifts++
+			}
+		}
+		return drifts
+	}
+
+	start, drifts := 0, 0
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			return err
+		}
+		if err := rbmim.LoadDetector(det, bytes.NewReader(data)); err != nil {
+			return err
+		}
+		// Position the stream at the cut: the generator is seeded, so
+		// replaying (and discarding) the consumed prefix reproduces it.
+		for i := 0; i < resumeCut; i++ {
+			s.Next()
+		}
+		start = resumeCut
+		fmt.Printf("resumed from %s (%d bytes) at observation %d\n", resumePath, len(data), resumeCut)
+	}
+
+	if checkpointPath != "" && resumePath == "" {
+		drifts = feed(0, resumeCut, drifts)
+		f, err := os.Create(checkpointPath)
+		if err != nil {
+			return err
+		}
+		err = rbmim.SaveDetector(det, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		info, _ := os.Stat(checkpointPath)
+		fmt.Printf("trained %d/%d observations, saved checkpoint to %s (%d bytes); rerun with -resume %s\n",
+			resumeCut, resumeTotal, checkpointPath, info.Size(), checkpointPath)
+		return nil
+	}
+
+	if start == 0 {
+		// Uninterrupted reference: run the prefix too, but report the
+		// post-cut half separately so the number is directly comparable to a
+		// resumed invocation.
+		drifts = feed(0, resumeCut, drifts)
+	}
+	post := feed(resumeCut, resumeTotal, 0)
+	fmt.Printf("finished at observation %d: drifts after the cut %d (total %d), final weight checksum %#016x\n",
+		resumeTotal, post, drifts+post, det.RBM().WeightChecksum())
+	if resumePath != "" {
+		fmt.Println("compare against `driftbench -run resume` (uninterrupted): post-cut drifts and checksum match bit for bit")
+	}
+	return nil
 }
 
 // stopCPUProfile / writeHeapProfile are installed by main when the

@@ -11,6 +11,7 @@
 //	monitorbench [-streams 256] [-instances 4000] [-features 20] [-classes 5]
 //	             [-shards 1,2,4,8] [-producers 0] [-drift]
 //	             [-batch 256] [-json BENCH_monitor.json]
+//	             [-checkpoint mem|DIR] [-ckptint 500ms]
 //
 // With -drift every stream undergoes a sudden concept change halfway
 // through, so the drift-event column should be non-zero for most streams.
@@ -18,6 +19,10 @@
 // and N-observation IngestBatch — and each batched row reports its speedup
 // over the per-instance row. With -json the run is appended as one record
 // to the given trajectory file (an array of runs, one per invocation).
+// With -checkpoint the monitor persists every stream's detector state on the
+// -ckptint cadence ("mem" = in-memory store, anything else = filesystem
+// store rooted at that directory, one fresh subdirectory per sweep), so the
+// throughput table shows what checkpointing costs the ingest path.
 package main
 
 import (
@@ -47,6 +52,8 @@ func main() {
 	queue := flag.Int("queue", 4096, "per-shard queue capacity in observations (envelopes for batch mode are sized accordingly)")
 	batch := flag.Int("batch", 0, "IngestBatch block size; > 0 additionally sweeps the batched path against per-instance Ingest")
 	jsonPath := flag.String("json", "", "append this run's rows to the given JSON trajectory file")
+	checkpoint := flag.String("checkpoint", "", `enable checkpointing: "mem" or a directory for a filesystem store`)
+	ckptInt := flag.Duration("ckptint", 500*time.Millisecond, "periodic snapshot cadence when -checkpoint is set")
 	flag.Parse()
 
 	shardCounts := parseShards(*shardList)
@@ -74,7 +81,7 @@ func main() {
 	var firstRate float64
 	for _, shards := range shardCounts {
 		for _, b := range modes {
-			res, err := runSweep(workload, *features, *classes, shards, *producers, *queue, b)
+			res, err := runSweep(workload, *features, *classes, shards, *producers, *queue, b, *checkpoint, *ckptInt)
 			if err != nil {
 				fail(err)
 			}
@@ -110,6 +117,7 @@ func main() {
 				Streams: *streams, Instances: *instances, Features: *features,
 				Classes: *classes, Producers: *producers, Queue: *queue,
 				Drift: *drift, GOMAXPROCS: runtime.GOMAXPROCS(0),
+				Checkpoint: *checkpoint,
 			},
 			Rows: rows,
 		}
@@ -136,6 +144,9 @@ type runConfig struct {
 	Queue      int  `json:"queue"`
 	Drift      bool `json:"drift"`
 	GOMAXPROCS int  `json:"gomaxprocs"`
+	// Checkpoint records the -checkpoint mode of the run ("" = disabled) so
+	// trajectory rows with and without state persistence stay comparable.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 type runRow struct {
@@ -211,12 +222,35 @@ func buildWorkload(streams, instances, features, classes int, drift bool) ([]wor
 // the workload in IngestBatch blocks of that size; the queue capacity is
 // then scaled down so both modes bound the same number of in-flight
 // observations.
-func runSweep(workload []workloadStream, features, classes, shards, producers, queue, batch int) (sweepResult, error) {
+func runSweep(workload []workloadStream, features, classes, shards, producers, queue, batch int, checkpoint string, ckptInt time.Duration) (sweepResult, error) {
 	qs := queue
 	if batch > 0 {
 		if qs = queue / batch; qs < 1 {
 			qs = 1
 		}
+	}
+	// A fresh store per sweep — and a unique directory per sweep AND per
+	// invocation: reusing one would let later sweeps (or later runs against
+	// the same -checkpoint dir) rehydrate earlier trained detectors,
+	// silently changing the measured workload.
+	var ckpt rbmim.CheckpointConfig
+	switch checkpoint {
+	case "":
+	case "mem":
+		ckpt = rbmim.CheckpointConfig{Store: rbmim.NewMemStore(), Interval: ckptInt}
+	default:
+		if err := os.MkdirAll(checkpoint, 0o755); err != nil {
+			return sweepResult{}, err
+		}
+		dir, err := os.MkdirTemp(checkpoint, fmt.Sprintf("shards%d-batch%d-", shards, batch))
+		if err != nil {
+			return sweepResult{}, err
+		}
+		store, err := rbmim.NewFSStore(dir)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		ckpt = rbmim.CheckpointConfig{Store: store, Interval: ckptInt}
 	}
 	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
 		Detector: rbmim.DetectorConfig{
@@ -224,8 +258,9 @@ func runSweep(workload []workloadStream, features, classes, shards, producers, q
 			Classes:  classes,
 			Seed:     7,
 		},
-		Shards:    shards,
-		QueueSize: qs,
+		Shards:     shards,
+		QueueSize:  qs,
+		Checkpoint: ckpt,
 	})
 	if err != nil {
 		return sweepResult{}, err

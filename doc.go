@@ -21,6 +21,11 @@
 //     independent detector per stream across a fixed pool of worker
 //     shards, with consistent-hash placement, drift-event subscription,
 //     idle-stream GC, and aggregate snapshot statistics.
+//   - Checkpointable detector state (SaveDetector / LoadDetector and
+//     MonitorConfig.Checkpoint): versioned CRC-protected snapshots with
+//     bit-identical resume for RBM-IM, periodic per-stream persistence,
+//     spill-on-evict, and transparent rehydration through pluggable
+//     in-memory or filesystem stores.
 //
 // # Quick start
 //

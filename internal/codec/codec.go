@@ -1,0 +1,405 @@
+// Package codec implements the reflection-free binary format behind every
+// checkpointable object in this repository (RBM weights, detector state,
+// monitor stream envelopes). The design goals, in order:
+//
+//  1. Corrupt, truncated, or wrong-version input must produce an error —
+//     never a panic and never a half-decoded object. Every frame carries a
+//     magic, a format version, an explicit payload length, and a CRC-32 of
+//     everything before it; every Reader access is bounds-checked with a
+//     sticky error.
+//  2. Save → load must be bit-exact. Floats travel as their IEEE-754 bit
+//     patterns (math.Float64bits), never through text formatting.
+//  3. The hot callers (periodic monitor snapshots) must be able to reuse
+//     buffers: Buffer appends into a caller-owned byte slice and implements
+//     io.Writer, so steady-state snapshots allocate nothing once grown.
+//
+// The format is deliberately hand-rolled rather than encoding/gob: gob is
+// reflection-driven, embeds type descriptors whose layout is outside our
+// control (so "bit-identical across save/load" becomes unfalsifiable), and
+// cannot decode into preallocated storage. See DESIGN.md, "Checkpoint
+// format".
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the current checkpoint format version. Decoders reject frames
+// carrying any other version; bump it on any layout change.
+const Version = 1
+
+// Frame kinds: which object a frame's payload describes. A decoder asserts
+// the kind it expects, so feeding a DDM snapshot to an RBM-IM detector fails
+// cleanly instead of mis-decoding.
+const (
+	KindRBM           uint8 = 1 // core.RBM network state
+	KindRBMIM         uint8 = 2 // core.Detector (RBM-IM) full state
+	KindDDM           uint8 = 3
+	KindEDDM          uint8 = 4
+	KindADWINDetector uint8 = 5
+	KindMonitorStream uint8 = 6 // monitor per-stream envelope (seq + detector frame)
+)
+
+// ErrInvalid is wrapped by every decode failure, so callers can test
+// errors.Is(err, codec.ErrInvalid) regardless of the specific corruption.
+var ErrInvalid = errors.New("codec: invalid checkpoint data")
+
+// frame layout: magic(4) | version(1) | kind(1) | payloadLen(u32) | payload | crc32(u32)
+// The CRC covers magic through payload inclusive.
+const (
+	magic       = "RBCK"
+	headerSize  = 4 + 1 + 1 + 4
+	trailerSize = 4
+	// MaxPayload bounds a frame's declared payload length so corrupt length
+	// fields cannot drive giant allocations. 1 GiB is orders of magnitude
+	// above any real detector state.
+	MaxPayload = 1 << 30
+)
+
+// Buffer is the append-side primitive writer. The zero value is ready to
+// use; Bytes returns the accumulated encoding. It implements io.Writer so
+// object Save methods can stream a nested frame straight into an outer
+// payload without a second buffer.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer appending onto b (pass a recycled slice to
+// reuse its capacity; pass nil to start fresh).
+func NewBuffer(b []byte) *Buffer { return &Buffer{b: b[:0]} }
+
+// Bytes returns the encoded bytes. The slice is owned by the Buffer and is
+// invalidated by the next append or Reset.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the number of encoded bytes.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset discards the contents, keeping the backing array.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// Write implements io.Writer (raw append, no length prefix).
+func (w *Buffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// U8 appends one byte.
+func (w *Buffer) U8(v uint8) { w.b = append(w.b, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Buffer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Buffer) U64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+
+// I64 appends a little-endian int64.
+func (w *Buffer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (w *Buffer) Int(v int) { w.I64(int64(v)) }
+
+// Bool appends a bool as one byte (0/1).
+func (w *Buffer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 appends a float64 as its IEEE-754 bit pattern.
+func (w *Buffer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// F64s appends a length-prefixed float64 slice.
+func (w *Buffer) F64s(v []float64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// Ints appends a length-prefixed int slice (each element an int64).
+func (w *Buffer) Ints(v []int) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.I64(int64(x))
+	}
+}
+
+// Mark reserves a u32 slot at the current position (for a to-be-known
+// length) and returns its offset for PatchLen.
+func (w *Buffer) Mark() int {
+	off := len(w.b)
+	w.U32(0)
+	return off
+}
+
+// PatchLen writes the number of bytes appended since Mark into the reserved
+// slot, turning everything after the mark into a length-prefixed region.
+func (w *Buffer) PatchLen(mark int) {
+	binary.LittleEndian.PutUint32(w.b[mark:mark+4], uint32(len(w.b)-mark-4))
+}
+
+// Reader is the bounds-checked decode-side cursor over one payload. Any
+// out-of-bounds access or failed validation sets a sticky error; subsequent
+// reads return zero values. Decoders must check Err (or Done) before
+// committing decoded state.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the sticky error, nil while all reads have been in bounds.
+func (r *Reader) Err() error { return r.err }
+
+// Fail sets the sticky error (used by decoders for semantic validation
+// failures, e.g. an impossible field value). The first failure wins.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+	}
+}
+
+// Done returns the sticky error, or an error when decodable bytes remain —
+// a well-formed frame must be consumed exactly.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrInvalid, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// take returns the next n bytes, or nil after setting the sticky error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.err = fmt.Errorf("%w: truncated (need %d bytes, have %d)", ErrInvalid, n, len(r.b)-r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64 and validates it fits the platform int.
+func (r *Reader) Int() int {
+	v := r.I64()
+	n := int(v)
+	if int64(n) != v {
+		r.Fail("int64 %d overflows int", v)
+		return 0
+	}
+	return n
+}
+
+// Bool reads one byte, requiring 0 or 1.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail("bad bool byte")
+		return false
+	}
+}
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// count reads a u32 length prefix and validates that count elements of
+// elemSize bytes fit in the remaining input, so corrupt prefixes cannot
+// drive giant allocations. The bound is computed in int64 so a prefix near
+// 2^32 cannot wrap on 32-bit platforms and reach make() (the check also
+// proves the returned value fits the platform int).
+func (r *Reader) count(elemSize int) int {
+	n := int64(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n*int64(elemSize) > int64(len(r.b)-r.off) {
+		r.Fail("count %d exceeds remaining input", n)
+		return 0
+	}
+	return int(n)
+}
+
+// F64s reads a length-prefixed float64 slice into a fresh allocation.
+func (r *Reader) F64s() []float64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// F64sLen reads a length-prefixed float64 slice, requiring exactly want
+// elements (the shape check every fixed-dimension field needs).
+func (r *Reader) F64sLen(want int) []float64 {
+	mark := r.off
+	out := r.F64s()
+	if r.err == nil && len(out) != want {
+		r.off = mark
+		r.Fail("float slice has %d elements, want %d", len(out), want)
+		return nil
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice into a fresh allocation.
+func (r *Reader) Ints() []int {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// Blob reads a length-prefixed byte region and returns a view into the
+// Reader's input (valid as long as the input is).
+func (r *Reader) Blob() []byte {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
+
+// AppendFrame appends a complete frame (header, payload, CRC) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, kind uint8, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, magic...)
+	dst = append(dst, Version, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// ParseFrame validates a complete frame and returns its kind and a view of
+// its payload. The input must contain exactly one frame.
+func ParseFrame(data []byte) (kind uint8, payload []byte, err error) {
+	if len(data) < headerSize+trailerSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than a frame", ErrInvalid, len(data))
+	}
+	if string(data[:4]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrInvalid)
+	}
+	if v := data[4]; v != Version {
+		return 0, nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrInvalid, v, Version)
+	}
+	kind = data[5]
+	n := binary.LittleEndian.Uint32(data[6:10])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrInvalid, n)
+	}
+	if len(data) != headerSize+int(n)+trailerSize {
+		return 0, nil, fmt.Errorf("%w: frame is %d bytes, header declares %d", ErrInvalid, len(data), headerSize+int(n)+trailerSize)
+	}
+	body := data[:headerSize+int(n)]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, nil, fmt.Errorf("%w: CRC mismatch (corrupt frame)", ErrInvalid)
+	}
+	return kind, data[headerSize : headerSize+int(n)], nil
+}
+
+// ExpectFrame parses a frame and additionally asserts its kind.
+func ExpectFrame(data []byte, kind uint8) ([]byte, error) {
+	k, payload, err := ParseFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if k != kind {
+		return nil, fmt.Errorf("%w: frame kind %d, want %d", ErrInvalid, k, kind)
+	}
+	return payload, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
+	_, err := w.Write(AppendFrame(nil, kind, payload))
+	return err
+}
+
+// ReadFrame reads exactly one frame from r: the fixed header first, then the
+// declared payload and CRC. Short reads surface as ErrInvalid-wrapped
+// errors, and the frame is re-validated end to end (including CRC) before
+// the payload is returned.
+func ReadFrame(r io.Reader) (kind uint8, payload []byte, err error) {
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading frame header: %v", ErrInvalid, err)
+	}
+	if string(head[:4]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrInvalid)
+	}
+	if v := head[4]; v != Version {
+		return 0, nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrInvalid, v, Version)
+	}
+	n := binary.LittleEndian.Uint32(head[6:10])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrInvalid, n)
+	}
+	frame := make([]byte, headerSize+int(n)+trailerSize)
+	copy(frame, head)
+	if _, err := io.ReadFull(r, frame[headerSize:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading frame body: %v", ErrInvalid, err)
+	}
+	return ParseFrame(frame)
+}

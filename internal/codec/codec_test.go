@@ -1,0 +1,197 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	w := NewBuffer(nil)
+	w.U8(7)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Int(-1)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.F64(math.Inf(1))
+	w.F64(math.Copysign(0, -1))
+	w.F64s([]float64{1.5, -2.5, 0})
+	w.Ints([]int{3, -4, 5})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -1 {
+		t.Fatalf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, 1) {
+		t.Fatalf("F64 inf = %v", got)
+	}
+	if got := r.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("F64 -0 bits = %x", math.Float64bits(got))
+	}
+	fs := r.F64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || fs[2] != 0 {
+		t.Fatalf("F64s = %v", fs)
+	}
+	is := r.Ints()
+	if len(is) != 3 || is[0] != 3 || is[1] != -4 || is[2] != 5 {
+		t.Fatalf("Ints = %v", is)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestReaderTruncationIsSticky(t *testing.T) {
+	w := NewBuffer(nil)
+	w.U64(1)
+	r := NewReader(w.Bytes()[:5])
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("truncated U64 did not error")
+	}
+	// Sticky: further reads stay zero-valued and keep the first error.
+	if got := r.U32(); got != 0 {
+		t.Fatalf("read after error = %d", got)
+	}
+	if !errors.Is(r.Err(), ErrInvalid) {
+		t.Fatalf("error %v is not ErrInvalid", r.Err())
+	}
+}
+
+func TestReaderCountBound(t *testing.T) {
+	// A declared count far beyond the remaining bytes must error without
+	// allocating the declared size.
+	w := NewBuffer(nil)
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if got := r.F64s(); got != nil || r.Err() == nil {
+		t.Fatalf("oversized count accepted: %v / %v", got, r.Err())
+	}
+}
+
+func TestReaderDoneRejectsTrailingBytes(t *testing.T) {
+	w := NewBuffer(nil)
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.U8()
+	if err := r.Done(); err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+}
+
+func TestMarkPatchLen(t *testing.T) {
+	w := NewBuffer(nil)
+	w.U8(9)
+	mark := w.Mark()
+	w.F64(1.0)
+	w.F64(2.0)
+	w.PatchLen(mark)
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 9 {
+		t.Fatalf("prefix = %d", got)
+	}
+	blob := r.Blob()
+	if len(blob) != 16 {
+		t.Fatalf("blob length = %d", len(blob))
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	frame := AppendFrame(nil, KindRBM, payload)
+	kind, got, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindRBM || !bytes.Equal(got, payload) {
+		t.Fatalf("kind %d payload %v", kind, got)
+	}
+	if _, err := ExpectFrame(frame, KindDDM); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	payload := []byte("detector state bytes")
+	frame := AppendFrame(nil, KindRBMIM, payload)
+	// Every single-byte flip anywhere in the frame must be rejected.
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := ParseFrame(bad); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		} else if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("flip at byte %d: error %v is not ErrInvalid", i, err)
+		}
+	}
+	// Every truncation must be rejected.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := ParseFrame(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage must be rejected (a frame is exactly one frame).
+	if _, _, err := ParseFrame(append(append([]byte(nil), frame...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestReadWriteFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindEDDM, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEDDM || len(payload) != 1 || payload[0] != 42 {
+		t.Fatalf("kind %d payload %v", kind, payload)
+	}
+	// A stream that ends mid-frame errors instead of hanging or panicking.
+	short := AppendFrame(nil, KindDDM, []byte{1, 2, 3})
+	if _, _, err := ReadFrame(bytes.NewReader(short[:len(short)-2])); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestBufferReuseAndWriter(t *testing.T) {
+	w := NewBuffer(make([]byte, 0, 64))
+	w.U32(1)
+	first := w.Len()
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	n, err := w.Write([]byte{1, 2, 3})
+	if err != nil || n != 3 || w.Len() != 3 {
+		t.Fatalf("Write: n=%d err=%v len=%d", n, err, w.Len())
+	}
+	_ = first
+}

@@ -152,6 +152,10 @@ type Detector struct {
 	errCounts []int
 	xsScratch []float64
 	vScratch  []float64
+	// Checkpoint scratch (state.go): the encoded payload and the framed
+	// snapshot, reused so periodic SaveState calls are allocation-free.
+	stateScratch []byte
+	frameScratch []byte
 }
 
 var _ detectors.Detector = (*Detector)(nil)

@@ -101,6 +101,12 @@ const countRescaleFloor = 1e-12
 type RBM struct {
 	cfg RBMConfig
 	rng *rand.Rand
+	// src is the counted source behind rng: it passes every value through
+	// unchanged (so all pinned randomness is untouched) while tracking how
+	// many raw draws have been consumed since the seed. That count is the
+	// RBM's entire RNG state for checkpointing — a restore re-seeds and
+	// replays the source forward (see state.go).
+	src *countedSource
 
 	w []float64 // flat [Visible][Hidden], row-major
 	u []float64 // flat [Hidden][Classes], row-major
@@ -178,7 +184,8 @@ func NewRBM(cfg RBMConfig) (*RBM, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &RBM{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	src := newCountedSource(cfg.Seed)
+	r := &RBM{cfg: cfg, src: src, rng: rand.New(src)}
 	V, H, Z := cfg.Visible, cfg.Hidden, cfg.Classes
 	r.w = gaussianSlice(r.rng, V*H, 0.1)
 	r.u = gaussianSlice(r.rng, H*Z, 0.1)

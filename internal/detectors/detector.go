@@ -7,7 +7,10 @@
 // test bed binds detectors to the shared base classifier.
 package detectors
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // State is a drift detector's output after one observation.
 type State int
@@ -70,6 +73,30 @@ type Detector interface {
 // DriftClasses lists the affected labels observed at that step.
 type ClassAttributor interface {
 	DriftClasses() []int
+}
+
+// StatefulDetector is implemented by detectors whose trained state can leave
+// memory and come back: SaveState writes one self-describing, versioned,
+// CRC-protected snapshot frame (see internal/codec); LoadState restores it
+// into a compatibly constructed detector. The contract every implementation
+// must honour:
+//
+//   - save → load → continue is observationally identical to never stopping
+//     (for RBM-IM this is bit-identical, RNG position included);
+//   - LoadState on corrupt, truncated, or wrong-version input returns an
+//     error wrapping codec.ErrInvalid and leaves the receiver completely
+//     unchanged — no partial loads, no panics;
+//   - both methods are single-goroutine like the rest of the detector.
+//
+// RBM-IM and the DDM / EDDM / ADWIN baselines implement it, so the monitor
+// and the eval pipeline can checkpoint and resume any of them.
+type StatefulDetector interface {
+	Detector
+	// SaveState writes the detector's complete mutable state to w.
+	SaveState(w io.Writer) error
+	// LoadState restores state previously written by SaveState of the same
+	// detector type.
+	LoadState(r io.Reader) error
 }
 
 // Factory builds a fresh detector instance; used by experiment runners so

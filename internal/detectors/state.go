@@ -1,0 +1,156 @@
+package detectors
+
+import (
+	"fmt"
+	"io"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/stats"
+)
+
+// Checkpoint support for the baseline detectors. Each snapshot is one
+// internal/codec frame whose payload carries the detector's parameters and
+// mutable statistics; LoadState restores both (parameters are state for the
+// baselines — unlike RBM-IM there is no construction-time network shape that
+// must match). Like every StatefulDetector, a failed load leaves the
+// receiver untouched.
+
+// saveFrame encodes payload via enc and writes one frame of the given kind.
+func saveFrame(w io.Writer, kind uint8, enc func(*codec.Buffer)) error {
+	b := codec.NewBuffer(nil)
+	enc(b)
+	return codec.WriteFrame(w, kind, b.Bytes())
+}
+
+// loadFrame reads one frame of the given kind and decodes it with dec, which
+// must stage into temporaries and only mutate its receiver on full success.
+func loadFrame(r io.Reader, kind uint8, dec func(*codec.Reader) error) error {
+	k, payload, err := codec.ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if k != kind {
+		return fmt.Errorf("%w: frame kind %d, want %d", codec.ErrInvalid, k, kind)
+	}
+	rd := codec.NewReader(payload)
+	if err := dec(rd); err != nil {
+		return err
+	}
+	return rd.Done()
+}
+
+// SaveState writes the DDM's parameters and error statistics.
+func (d *DDM) SaveState(w io.Writer) error {
+	return saveFrame(w, codec.KindDDM, func(b *codec.Buffer) {
+		b.Int(d.MinInstances)
+		b.F64(d.WarningLevel)
+		b.F64(d.DriftLevel)
+		b.F64(d.n)
+		b.F64(d.errCnt)
+		b.F64(d.pMin)
+		b.F64(d.sMin)
+		b.F64(d.psMin)
+	})
+}
+
+// LoadState restores state written by SaveState.
+func (d *DDM) LoadState(r io.Reader) error {
+	return loadFrame(r, codec.KindDDM, func(rd *codec.Reader) error {
+		tmp := DDM{
+			MinInstances: rd.Int(),
+			WarningLevel: rd.F64(),
+			DriftLevel:   rd.F64(),
+			n:            rd.F64(),
+			errCnt:       rd.F64(),
+			pMin:         rd.F64(),
+			sMin:         rd.F64(),
+			psMin:        rd.F64(),
+		}
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if tmp.n < 0 || tmp.errCnt < 0 || tmp.errCnt > tmp.n {
+			rd.Fail("ddm counters n=%v errors=%v", tmp.n, tmp.errCnt)
+			return rd.Err()
+		}
+		*d = tmp
+		return nil
+	})
+}
+
+// SaveState writes the EDDM's parameters and error-distance statistics.
+func (e *EDDM) SaveState(w io.Writer) error {
+	return saveFrame(w, codec.KindEDDM, func(b *codec.Buffer) {
+		b.F64(e.WarningThreshold)
+		b.F64(e.DriftThreshold)
+		b.Int(e.MinErrors)
+		b.F64(e.n)
+		b.F64(e.lastErrAt)
+		b.F64(e.numErrors)
+		b.F64(e.meanDist)
+		b.F64(e.m2Dist)
+		b.F64(e.maxMeanStd)
+	})
+}
+
+// LoadState restores state written by SaveState.
+func (e *EDDM) LoadState(r io.Reader) error {
+	return loadFrame(r, codec.KindEDDM, func(rd *codec.Reader) error {
+		tmp := EDDM{
+			WarningThreshold: rd.F64(),
+			DriftThreshold:   rd.F64(),
+			MinErrors:        rd.Int(),
+			n:                rd.F64(),
+			lastErrAt:        rd.F64(),
+			numErrors:        rd.F64(),
+			meanDist:         rd.F64(),
+			m2Dist:           rd.F64(),
+			maxMeanStd:       rd.F64(),
+		}
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if tmp.n < 0 || tmp.numErrors < 0 || tmp.lastErrAt > tmp.n {
+			rd.Fail("eddm counters n=%v errors=%v lastErrAt=%v", tmp.n, tmp.numErrors, tmp.lastErrAt)
+			return rd.Err()
+		}
+		*e = tmp
+		return nil
+	})
+}
+
+// SaveState writes the ADWIN detector's window state.
+func (a *ADWINDetector) SaveState(w io.Writer) error {
+	return saveFrame(w, codec.KindADWINDetector, func(b *codec.Buffer) {
+		b.F64(a.Delta)
+		a.win.EncodeState(b)
+	})
+}
+
+// LoadState restores state written by SaveState.
+func (a *ADWINDetector) LoadState(r io.Reader) error {
+	return loadFrame(r, codec.KindADWINDetector, func(rd *codec.Reader) error {
+		delta := rd.F64()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if delta <= 0 || delta >= 1 {
+			rd.Fail("adwin detector delta %v outside (0,1)", delta)
+			return rd.Err()
+		}
+		win := stats.NewADWIN(delta)
+		if err := win.DecodeState(rd); err != nil {
+			return err
+		}
+		a.Delta = delta
+		a.win = win
+		return nil
+	})
+}
+
+// Interface conformance for the checkpointable baselines.
+var (
+	_ StatefulDetector = (*DDM)(nil)
+	_ StatefulDetector = (*EDDM)(nil)
+	_ StatefulDetector = (*ADWINDetector)(nil)
+)

@@ -1,0 +1,63 @@
+package detectors_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rbmim/internal/detectors"
+)
+
+// TestBaselineStateRoundTrip pins save/load equivalence for the stateful
+// baselines: a restored detector must make the identical decisions as the
+// original on a shared suffix.
+func TestBaselineStateRoundTrip(t *testing.T) {
+	builders := map[string]func() detectors.StatefulDetector{
+		"DDM":   func() detectors.StatefulDetector { return detectors.NewDDM() },
+		"EDDM":  func() detectors.StatefulDetector { return detectors.NewEDDM() },
+		"ADWIN": func() detectors.StatefulDetector { return detectors.NewADWINDetector(0.002) },
+	}
+	for name, build := range builders {
+		rng := rand.New(rand.NewSource(3))
+		orig := build()
+		obs := func(i int) detectors.Observation {
+			p := 0.1
+			if i > 800 {
+				p = 0.45 // error-rate jump drives warnings/drifts
+			}
+			correct := rng.Float64() >= p
+			o := detectors.Observation{TrueClass: 1}
+			if correct {
+				o.Predicted = 1
+			}
+			return o
+		}
+		for i := 0; i < 700; i++ {
+			orig.Update(obs(i))
+		}
+		var buf bytes.Buffer
+		if err := orig.SaveState(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		restored := build()
+		if err := restored.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 700; i < 1600; i++ {
+			o := obs(i)
+			if s1, s2 := orig.Update(o), restored.Update(o); s1 != s2 {
+				t.Fatalf("%s: step %d diverged: %v vs %v", name, i, s1, s2)
+			}
+		}
+		// Cross-type loads must be rejected (kind mismatch).
+		var ddmBuf bytes.Buffer
+		if err := detectors.NewDDM().SaveState(&ddmBuf); err != nil {
+			t.Fatal(err)
+		}
+		if name != "DDM" {
+			if err := restored.LoadState(bytes.NewReader(ddmBuf.Bytes())); err == nil {
+				t.Fatalf("%s accepted a DDM snapshot", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/detectors"
+)
+
+// Checkpointing gives the monitor's per-stream detector state a life outside
+// RAM: periodic snapshots on a configurable cadence, spill instead of drop on
+// Evict and idle GC, transparent rehydration when a known stream re-ingests,
+// and a full flush on Close — so a restarted (or resharded) monitor resumes
+// every stream's trained detector instead of retraining from scratch.
+//
+// All serialization happens on the owning shard goroutine (detectors are
+// single-goroutine objects) into pooled buffers; the store writes happen on a
+// dedicated writer goroutine, so neither snapshot cadence nor store latency
+// touches the ingest hot path, which stays allocation-free. Rehydration reads
+// are synchronous but only occur when a stream is first materialized on a
+// shard — a cold path by construction.
+
+// Store persists per-stream checkpoint blobs. Implementations must be safe
+// for concurrent use (the monitor's writer goroutine and shard goroutines may
+// touch different streams at once) and must not retain the data slice passed
+// to Put beyond the call.
+type Store interface {
+	// Put durably records data as the newest checkpoint of the stream.
+	Put(streamID string, data []byte) error
+	// Get returns the newest checkpoint of the stream. The returned slice is
+	// only valid until the next Put for the same stream; callers decode it
+	// immediately. ok is false when the stream has no checkpoint.
+	Get(streamID string) (data []byte, ok bool, err error)
+	// Delete removes the stream's checkpoint; deleting a missing stream is
+	// not an error.
+	Delete(streamID string) error
+}
+
+// MemStore is an in-process Store: checkpoints live in a map, per-stream
+// buffers are reused across Puts so steady-state snapshotting does not churn
+// the heap. Useful for tests, for spill-and-rehydrate within one process,
+// and as the reference Store implementation.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put copies data into the stream's buffer.
+func (s *MemStore) Put(streamID string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.m[streamID]
+	if cap(buf) < len(data) {
+		buf = make([]byte, len(data))
+	}
+	buf = buf[:len(data)]
+	copy(buf, data)
+	s.m[streamID] = buf
+	return nil
+}
+
+// Get returns the stream's stored bytes (a view; see Store.Get).
+func (s *MemStore) Get(streamID string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[streamID]
+	return data, ok, nil
+}
+
+// Delete removes the stream's checkpoint.
+func (s *MemStore) Delete(streamID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, streamID)
+	return nil
+}
+
+// Len returns the number of checkpointed streams.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// FSStore persists checkpoints as one file per stream under a directory,
+// surviving process restarts. Writes go through a temp file and rename, so a
+// crash mid-write leaves the previous checkpoint intact (and the codec CRC
+// rejects torn content regardless). Stream IDs are escaped into safe file
+// names, so arbitrary IDs — including path separators — round-trip.
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore builds a filesystem store rooted at dir, creating it if needed.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("monitor: checkpoint dir: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+// escapeStreamID maps an arbitrary stream ID onto a filesystem-safe name.
+// Lowercase alphanumerics, '-' and '_' pass through; everything else —
+// uppercase included — becomes %XX, so the mapping stays injective even on
+// case-insensitive filesystems (macOS, Windows), where "Sensor-1" and
+// "sensor-1" must not resolve to the same file. Escaped names longer than
+// maxEscapedID fall back to a truncated prefix plus the FNV-1a digest of
+// the exact ID (collisions then require a 64-bit hash collision between
+// same-prefix IDs).
+func escapeStreamID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	if b.Len() == 0 {
+		return "%empty"
+	}
+	if b.Len() > maxEscapedID {
+		return fmt.Sprintf("%s-%016x", b.String()[:maxEscapedID], fnv1a(id))
+	}
+	return b.String()
+}
+
+// maxEscapedID bounds the readable part of a checkpoint file name, keeping
+// the full name (plus hash suffix and ".ckpt") well under common 255-byte
+// filename limits.
+const maxEscapedID = 160
+
+func (s *FSStore) path(streamID string) string {
+	return filepath.Join(s.dir, escapeStreamID(streamID)+".ckpt")
+}
+
+// Put atomically replaces the stream's checkpoint file.
+func (s *FSStore) Put(streamID string, data []byte) error {
+	path := s.path(streamID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Get reads the stream's checkpoint file.
+func (s *FSStore) Get(streamID string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(streamID))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Delete removes the stream's checkpoint file.
+func (s *FSStore) Delete(streamID string) error {
+	err := os.Remove(s.path(streamID))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// CheckpointConfig enables and tunes detector-state persistence; the zero
+// value (no Store) disables checkpointing entirely.
+type CheckpointConfig struct {
+	// Store receives the snapshots. nil disables checkpointing.
+	Store Store
+	// Interval is the periodic per-stream snapshot cadence; streams that saw
+	// no traffic since their last snapshot are skipped. Zero defaults to
+	// 30 s. Evict, idle GC, and Close snapshot regardless of cadence.
+	Interval time.Duration
+	// QueueSize bounds the async write queue (snapshots in flight to the
+	// Store); default 256. When the queue is full a periodic snapshot is
+	// skipped (counted in Snapshot.CheckpointErrors) and retried on the next
+	// tick; spill and close-time snapshots block instead, because their
+	// state would otherwise be lost.
+	QueueSize int
+}
+
+func (c *CheckpointConfig) withDefaults() {
+	if c.Store == nil {
+		return
+	}
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+}
+
+// ckptMsg is one message to the checkpoint writer goroutine: either a
+// snapshot to persist (buf != nil) or a barrier (done != nil) that the
+// writer acknowledges once every previously queued write has reached the
+// Store — the ordering fence rehydration needs.
+type ckptMsg struct {
+	id   string
+	buf  *bytes.Buffer
+	done chan struct{}
+}
+
+// ckptWriter drains the checkpoint queue onto the Store. It is the only
+// goroutine that calls Store.Put, so per-stream write order equals queue
+// order.
+func (m *Monitor) ckptWriter() {
+	defer m.ckptWg.Done()
+	for msg := range m.ckptCh {
+		if msg.done != nil {
+			close(msg.done)
+			continue
+		}
+		if err := m.cfg.Checkpoint.Store.Put(msg.id, msg.buf.Bytes()); err != nil {
+			m.ckptErrors.Add(1)
+		} else {
+			m.checkpoints.Add(1)
+		}
+		msg.buf.Reset()
+		m.ckptPool.Put(msg.buf)
+	}
+}
+
+// ckptBarrier blocks until every checkpoint queued before the call has been
+// written to the Store. Used before rehydration reads so a queued spill of
+// the same stream cannot be overtaken.
+func (m *Monitor) ckptBarrier() {
+	done := make(chan struct{})
+	m.ckptCh <- ckptMsg{done: done}
+	<-done
+}
+
+// snapshotStream serializes one stream's detector into a pooled buffer and
+// queues the write. block selects blocking enqueue (spill / close, where
+// dropping would lose the only copy) versus drop-and-retry-next-tick
+// (periodic cadence). Serialization runs on the shard goroutine — the
+// detector's owner — so no locking is needed; the store write happens on the
+// writer goroutine.
+func (s *shard) snapshotStream(id string, st *streamState, block bool) {
+	sd, ok := st.det.(detectors.StatefulDetector)
+	if !ok {
+		return // not checkpointable; skip silently (documented)
+	}
+	m := s.m
+	buf := m.ckptPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	// Envelope: monitor frame wrapping [seq | detector frame], so the
+	// stream's observation counter survives alongside the detector.
+	s.ckptScratch.Reset()
+	s.ckptScratch.U64(st.seq)
+	if err := sd.SaveState(s.ckptScratch); err != nil {
+		m.ckptErrors.Add(1)
+		m.ckptPool.Put(buf)
+		return
+	}
+	s.ckptFrame = codec.AppendFrame(s.ckptFrame[:0], codec.KindMonitorStream, s.ckptScratch.Bytes())
+	buf.Write(s.ckptFrame) // copy into the pooled buffer; the scratch stays shard-owned
+	msg := ckptMsg{id: id, buf: buf}
+	if block {
+		m.ckptCh <- msg
+		s.snapshotted[id] = struct{}{}
+		st.dirty = false
+		return
+	}
+	select {
+	case m.ckptCh <- msg:
+		s.snapshotted[id] = struct{}{}
+		st.dirty = false
+	default:
+		// Queue full: count it, retry on the next tick (the stream stays
+		// dirty).
+		m.ckptErrors.Add(1)
+		buf.Reset()
+		m.ckptPool.Put(buf)
+	}
+}
+
+// snapshotDirty walks the shard's streams on the checkpoint tick and
+// snapshots those that saw traffic since their last snapshot.
+func (s *shard) snapshotDirty() {
+	for id, st := range s.streams {
+		if st.dirty {
+			s.snapshotStream(id, st, false)
+		}
+	}
+}
+
+// finalCheckpoint flushes every dirty resident stream on shutdown (blocking
+// enqueue: Close must not lose state). Runs on the shard goroutine after its
+// queue drained.
+func (s *shard) finalCheckpoint() {
+	if !s.m.ckptEnabled() {
+		return
+	}
+	for id, st := range s.streams {
+		if st.dirty {
+			s.snapshotStream(id, st, true)
+		}
+	}
+}
+
+// spill persists a stream's state before it leaves memory (explicit Evict or
+// idle GC). Blocking: a dropped spill would be the only copy.
+func (s *shard) spill(id string, st *streamState) {
+	if !s.m.ckptEnabled() {
+		return
+	}
+	s.snapshotStream(id, st, true)
+}
+
+// rehydrate restores a newly created detector from the stream's stored
+// checkpoint, if one exists. Returns the restored sequence counter (0 when
+// nothing was restored). Load failures (corrupt snapshot, incompatible
+// detector) are counted and the fresh detector is used as-is — a monitor
+// must keep ingesting even when a checkpoint went bad.
+func (s *shard) rehydrate(id string, det detectors.Detector) uint64 {
+	m := s.m
+	if !m.ckptEnabled() {
+		return 0
+	}
+	sd, ok := det.(detectors.StatefulDetector)
+	if !ok {
+		return 0
+	}
+	// Fence: a spill of this stream may still sit in the write queue, so all
+	// queued writes must reach the Store before the read below. Only pay the
+	// round-trip when this shard has ever enqueued a snapshot for the
+	// stream — writes for a stream originate exclusively on its (consistent-
+	// hash-stable) shard, so a genuinely new stream materializes without
+	// stalling behind unrelated pending writes.
+	if _, ever := s.snapshotted[id]; ever {
+		m.ckptBarrier()
+	}
+	data, ok, err := m.cfg.Checkpoint.Store.Get(id)
+	if err != nil {
+		m.ckptErrors.Add(1)
+		return 0
+	}
+	if !ok {
+		return 0
+	}
+	payload, err := codec.ExpectFrame(data, codec.KindMonitorStream)
+	if err != nil {
+		m.ckptErrors.Add(1)
+		return 0
+	}
+	rd := codec.NewReader(payload)
+	seq := rd.U64()
+	if rd.Err() != nil {
+		m.ckptErrors.Add(1)
+		return 0
+	}
+	if err := sd.LoadState(bytes.NewReader(payload[8:])); err != nil {
+		m.ckptErrors.Add(1)
+		return 0
+	}
+	m.rehydrated.Add(1)
+	return seq
+}
+
+func (m *Monitor) ckptEnabled() bool { return m.cfg.Checkpoint.Store != nil }
+
+// newEnvelopeFrame builds a stream-envelope frame from a sequence counter
+// and an already-framed detector snapshot — the exact layout snapshotStream
+// produces into shard scratch (kept in one place for tests and tooling).
+func newEnvelopeFrame(seq uint64, detectorFrame []byte) []byte {
+	b := codec.NewBuffer(nil)
+	b.U64(seq)
+	b.Write(detectorFrame)
+	return codec.AppendFrame(nil, codec.KindMonitorStream, b.Bytes())
+}

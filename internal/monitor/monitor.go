@@ -30,6 +30,7 @@
 package monitor
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rbmim/internal/codec"
 	"rbmim/internal/core"
 	"rbmim/internal/detectors"
 )
@@ -86,6 +88,12 @@ type Config struct {
 	// every drift (before the event is offered to the channel). It must be
 	// fast and safe for concurrent invocation across shards.
 	OnDrift func(Event)
+	// Checkpoint enables detector-state persistence: periodic per-stream
+	// snapshots, spill (instead of drop) on Evict and idle GC, transparent
+	// rehydration when a checkpointed stream re-ingests, and a full flush on
+	// Close. The zero value (no Store) disables checkpointing. See
+	// CheckpointConfig.
+	Checkpoint CheckpointConfig
 }
 
 func (c *Config) withDefaults() error {
@@ -116,6 +124,7 @@ func (c *Config) withDefaults() error {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
 	}
+	c.Checkpoint.withDefaults()
 	if c.IdleTTL > 0 && c.GCInterval <= 0 {
 		c.GCInterval = c.IdleTTL / 4
 		if c.GCInterval < time.Second {
@@ -157,6 +166,16 @@ type Monitor struct {
 	wg     sync.WaitGroup
 
 	eventsDropped atomic.Uint64
+
+	// Checkpoint plumbing (see checkpoint.go): shards serialize into pooled
+	// buffers and enqueue; the single writer goroutine performs the Store
+	// writes, keeping store latency off the shard loops.
+	ckptCh      chan ckptMsg
+	ckptWg      sync.WaitGroup
+	ckptPool    sync.Pool
+	checkpoints atomic.Uint64
+	ckptErrors  atomic.Uint64
+	rehydrated  atomic.Uint64
 }
 
 // New builds and starts a Monitor.
@@ -169,6 +188,12 @@ func New(cfg Config) (*Monitor, error) {
 		events: make(chan Event, cfg.EventBuffer),
 		start:  time.Now(),
 	}
+	if m.ckptEnabled() {
+		m.ckptCh = make(chan ckptMsg, cfg.Checkpoint.QueueSize)
+		m.ckptPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+		m.ckptWg.Add(1)
+		go m.ckptWriter()
+	}
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
 		s := &shard{
@@ -178,7 +203,9 @@ func New(cfg Config) (*Monitor, error) {
 			groups:  make(map[string]*obsGroup),
 			// Pool of pointers: putting a *batchBuf into an interface is
 			// allocation-free, unlike a value would be.
-			pool: sync.Pool{New: func() any { return new(batchBuf) }},
+			pool:        sync.Pool{New: func() any { return new(batchBuf) }},
+			ckptScratch: codec.NewBuffer(nil),
+			snapshotted: make(map[string]struct{}),
 		}
 		if cfg.Detector.Classes > 0 {
 			s.driftsByClass = make([]atomic.Uint64, cfg.Detector.Classes)
@@ -271,7 +298,15 @@ func (m *Monitor) TryIngestBatch(streamID string, obs []detectors.Observation) (
 	}
 }
 
-// Evict asynchronously removes a stream and its detector.
+// Evict asynchronously removes a stream and its detector from memory,
+// flushing the stream's queued observations first. With checkpointing
+// enabled the detector's state is spilled to the Store before removal, so a
+// later ingest for the same stream resumes the trained detector instead of
+// starting fresh; the Store entry is retained. Evicting a stream that is not
+// currently resident on its shard (never ingested, already evicted, or
+// already collected by idle GC) is a documented no-op that is counted in
+// Snapshot.StreamErrors — the caller's view of the stream population has
+// drifted from the monitor's, which is worth surfacing.
 func (m *Monitor) Evict(streamID string) error {
 	s := m.shards[shardFor(streamID, len(m.shards))]
 	m.mu.RLock()
@@ -301,6 +336,13 @@ func (m *Monitor) Close() {
 		close(s.in)
 	}
 	m.wg.Wait()
+	if m.ckptEnabled() {
+		// Shards have flushed their final snapshots into the queue; drain it
+		// to the Store before reporting closed, so a successor monitor
+		// sharing the Store rehydrates the newest state.
+		close(m.ckptCh)
+		m.ckptWg.Wait()
+	}
 	close(m.events)
 }
 
@@ -331,8 +373,15 @@ type Snapshot struct {
 	// full shard queues; EventsDropped counts drift events dropped on the
 	// full event channel; IdleEvicted counts idle-GC evictions; StreamErrors
 	// counts observations rejected by detector-factory failures and
-	// per-shard stream-cap limits (MaxStreamsPerShard).
+	// per-shard stream-cap limits (MaxStreamsPerShard), plus Evict calls for
+	// streams that were not resident (see Evict).
 	Dropped, EventsDropped, IdleEvicted, StreamErrors uint64
+	// Checkpoints counts snapshots written to the checkpoint Store;
+	// CheckpointErrors counts failed serializations, Store errors, skipped
+	// snapshots on a full write queue, and rehydration failures; Rehydrated
+	// counts streams restored from the Store on first ingest. All zero
+	// without Config.Checkpoint.
+	Checkpoints, CheckpointErrors, Rehydrated uint64
 	// ShardStreams / ShardIngested expose the per-shard balance.
 	ShardStreams  []int
 	ShardIngested []uint64
@@ -345,11 +394,14 @@ type Snapshot struct {
 // and safe to call at any time, including after Close.
 func (m *Monitor) Snapshot() Snapshot {
 	sn := Snapshot{
-		Shards:        len(m.shards),
-		EventsDropped: m.eventsDropped.Load(),
-		Uptime:        time.Since(m.start),
-		ShardStreams:  make([]int, len(m.shards)),
-		ShardIngested: make([]uint64, len(m.shards)),
+		Shards:           len(m.shards),
+		EventsDropped:    m.eventsDropped.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		CheckpointErrors: m.ckptErrors.Load(),
+		Rehydrated:       m.rehydrated.Load(),
+		Uptime:           time.Since(m.start),
+		ShardStreams:     make([]int, len(m.shards)),
+		ShardIngested:    make([]uint64, len(m.shards)),
 	}
 	if m.cfg.Detector.Classes > 0 {
 		sn.DriftsByClass = make([]uint64, m.cfg.Detector.Classes)
@@ -413,6 +465,9 @@ type streamState struct {
 	det      detectors.Detector
 	seq      uint64
 	lastSeen time.Time
+	// dirty marks traffic since the last snapshot; cleared when a snapshot
+	// of this stream is queued to the checkpoint writer.
+	dirty bool
 }
 
 // obsGroup accumulates one stream's observations across the envelopes of a
@@ -446,6 +501,16 @@ type shard struct {
 	order     []string
 	groupFree []*obsGroup
 	states    []detectors.State
+
+	// Checkpoint scratch (checkpoint.go): the envelope payload builder and
+	// the framed snapshot, both reused across snapshots so the periodic
+	// cadence allocates nothing beyond the pooled write buffers; snapshotted
+	// remembers which stream IDs this shard has ever enqueued a snapshot
+	// for, so rehydration only pays the write-queue barrier when a write of
+	// that stream could actually be in flight.
+	ckptScratch *codec.Buffer
+	ckptFrame   []byte
+	snapshotted map[string]struct{}
 
 	streamCount   atomic.Int64
 	ingested      atomic.Uint64
@@ -512,11 +577,21 @@ func (s *shard) copyBatch(obs []detectors.Observation) *batchBuf {
 
 func (s *shard) run() {
 	defer s.m.wg.Done()
+	// Registered after wg.Done, so it runs first (LIFO): the close-time
+	// state flush reaches the checkpoint queue before Close's wg.Wait
+	// releases and the queue is drained.
+	defer s.finalCheckpoint()
 	var gcC <-chan time.Time
 	if s.m.cfg.IdleTTL > 0 {
 		t := time.NewTicker(s.m.cfg.GCInterval)
 		defer t.Stop()
 		gcC = t.C
+	}
+	var ckptC <-chan time.Time
+	if s.m.ckptEnabled() {
+		t := time.NewTicker(s.m.cfg.Checkpoint.Interval)
+		defer t.Stop()
+		ckptC = t.C
 	}
 	pending := make([]envelope, 0, microBatch)
 	for {
@@ -545,6 +620,8 @@ func (s *shard) run() {
 			s.process(pending)
 		case <-gcC:
 			s.gcIdle()
+		case <-ckptC:
+			s.snapshotDirty()
 		}
 	}
 }
@@ -557,12 +634,24 @@ func (s *shard) process(pending []envelope) {
 	for _, env := range pending {
 		switch env.op {
 		case opEvict:
-			if g, ok := s.groups[env.id]; ok {
+			// Flush the stream's queued observations first (an empty group —
+			// already flushed earlier in this micro-batch — must not be
+			// flushed again: flush would materialize a fresh stream).
+			if g, ok := s.groups[env.id]; ok && len(g.obs) > 0 {
 				s.flush(env.id, g)
 			}
-			if _, ok := s.streams[env.id]; ok {
+			if st, ok := s.streams[env.id]; ok {
+				// Spill instead of drop: with checkpointing enabled the
+				// trained detector survives in the Store and a later ingest
+				// rehydrates it.
+				s.spill(env.id, st)
 				delete(s.streams, env.id)
 				s.streamCount.Add(-1)
+			} else {
+				// Evicting a non-resident stream is a no-op, but it means the
+				// caller's stream bookkeeping disagrees with the monitor's —
+				// counted so the disagreement is visible (see Evict).
+				s.streamErrors.Add(1)
 			}
 		case opIngest:
 			g, ok := s.groups[env.id]
@@ -628,6 +717,9 @@ func (s *shard) flush(id string, g *obsGroup) {
 			return
 		}
 		st = &streamState{det: det}
+		// A checkpointed stream resumes its trained detector and sequence
+		// counter; a genuinely new stream starts at zero.
+		st.seq = s.rehydrate(id, det)
 		s.streams[id] = st
 		s.streamCount.Add(1)
 	}
@@ -666,6 +758,7 @@ func (s *shard) flush(id string, g *obsGroup) {
 		}
 	}
 	s.ingested.Add(uint64(n))
+	st.dirty = true
 	s.release(g)
 }
 
@@ -687,11 +780,14 @@ func (s *shard) tally(id string, st *streamState, state detectors.State, classes
 	}
 }
 
-// gcIdle evicts streams idle for longer than IdleTTL.
+// gcIdle evicts streams idle for longer than IdleTTL, spilling their state
+// to the checkpoint store first (so an idle stream that later wakes up
+// resumes its trained detector).
 func (s *shard) gcIdle() {
 	cutoff := time.Now().Add(-s.m.cfg.IdleTTL)
 	for id, st := range s.streams {
 		if st.lastSeen.Before(cutoff) {
+			s.spill(id, st)
 			delete(s.streams, id)
 			s.streamCount.Add(-1)
 			s.idleEvicted.Add(1)

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rbmim/internal/codec"
+)
+
+// TestADWINStateRoundTrip pins that a restored ADWIN continues bit-identically
+// to the original: same widths, means, and detection decisions on a shared
+// suffix of insertions.
+func TestADWINStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewADWIN(0.002)
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64()
+		if i > 300 {
+			v += 3 // level shift so cuts actually happen
+		}
+		a.Add(v)
+	}
+
+	w := codec.NewBuffer(nil)
+	a.EncodeState(w)
+	b := NewADWIN(0.5) // deliberately different parameters; decode replaces them
+	if err := b.DecodeState(codec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if b.Width() != a.Width() || math.Float64bits(b.Mean()) != math.Float64bits(a.Mean()) {
+		t.Fatalf("restored width/mean %d/%v vs %d/%v", b.Width(), b.Mean(), a.Width(), a.Mean())
+	}
+	// Continue both with the identical suffix: every decision must agree.
+	for i := 0; i < 400; i++ {
+		v := rng.NormFloat64() * float64(1+i%7)
+		da, db := a.Add(v), b.Add(v)
+		if da != db || a.Width() != b.Width() || math.Float64bits(a.Mean()) != math.Float64bits(b.Mean()) {
+			t.Fatalf("step %d diverged: detect %v/%v width %d/%d", i, da, db, a.Width(), b.Width())
+		}
+	}
+}
+
+func TestADWINDecodeRejectsCorruptState(t *testing.T) {
+	a := NewADWIN(0.002)
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i % 10))
+	}
+	w := codec.NewBuffer(nil)
+	a.EncodeState(w)
+	valid := append([]byte(nil), w.Bytes()...)
+
+	// Truncations at every length must fail and leave the receiver usable.
+	for n := 0; n < len(valid); n++ {
+		fresh := NewADWIN(0.002)
+		if err := fresh.DecodeState(codec.NewReader(valid[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		if fresh.Width() != 0 {
+			t.Fatalf("failed decode mutated receiver (width %d)", fresh.Width())
+		}
+		fresh.Add(1) // must not panic after failed decode
+	}
+}
+
+func TestSlidingTrendStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSlidingTrend(16)
+	for i := 0; i < 57; i++ {
+		s.Add(rng.Float64() + float64(i)*0.01)
+	}
+	w := codec.NewBuffer(nil)
+	s.EncodeState(w)
+	restored := NewSlidingTrend(4)
+	if err := restored.DecodeState(codec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.Window() != s.Window() {
+		t.Fatalf("count/window %d/%d vs %d/%d", restored.Count(), restored.Window(), s.Count(), s.Window())
+	}
+	if math.Float64bits(restored.Slope()) != math.Float64bits(s.Slope()) {
+		t.Fatalf("slope %v vs %v", restored.Slope(), s.Slope())
+	}
+	for i := 0; i < 40; i++ {
+		v := rng.Float64()
+		s.Add(v)
+		restored.Add(v)
+		if math.Float64bits(restored.Slope()) != math.Float64bits(s.Slope()) ||
+			math.Float64bits(restored.Mean()) != math.Float64bits(s.Mean()) {
+			t.Fatalf("step %d diverged: slope %v vs %v", i, restored.Slope(), s.Slope())
+		}
+	}
+}
+
+func TestSlidingTrendDecodeRejectsBadCursor(t *testing.T) {
+	s := NewSlidingTrend(8)
+	s.Add(1)
+	w := codec.NewBuffer(nil)
+	s.EncodeState(w)
+	valid := w.Bytes()
+
+	// head beyond the window must be rejected: rewrite the head field (offset
+	// = 6 fixed 8-byte fields) to an out-of-range value.
+	bad := append([]byte(nil), valid...)
+	badW := codec.NewBuffer(nil)
+	badW.Int(99)
+	copy(bad[6*8:], badW.Bytes())
+	fresh := NewSlidingTrend(8)
+	if err := fresh.DecodeState(codec.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range head accepted")
+	}
+}

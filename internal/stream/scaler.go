@@ -1,5 +1,7 @@
 package stream
 
+import "rbmim/internal/codec"
+
 // Scaler performs online min-max scaling of feature vectors into [0, 1].
 // When the schema carries static bounds those are used as the starting
 // estimates; otherwise bounds are learned from the data seen so far, which is
@@ -64,4 +66,28 @@ func (s *Scaler) Scale(x []float64, dst []float64) []float64 {
 		dst[i] = u
 	}
 	return dst
+}
+
+// EncodeState appends the scaler's learned bounds to w (checkpoint support;
+// see internal/codec for the format contract).
+func (s *Scaler) EncodeState(w *codec.Buffer) {
+	w.Bool(s.seen)
+	w.F64s(s.min)
+	w.F64s(s.max)
+}
+
+// DecodeState restores bounds written by EncodeState, requiring the same
+// feature count the receiver was built with. On error the receiver is
+// unchanged.
+func (s *Scaler) DecodeState(r *codec.Reader) error {
+	seen := r.Bool()
+	min := r.F64sLen(len(s.min))
+	max := r.F64sLen(len(s.max))
+	if r.Err() != nil {
+		return r.Err()
+	}
+	s.seen = seen
+	copy(s.min, min)
+	copy(s.max, max)
+	return nil
 }

@@ -1,6 +1,10 @@
 package rbmim
 
 import (
+	"errors"
+	"fmt"
+	"io"
+
 	"rbmim/internal/core"
 	"rbmim/internal/detectors"
 	"rbmim/internal/eval"
@@ -43,6 +47,40 @@ func UpdateBatch(det Detector, obs []Observation, states []State) {
 // ClassAttributor is implemented by detectors that attribute drifts to
 // specific classes (RBM-IM, DDM-OCI).
 type ClassAttributor = detectors.ClassAttributor
+
+// StatefulDetector is implemented by detectors whose trained state can be
+// checkpointed and restored (RBM-IM natively — bit-identical resume — plus
+// the DDM, EDDM and ADWIN baselines). See SaveDetector / LoadDetector.
+type StatefulDetector = detectors.StatefulDetector
+
+// ErrNotStateful is returned by SaveDetector / LoadDetector for detectors
+// that do not implement StatefulDetector.
+var ErrNotStateful = errors.New("rbmim: detector does not support checkpointing")
+
+// SaveDetector writes det's complete mutable state to w as one versioned,
+// CRC-protected binary frame. For RBM-IM the snapshot is exact: restoring it
+// and continuing to train is bit-identical to never stopping (weights, class
+// counts, scaler bounds, per-class trend statistics, partially filled
+// mini-batch, and RNG position are all captured). Returns ErrNotStateful
+// when det cannot serialize.
+func SaveDetector(det Detector, w io.Writer) error {
+	sd, ok := det.(StatefulDetector)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotStateful, det.Name())
+	}
+	return sd.SaveState(w)
+}
+
+// LoadDetector restores det from a snapshot written by SaveDetector for an
+// identically configured detector of the same type. Corrupt, truncated, or
+// mismatched input returns an error and leaves det completely unchanged.
+func LoadDetector(det Detector, r io.Reader) error {
+	sd, ok := det.(StatefulDetector)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotStateful, det.Name())
+	}
+	return sd.LoadState(r)
+}
 
 // DetectorConfig parameterizes RBM-IM (see internal/core.Config; zero values
 // select the paper-aligned defaults).
@@ -185,7 +223,29 @@ type (
 	// DetectorFactory builds a detector for a newly observed stream
 	// (MonitorConfig.NewDetector).
 	DetectorFactory = monitor.Factory
+	// CheckpointConfig enables detector-state persistence on a Monitor
+	// (MonitorConfig.Checkpoint): periodic snapshots, spill on evict/idle-GC,
+	// rehydration on re-ingest, and a Close-time flush.
+	CheckpointConfig = monitor.CheckpointConfig
+	// CheckpointStore persists per-stream detector snapshots; implement it to
+	// back checkpoints with your own storage, or use NewMemStore /
+	// NewFSStore.
+	CheckpointStore = monitor.Store
+	// MemStore is the in-process CheckpointStore.
+	MemStore = monitor.MemStore
+	// FSStore is the one-file-per-stream filesystem CheckpointStore.
+	FSStore = monitor.FSStore
 )
+
+// NewMemStore builds an in-memory checkpoint store (spill-and-rehydrate
+// within one process, tests).
+func NewMemStore() *MemStore { return monitor.NewMemStore() }
+
+// NewFSStore builds a filesystem checkpoint store rooted at dir (one
+// atomically replaced file per stream), creating the directory if needed.
+// Checkpoints survive process restarts: a new Monitor pointed at the same
+// directory rehydrates every stream on first ingest.
+func NewFSStore(dir string) (*FSStore, error) { return monitor.NewFSStore(dir) }
 
 // ErrMonitorClosed is returned by Monitor methods after Close.
 var ErrMonitorClosed = monitor.ErrClosed
