@@ -12,6 +12,7 @@
 //	             [-shards 1,2,4,8] [-producers 0] [-drift]
 //	             [-batch 256] [-json BENCH_monitor.json]
 //	             [-checkpoint mem|DIR] [-ckptint 500ms]
+//	             [-remote ADDR]
 //
 // With -drift every stream undergoes a sudden concept change halfway
 // through, so the drift-event column should be non-zero for most streams.
@@ -23,6 +24,15 @@
 // -ckptint cadence ("mem" = in-memory store, anything else = filesystem
 // store rooted at that directory, one fresh subdirectory per sweep), so the
 // throughput table shows what checkpointing costs the ingest path.
+//
+// With -remote ADDR monitorbench becomes a load generator for a running
+// driftserver: the shard sweep is skipped (sharding is the server's
+// business), each producer goroutine dials its own client connection, and
+// the workload is driven over the wire with IngestBatch (-batch > 0) or
+// per-observation Ingest. The run ends with a FlushCheckpoints barrier and
+// verifies through the wire snapshot that the server processed every
+// observation sent — a non-zero exit otherwise, which is what the CI smoke
+// asserts. JSON rows embed the server's canonical snapshot encoding.
 package main
 
 import (
@@ -54,6 +64,7 @@ func main() {
 	jsonPath := flag.String("json", "", "append this run's rows to the given JSON trajectory file")
 	checkpoint := flag.String("checkpoint", "", `enable checkpointing: "mem" or a directory for a filesystem store`)
 	ckptInt := flag.Duration("ckptint", 500*time.Millisecond, "periodic snapshot cadence when -checkpoint is set")
+	remote := flag.String("remote", "", "drive a running driftserver at this address instead of an in-process monitor")
 	flag.Parse()
 
 	shardCounts := parseShards(*shardList)
@@ -69,6 +80,15 @@ func main() {
 	workload, err := buildWorkload(*streams, *instances, *features, *classes, *drift)
 	if err != nil {
 		fail(err)
+	}
+
+	if *remote != "" {
+		runRemoteMode(workload, *producers, *batch, *remote, *jsonPath, runConfig{
+			Streams: *streams, Instances: *instances, Features: *features,
+			Classes: *classes, Producers: *producers, Drift: *drift,
+			GOMAXPROCS: runtime.GOMAXPROCS(0), Remote: *remote,
+		})
+		return
 	}
 
 	modes := []int{0}
@@ -103,10 +123,11 @@ func main() {
 			fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s%s\n",
 				shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
 				res.drifts, res.streams, res.balance, note)
+			sn := res.sn
 			rows = append(rows, runRow{
 				Shards: shards, Batch: b, InstancesPerSec: res.rate,
 				WallMS: float64(res.wall.Microseconds()) / 1000,
-				Drifts: res.drifts, Streams: res.streams,
+				Drifts: res.drifts, Streams: res.streams, Snapshot: &sn,
 			})
 		}
 	}
@@ -147,6 +168,9 @@ type runConfig struct {
 	// Checkpoint records the -checkpoint mode of the run ("" = disabled) so
 	// trajectory rows with and without state persistence stay comparable.
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// Remote records the driftserver address of a -remote loadgen run
+	// ("" = in-process monitor).
+	Remote string `json:"remote,omitempty"`
 }
 
 type runRow struct {
@@ -156,6 +180,10 @@ type runRow struct {
 	WallMS          float64 `json:"wall_ms"`
 	Drifts          uint64  `json:"drifts"`
 	Streams         int     `json:"streams"`
+	// Snapshot is the monitor's end-of-run state in the canonical
+	// stable-field-order encoding (monitor.Snapshot.MarshalJSON) — the same
+	// bytes the server's Snapshot reply and /metrics pipeline carry.
+	Snapshot *rbmim.MonitorSnapshot `json:"snapshot,omitempty"`
 }
 
 // appendRecord appends rec to the JSON array at path (creating it when
@@ -186,6 +214,147 @@ type sweepResult struct {
 	drifts  uint64
 	streams int
 	balance string
+	sn      rbmim.MonitorSnapshot
+}
+
+// runRemoteMode is the -remote loadgen path: it drives a running
+// driftserver over loopback/network, prints one result row, optionally
+// appends it to the JSON trajectory, and fails the process when the
+// server-side counters do not account for every observation sent.
+func runRemoteMode(workload []workloadStream, producers, batch int, addr, jsonPath string, cfg runConfig) {
+	res, err := runRemote(workload, producers, batch, addr)
+	if err != nil {
+		fail(err)
+	}
+	mode := "single"
+	if batch > 0 {
+		mode = fmt.Sprintf("batch%d", batch)
+	}
+	fmt.Printf("%-8s %-10s %-14s %-12s %-10s %-10s %s\n", "shards", "mode", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
+	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s\n",
+		res.sn.Shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
+		res.drifts, res.streams, res.balance)
+	if jsonPath != "" {
+		rec := runRecord{
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Config:    cfg,
+			Rows: []runRow{{
+				Shards: res.sn.Shards, Batch: batch, InstancesPerSec: res.rate,
+				WallMS: float64(res.wall.Microseconds()) / 1000,
+				Drifts: res.drifts, Streams: res.streams, Snapshot: &res.sn,
+			}},
+		}
+		if err := appendRecord(jsonPath, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nappended run record to %s\n", jsonPath)
+	}
+	// The smoke assertion: the server must have processed exactly what was
+	// sent (IngestBatch blocks, so nothing may be dropped).
+	want := uint64(0)
+	for _, ws := range workload {
+		want += uint64(len(ws.obs))
+	}
+	if got := res.sn.Ingested - res.before; got != want {
+		fail(fmt.Errorf("server ingested %d observations, sent %d", got, want))
+	}
+}
+
+// runRemote replays the workload against a driftserver, producers feeding
+// disjoint stream subsets over their own connections. Deltas against the
+// pre-run snapshot keep the numbers correct on a long-lived server.
+func runRemote(workload []workloadStream, producers, batch int, addr string) (remoteResult, error) {
+	ctl, err := rbmim.Dial(addr)
+	if err != nil {
+		return remoteResult{}, err
+	}
+	defer ctl.Close()
+	before, err := ctl.Snapshot()
+	if err != nil {
+		return remoteResult{}, err
+	}
+	clients := make([]*rbmim.Client, producers)
+	for p := range clients {
+		if clients[p], err = rbmim.Dial(addr); err != nil {
+			return remoteResult{}, err
+		}
+		defer clients[p].Close()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c := clients[p]
+			for s := p; s < len(workload); s += producers {
+				ws := workload[s]
+				if batch > 0 {
+					for i := 0; i < len(ws.obs); i += batch {
+						end := i + batch
+						if end > len(ws.obs) {
+							end = len(ws.obs)
+						}
+						if err := c.IngestBatch(ws.id, ws.obs[i:end]); err != nil {
+							errs <- err
+							return
+						}
+					}
+					continue
+				}
+				for i := range ws.obs {
+					if err := c.Ingest(ws.id, ws.obs[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return remoteResult{}, err
+	default:
+	}
+	// Barrier: every queued observation is applied (and checkpoints, if the
+	// server has a store, are durable) before the clock stops.
+	if err := ctl.FlushCheckpoints(); err != nil {
+		return remoteResult{}, err
+	}
+	wall := time.Since(start)
+	after, err := ctl.Snapshot()
+	if err != nil {
+		return remoteResult{}, err
+	}
+	delta := after.Ingested - before.Ingested
+	perShard := make([]uint64, len(after.ShardIngested))
+	for i := range perShard {
+		perShard[i] = after.ShardIngested[i]
+		if i < len(before.ShardIngested) {
+			perShard[i] -= before.ShardIngested[i]
+		}
+	}
+	return remoteResult{
+		sweepResult: sweepResult{
+			rate:    float64(delta) / wall.Seconds(),
+			wall:    wall,
+			drifts:  after.Drifts - before.Drifts,
+			streams: after.Streams,
+			balance: balanceString(perShard),
+			sn:      after,
+		},
+		before: before.Ingested,
+	}, nil
+}
+
+// remoteResult is a sweepResult plus the pre-run ingest counter, so the
+// verification can compute the delta a long-lived server accumulates.
+type remoteResult struct {
+	sweepResult
+	before uint64
 }
 
 // buildWorkload pre-generates every stream's observation sequence.
@@ -310,6 +479,7 @@ func runSweep(workload []workloadStream, features, classes, shards, producers, q
 		drifts:  sn.Drifts,
 		streams: sn.Streams,
 		balance: balanceString(sn.ShardIngested),
+		sn:      sn,
 	}, nil
 }
 

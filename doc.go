@@ -26,6 +26,12 @@
 //     bit-identical resume for RBM-IM, periodic per-stream persistence,
 //     spill-on-evict, and transparent rehydration through pluggable
 //     in-memory or filesystem stores.
+//   - A network serving layer (NewServer / Dial): the Monitor behind a
+//     codec-framed binary TCP protocol with a zero-allocation batch
+//     ingest path on both ends, streamed drift-event subscriptions,
+//     explicit backpressure (Busy replies), a checkpoint-flush barrier,
+//     and an HTTP sidecar with /healthz and Prometheus /metrics —
+//     cmd/driftserver is the ready-made binary.
 //
 // # Quick start
 //

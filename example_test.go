@@ -137,6 +137,113 @@ func ExampleSaveDetector() {
 	// resumed detector tracks the original: true
 }
 
+// ExampleNewServer serves a Monitor over TCP: the driftserver wire protocol
+// on a loopback port, driven by the zero-allocation rbmim.Client. The
+// FlushCheckpoints round trip doubles as a processing barrier, so the
+// snapshot that follows it is deterministic.
+func ExampleNewServer() {
+	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
+		Detector: rbmim.DetectorConfig{Features: 8, Classes: 3, Seed: 7},
+		Shards:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := rbmim.NewServer(rbmim.ServerConfig{Monitor: m, Addr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := rbmim.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: 8, Classes: 3, Seed: 2}, 3, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := make([]rbmim.Observation, 64)
+	for i := range obs {
+		in := gen.Next()
+		obs[i] = rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	if err := c.IngestBatch("turbine-7", obs); err != nil { // one frame, one round trip
+		log.Fatal(err)
+	}
+	if err := c.FlushCheckpoints(); err != nil { // barrier: everything above is applied
+		log.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streams=%d ingested=%d\n", sn.Streams, sn.Ingested)
+
+	c.Close()
+	srv.Close() // network side first ...
+	m.Close()   // ... then the monitor (flushes any checkpoint store)
+	// Output:
+	// streams=1 ingested=64
+}
+
+// ExampleClient shows the request vocabulary beyond ingestion: eviction
+// (asynchronous, made visible by the flush barrier) and the aggregate
+// snapshot, against a server with an in-memory checkpoint store so the
+// evicted stream's trained state survives for a later re-ingest.
+func ExampleClient() {
+	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
+		Detector:   rbmim.DetectorConfig{Features: 8, Classes: 3, Seed: 7},
+		Shards:     2,
+		Checkpoint: rbmim.CheckpointConfig{Store: rbmim.NewMemStore()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := rbmim.NewServer(rbmim.ServerConfig{Monitor: m, Addr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	defer srv.Close()
+
+	c, err := rbmim.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	gen, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: 8, Classes: 3, Seed: 5}, 3, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	one := func() rbmim.Observation {
+		in := gen.Next()
+		return rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Ingest("sensor-a", one()); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Ingest("sensor-b", one()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Evict sensor-a: its trained detector spills to the store, and the
+	// flush makes the removal (and the spill) visible.
+	if err := c.Evict("sensor-a"); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streams=%d ingested=%d checkpoints=%d\n", sn.Streams, sn.Ingested, sn.Checkpoints)
+	// Output:
+	// streams=1 ingested=20 checkpoints=2
+}
+
 // ExampleNewMemStore runs a checkpointed Monitor: the first monitor persists
 // every stream's detector state on Close, and a second monitor sharing the
 // store transparently rehydrates the trained detector when the stream

@@ -45,6 +45,30 @@ const (
 	KindMonitorStream uint8 = 6 // monitor per-stream envelope (seq + detector frame)
 )
 
+// Wire kinds: the frames of the driftserver network protocol (see
+// internal/server). They share the checkpoint frame format — magic, version,
+// length, CRC — so the server reuses this package's framing and corruption
+// handling verbatim, but live in a disjoint numeric range so a checkpoint
+// file fed to a server socket (or vice versa) fails cleanly on kind.
+const (
+	// Requests (client -> server). Every request payload starts with a u64
+	// request id echoed by the matching reply.
+	KindWireIngest         uint8 = 16 // one observation for one stream
+	KindWireIngestBatch    uint8 = 17 // a block of observations (blocking backpressure)
+	KindWireTryIngestBatch uint8 = 18 // a block of observations (Busy instead of blocking)
+	KindWireSubscribe      uint8 = 19 // turn the connection into a drift-event stream
+	KindWireSnapshotReq    uint8 = 20 // request an aggregate monitor snapshot
+	KindWireEvict          uint8 = 21 // evict one stream (spills with checkpointing on)
+	KindWireFlush          uint8 = 22 // process everything queued + flush checkpoints
+
+	// Replies (server -> client).
+	KindWireOK       uint8 = 24 // request succeeded, no payload beyond the id
+	KindWireBusy     uint8 = 25 // TryIngestBatch dropped the block (queue full)
+	KindWireError    uint8 = 26 // request failed; payload carries a message
+	KindWireSnapshot uint8 = 27 // snapshot reply; payload is canonical JSON
+	KindWireEvent    uint8 = 28 // pushed drift event (request id 0)
+)
+
 // ErrInvalid is wrapped by every decode failure, so callers can test
 // errors.Is(err, codec.ErrInvalid) regardless of the specific corruption.
 var ErrInvalid = errors.New("codec: invalid checkpoint data")
@@ -116,6 +140,12 @@ func (w *Buffer) Bool(v bool) {
 // F64 appends a float64 as its IEEE-754 bit pattern.
 func (w *Buffer) F64(v float64) { w.U64(math.Float64bits(v)) }
 
+// Str appends a length-prefixed string (decode with Blob).
+func (w *Buffer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
 // F64s appends a length-prefixed float64 slice.
 func (w *Buffer) F64s(v []float64) {
 	w.U32(uint32(len(v)))
@@ -158,6 +188,21 @@ type Reader struct {
 
 // NewReader returns a Reader over b.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Reset repoints the Reader at b and clears the sticky error, so decode
+// loops (one payload per network frame) can reuse one Reader value instead
+// of allocating per frame.
+func (r *Reader) Reset(b []byte) {
+	r.b, r.off, r.err = b, 0, nil
+}
+
+// Remaining returns the number of unread bytes (0 after an error).
+func (r *Reader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.b) - r.off
+}
 
 // Err returns the sticky error, nil while all reads have been in bounds.
 func (r *Reader) Err() error { return r.err }
@@ -283,6 +328,21 @@ func (r *Reader) F64s() []float64 {
 	return out
 }
 
+// F64sInto reads a length-prefixed float64 slice by appending onto dst,
+// reusing its capacity — the decode-side sibling of Buffer.F64s for callers
+// that recycle buffers (the server's pooled observation slabs). On error the
+// input dst is returned unchanged.
+func (r *Reader) F64sInto(dst []float64) []float64 {
+	n := r.count(8)
+	if r.err != nil {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.F64())
+	}
+	return dst
+}
+
 // F64sLen reads a length-prefixed float64 slice, requiring exactly want
 // elements (the shape check every fixed-dimension field needs).
 func (r *Reader) F64sLen(want int) []float64 {
@@ -382,8 +442,55 @@ func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
 // errors, and the frame is re-validated end to end (including CRC) before
 // the payload is returned.
 func ReadFrame(r io.Reader) (kind uint8, payload []byte, err error) {
-	head := make([]byte, headerSize)
-	if _, err := io.ReadFull(r, head); err != nil {
+	kind, payload, err = NewFrameScanner(r).Next()
+	if err == io.EOF {
+		// Unlike a connection loop (FrameScanner.Next), a checkpoint load
+		// expects a frame to be present: an empty input is invalid input.
+		return 0, nil, fmt.Errorf("%w: reading frame header: %v", ErrInvalid, io.EOF)
+	}
+	return kind, payload, err
+}
+
+// FrameScanner reads a stream of consecutive frames from r, reusing one
+// internal buffer across frames — the connection-loop primitive of the
+// network protocol, where a steady-state reader must not allocate per frame.
+// The payload returned by Next is a view into that buffer, valid only until
+// the next call. The scanner makes no assumptions about how the underlying
+// reads fragment: a frame split across arbitrarily small Reads (TCP
+// segmentation) is reassembled via io.ReadFull.
+type FrameScanner struct {
+	r   io.Reader
+	buf []byte
+	max uint32
+}
+
+// NewFrameScanner returns a FrameScanner over r accepting payloads up to
+// MaxPayload (lower it with LimitPayload when r is an untrusted peer).
+func NewFrameScanner(r io.Reader) *FrameScanner {
+	return &FrameScanner{r: r, max: MaxPayload}
+}
+
+// LimitPayload lowers the maximum accepted payload length. A frame declaring
+// more than n bytes fails with ErrInvalid before any allocation, so a hostile
+// length field cannot drive memory growth.
+func (s *FrameScanner) LimitPayload(n int) {
+	if n > 0 && uint32(n) < s.max {
+		s.max = uint32(n)
+	}
+}
+
+// Next reads and validates the next frame. A clean end of stream at a frame
+// boundary returns io.EOF untouched (the signal a server loop exits on);
+// every other failure — truncation mid-frame included — wraps ErrInvalid.
+func (s *FrameScanner) Next() (kind uint8, payload []byte, err error) {
+	if cap(s.buf) < headerSize {
+		s.buf = make([]byte, headerSize, 4096)
+	}
+	head := s.buf[:headerSize]
+	if _, err := io.ReadFull(s.r, head); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
 		return 0, nil, fmt.Errorf("%w: reading frame header: %v", ErrInvalid, err)
 	}
 	if string(head[:4]) != magic {
@@ -393,12 +500,17 @@ func ReadFrame(r io.Reader) (kind uint8, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrInvalid, v, Version)
 	}
 	n := binary.LittleEndian.Uint32(head[6:10])
-	if n > MaxPayload {
-		return 0, nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrInvalid, n)
+	if n > s.max {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrInvalid, n, s.max)
 	}
-	frame := make([]byte, headerSize+int(n)+trailerSize)
-	copy(frame, head)
-	if _, err := io.ReadFull(r, frame[headerSize:]); err != nil {
+	total := headerSize + int(n) + trailerSize
+	if cap(s.buf) < total {
+		grown := make([]byte, total)
+		copy(grown, head)
+		s.buf = grown
+	}
+	frame := s.buf[:total]
+	if _, err := io.ReadFull(s.r, frame[headerSize:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: reading frame body: %v", ErrInvalid, err)
 	}
 	return ParseFrame(frame)

@@ -3,6 +3,7 @@ package codec
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math"
 	"testing"
 )
@@ -194,4 +195,205 @@ func TestBufferReuseAndWriter(t *testing.T) {
 		t.Fatalf("Write: n=%d err=%v len=%d", n, err, w.Len())
 	}
 	_ = first
+}
+
+// chunkReader serves its input in fixed-size chunks, simulating a TCP stream
+// whose Read boundaries never align with frame boundaries.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// TestFrameScannerFragmentedReads drives a multi-frame stream through Read
+// chunk sizes from one byte up past a whole frame — the boundary cases the
+// TCP path produces for real — and requires every frame to decode intact.
+func TestFrameScannerFragmentedReads(t *testing.T) {
+	var stream []byte
+	want := [][]byte{
+		[]byte("first payload"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 3000), // larger than any single chunk
+		[]byte("last"),
+	}
+	kinds := []uint8{KindWireIngest, KindWireOK, KindWireIngestBatch, KindWireEvent}
+	for i, p := range want {
+		stream = AppendFrame(stream, kinds[i], p)
+	}
+	for _, chunk := range []int{1, 2, 3, 7, 10, 13, 64, 1000, len(stream)} {
+		sc := NewFrameScanner(&chunkReader{data: stream, n: chunk})
+		for i := range want {
+			kind, payload, err := sc.Next()
+			if err != nil {
+				t.Fatalf("chunk=%d frame=%d: %v", chunk, i, err)
+			}
+			if kind != kinds[i] || !bytes.Equal(payload, want[i]) {
+				t.Fatalf("chunk=%d frame=%d: kind=%d payload=%q", chunk, i, kind, payload)
+			}
+		}
+		if _, _, err := sc.Next(); err != io.EOF {
+			t.Fatalf("chunk=%d: want clean io.EOF at stream end, got %v", chunk, err)
+		}
+	}
+}
+
+// TestFrameScannerTruncation cuts a frame at every possible byte boundary:
+// a cut at offset zero is a clean EOF, every later cut must surface as
+// ErrInvalid (a peer died mid-frame).
+func TestFrameScannerTruncation(t *testing.T) {
+	frame := AppendFrame(nil, KindWireIngest, []byte("payload under test"))
+	for cut := 0; cut < len(frame); cut++ {
+		sc := NewFrameScanner(&chunkReader{data: frame[:cut], n: 5})
+		_, _, err := sc.Next()
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut=0: want io.EOF, got %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("cut=%d: want ErrInvalid, got %v", cut, err)
+		}
+	}
+}
+
+// TestFrameScannerLimitPayload verifies that a frame declaring a payload
+// beyond the configured limit is rejected from the header alone.
+func TestFrameScannerLimitPayload(t *testing.T) {
+	frame := AppendFrame(nil, KindWireIngestBatch, make([]byte, 1024))
+	sc := NewFrameScanner(bytes.NewReader(frame))
+	sc.LimitPayload(512)
+	if _, _, err := sc.Next(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("want ErrInvalid for over-limit payload, got %v", err)
+	}
+	// The same frame passes with the limit at its size.
+	sc = NewFrameScanner(bytes.NewReader(frame))
+	sc.LimitPayload(1024)
+	if _, _, err := sc.Next(); err != nil {
+		t.Fatalf("within-limit frame rejected: %v", err)
+	}
+}
+
+// TestFrameScannerBufferReuse checks the steady-state contract: after the
+// buffer has grown to the largest frame seen, further frames of that size or
+// smaller allocate nothing.
+func TestFrameScannerBufferReuse(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 32; i++ {
+		stream = AppendFrame(stream, KindWireIngest, bytes.Repeat([]byte{byte(i)}, 2048))
+	}
+	sc := NewFrameScanner(bytes.NewReader(stream))
+	if _, _, err := sc.Next(); err != nil { // grow once
+		t.Fatal(err)
+	}
+	// 30 measured runs + AllocsPerRun's warmup run + the explicit grow call
+	// above consume the 32 frames exactly.
+	allocs := testing.AllocsPerRun(30, func() {
+		if _, _, err := sc.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state scanner allocates %.1f allocs/frame, want 0", allocs)
+	}
+}
+
+// TestReadFrameFragmented covers the one-shot ReadFrame entry point over the
+// same fragmented transport (checkpoint loads from sockets or pipes).
+func TestReadFrameFragmented(t *testing.T) {
+	frame := AppendFrame(nil, KindRBM, []byte("detector state bytes"))
+	for _, chunk := range []int{1, 3, 9, len(frame)} {
+		kind, payload, err := ReadFrame(&chunkReader{data: frame, n: chunk})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if kind != KindRBM || string(payload) != "detector state bytes" {
+			t.Fatalf("chunk=%d: kind=%d payload=%q", chunk, kind, payload)
+		}
+	}
+	// ReadFrame (unlike FrameScanner.Next) treats an empty input as invalid:
+	// a checkpoint load expects a frame to be there.
+	if _, _, err := ReadFrame(&chunkReader{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty input: want ErrInvalid, got %v", err)
+	}
+}
+
+// TestReaderResetAndRemaining exercises the reusable-Reader path the
+// connection loops depend on.
+func TestReaderResetAndRemaining(t *testing.T) {
+	var r Reader
+	w := NewBuffer(nil)
+	w.U32(7)
+	w.Str("stream-1")
+	r.Reset(w.Bytes())
+	if got := r.Remaining(); got != w.Len() {
+		t.Fatalf("Remaining = %d, want %d", got, w.Len())
+	}
+	if got := r.U32(); got != 7 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.Blob(); string(got) != "stream-1" {
+		t.Fatalf("Blob = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	// Trip the sticky error, then Reset must clear it.
+	r.U64()
+	if r.Err() == nil {
+		t.Fatal("expected sticky error after over-read")
+	}
+	if got := r.Remaining(); got != 0 {
+		t.Fatalf("Remaining after error = %d, want 0", got)
+	}
+	r.Reset([]byte{1})
+	if r.Err() != nil {
+		t.Fatal("Reset must clear the sticky error")
+	}
+	if got := r.U8(); got != 1 {
+		t.Fatalf("U8 after Reset = %d", got)
+	}
+}
+
+// TestF64sInto verifies append-into decoding reuses capacity and matches
+// F64s element-for-element.
+func TestF64sInto(t *testing.T) {
+	w := NewBuffer(nil)
+	vals := []float64{1.25, -7, 0, math.Inf(-1)}
+	w.F64s(vals)
+	w.F64s(nil)
+
+	dst := make([]float64, 0, 16)
+	r := NewReader(w.Bytes())
+	dst = r.F64sInto(dst)
+	if len(dst) != len(vals) {
+		t.Fatalf("decoded %d floats, want %d", len(dst), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(dst[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("element %d: %v != %v", i, dst[i], vals[i])
+		}
+	}
+	dst = r.F64sInto(dst)
+	if len(dst) != len(vals) {
+		t.Fatalf("empty slice decode appended: len=%d", len(dst))
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
 }

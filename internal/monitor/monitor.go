@@ -161,11 +161,20 @@ type Monitor struct {
 	events chan Event
 	start  time.Time
 
-	mu     sync.RWMutex // guards closed against in-flight sends
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.RWMutex // guards closed against in-flight sends
+	closed    bool
+	closeDone chan struct{} // closed once Close has fully torn down
+	wg        sync.WaitGroup
 
 	eventsDropped atomic.Uint64
+
+	// Event fan-out (Subscribe): every subscriber gets its own bounded
+	// queue, so one slow consumer drops its own events without stalling
+	// detection or starving the other subscribers.
+	subMu      sync.RWMutex
+	subs       map[*Subscription]struct{}
+	subsClosed bool
+	subDropped atomic.Uint64
 
 	// Checkpoint plumbing (see checkpoint.go): shards serialize into pooled
 	// buffers and enqueue; the single writer goroutine performs the Store
@@ -184,9 +193,11 @@ func New(cfg Config) (*Monitor, error) {
 		return nil, err
 	}
 	m := &Monitor{
-		cfg:    cfg,
-		events: make(chan Event, cfg.EventBuffer),
-		start:  time.Now(),
+		cfg:       cfg,
+		events:    make(chan Event, cfg.EventBuffer),
+		closeDone: make(chan struct{}),
+		subs:      make(map[*Subscription]struct{}),
+		start:     time.Now(),
 	}
 	if m.ckptEnabled() {
 		m.ckptCh = make(chan ckptMsg, cfg.Checkpoint.QueueSize)
@@ -319,15 +330,71 @@ func (m *Monitor) Evict(streamID string) error {
 }
 
 // Events returns the drift-event channel. It is closed by Close after all
-// shards drain, so a range loop over it terminates cleanly.
+// shards drain, so a range loop over it terminates cleanly. For multiple
+// independent consumers use Subscribe, which gives each its own bounded
+// queue and drop accounting.
 func (m *Monitor) Events() <-chan Event { return m.events }
 
+// Subscription is one subscriber's private, bounded drift-event queue (see
+// Monitor.Subscribe). Events that arrive while the queue is full are dropped
+// for this subscriber only and counted in Dropped.
+type Subscription struct {
+	m       *Monitor
+	ch      chan Event
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Events returns the subscription's event channel. It is closed by
+// Subscription.Close or by Monitor.Close after the shards drain, so a range
+// loop terminates cleanly either way.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this subscriber lost to a full queue.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the monitor and closes its channel.
+// It is idempotent and safe to call concurrently with Monitor.Close.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.m.subMu.Lock()
+		delete(s.m.subs, s)
+		close(s.ch)
+		s.m.subMu.Unlock()
+	})
+}
+
+// Subscribe registers a new drift-event subscriber with its own queue of the
+// given capacity (<= 0 selects Config.EventBuffer). Every subscriber
+// receives every event, independently of the shared Events channel; a
+// subscriber that falls behind drops its own events (counted per
+// subscription and in Snapshot.SubscriberDropped) without affecting anyone
+// else — the fan-out shape the network server needs, one subscription per
+// subscribed connection. Returns ErrClosed after Close.
+func (m *Monitor) Subscribe(buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		buffer = m.cfg.EventBuffer
+	}
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	if m.subsClosed {
+		return nil, ErrClosed
+	}
+	sub := &Subscription{m: m, ch: make(chan Event, buffer)}
+	m.subs[sub] = struct{}{}
+	return sub, nil
+}
+
 // Close stops ingestion, drains every shard queue, waits for the workers to
-// exit, and closes the event channel. It is idempotent.
+// exit, and closes the event channel and every subscription. It is
+// idempotent, and a concurrent second Close blocks until the teardown is
+// complete — callers never observe a Close that returned while events were
+// still being delivered.
 func (m *Monitor) Close() {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		<-m.closeDone
 		return
 	}
 	m.closed = true
@@ -343,11 +410,58 @@ func (m *Monitor) Close() {
 		close(m.ckptCh)
 		m.ckptWg.Wait()
 	}
+	// No shard can publish anymore; close the fan-out so subscriber range
+	// loops terminate, and refuse new subscriptions from here on.
+	m.subMu.Lock()
+	m.subsClosed = true
+	subs := make([]*Subscription, 0, len(m.subs))
+	for sub := range m.subs {
+		subs = append(subs, sub)
+	}
+	m.subMu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
 	close(m.events)
+	close(m.closeDone)
 }
 
-// publish offers a drift event to the subscriber, dropping when the channel
-// is full so shards never stall on a slow consumer.
+// FlushCheckpoints processes everything queued ahead of it and flushes every
+// dirty stream's detector state to the checkpoint Store, returning once the
+// writes have durably reached the Store. Because the flush request travels
+// each shard's queue like any observation, it doubles as a full processing
+// barrier: every Ingest/IngestBatch/Evict that happened-before the call has
+// been applied when it returns, with or without checkpointing configured
+// (without a Store it is only the barrier). Returns ErrClosed after Close
+// (which performs the same flush itself).
+func (m *Monitor) FlushCheckpoints() error {
+	// The read lock is held for the whole flush: it keeps Close (write lock)
+	// from closing the shard queues or the checkpoint writer mid-flush, and
+	// nothing below acquires m.mu, so there is no lock-order risk.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	dones := make([]chan struct{}, len(m.shards))
+	for i, s := range m.shards {
+		dones[i] = make(chan struct{})
+		s.in <- envelope{op: opFlush, done: dones[i]}
+	}
+	for _, done := range dones {
+		<-done
+	}
+	if m.ckptEnabled() {
+		// The shards have enqueued their snapshots; fence the writer so they
+		// have reached the Store before reporting done.
+		m.ckptBarrier()
+	}
+	return nil
+}
+
+// publish offers a drift event to the shared Events channel and to every
+// subscription, dropping per receiver when a queue is full so shards never
+// stall on a slow consumer.
 func (m *Monitor) publish(ev Event) {
 	if m.cfg.OnDrift != nil {
 		m.cfg.OnDrift(ev)
@@ -357,6 +471,16 @@ func (m *Monitor) publish(ev Event) {
 	default:
 		m.eventsDropped.Add(1)
 	}
+	m.subMu.RLock()
+	for sub := range m.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			m.subDropped.Add(1)
+		}
+	}
+	m.subMu.RUnlock()
 }
 
 // Snapshot is a point-in-time aggregate view of the monitor.
@@ -382,6 +506,11 @@ type Snapshot struct {
 	// counts streams restored from the Store on first ingest. All zero
 	// without Config.Checkpoint.
 	Checkpoints, CheckpointErrors, Rehydrated uint64
+	// Subscribers is the number of live Subscribe fan-out queues;
+	// SubscriberDropped counts events dropped across all subscribers
+	// (including since-closed ones) on full per-subscriber queues.
+	Subscribers       int
+	SubscriberDropped uint64
 	// ShardStreams / ShardIngested expose the per-shard balance.
 	ShardStreams  []int
 	ShardIngested []uint64
@@ -394,15 +523,19 @@ type Snapshot struct {
 // and safe to call at any time, including after Close.
 func (m *Monitor) Snapshot() Snapshot {
 	sn := Snapshot{
-		Shards:           len(m.shards),
-		EventsDropped:    m.eventsDropped.Load(),
-		Checkpoints:      m.checkpoints.Load(),
-		CheckpointErrors: m.ckptErrors.Load(),
-		Rehydrated:       m.rehydrated.Load(),
-		Uptime:           time.Since(m.start),
-		ShardStreams:     make([]int, len(m.shards)),
-		ShardIngested:    make([]uint64, len(m.shards)),
+		Shards:            len(m.shards),
+		EventsDropped:     m.eventsDropped.Load(),
+		Checkpoints:       m.checkpoints.Load(),
+		CheckpointErrors:  m.ckptErrors.Load(),
+		Rehydrated:        m.rehydrated.Load(),
+		SubscriberDropped: m.subDropped.Load(),
+		Uptime:            time.Since(m.start),
+		ShardStreams:      make([]int, len(m.shards)),
+		ShardIngested:     make([]uint64, len(m.shards)),
 	}
+	m.subMu.RLock()
+	sn.Subscribers = len(m.subs)
+	m.subMu.RUnlock()
 	if m.cfg.Detector.Classes > 0 {
 		sn.DriftsByClass = make([]uint64, m.cfg.Detector.Classes)
 	}
@@ -440,6 +573,10 @@ type opcode uint8
 const (
 	opIngest opcode = iota
 	opEvict
+	// opFlush is a barrier: the shard applies everything queued ahead of it,
+	// snapshots its dirty streams (blocking, when checkpointing is on), and
+	// closes the envelope's done channel. See Monitor.FlushCheckpoints.
+	opFlush
 )
 
 // batchBuf is the pooled carrier of one Ingest/IngestBatch call: the copied
@@ -451,12 +588,14 @@ type batchBuf struct {
 }
 
 // envelope is one message on a shard's queue. bat owns the pooled copies of
-// the observations (nil for opEvict) and is returned to the shard's pool
-// once the detector consumed the block.
+// the observations (nil for opEvict/opFlush) and is returned to the shard's
+// pool once the detector consumed the block; done is the opFlush
+// acknowledgement channel (nil otherwise).
 type envelope struct {
-	op  opcode
-	id  string
-	bat *batchBuf
+	op   opcode
+	id   string
+	bat  *batchBuf
+	done chan struct{}
 }
 
 // streamState is one stream's detector plus bookkeeping; owned exclusively
@@ -631,8 +770,15 @@ func (s *shard) run() {
 // observations accumulate in arrival order and an Evict flushes the stream's
 // queued observations before removing it.
 func (s *shard) process(pending []envelope) {
+	var flushDones []chan struct{}
 	for _, env := range pending {
 		switch env.op {
+		case opFlush:
+			// Acknowledged after the group flush below, so every envelope
+			// queued before the flush has been applied; observations later in
+			// this same micro-batch may also be included, which only
+			// strengthens the "everything before" guarantee.
+			flushDones = append(flushDones, env.done)
 		case opEvict:
 			// Flush the stream's queued observations first (an empty group —
 			// already flushed earlier in this micro-batch — must not be
@@ -673,6 +819,21 @@ func (s *shard) process(pending []envelope) {
 		s.putGroup(g)
 	}
 	s.order = s.order[:0]
+	if len(flushDones) > 0 {
+		// Explicit flush: snapshot every dirty stream with a blocking
+		// enqueue — unlike the periodic cadence, a requested flush must not
+		// skip streams on a momentarily full write queue.
+		if s.m.ckptEnabled() {
+			for id, st := range s.streams {
+				if st.dirty {
+					s.snapshotStream(id, st, true)
+				}
+			}
+		}
+		for _, done := range flushDones {
+			close(done)
+		}
+	}
 }
 
 func (s *shard) getGroup() *obsGroup {

@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Snapshot has two canonical text encodings, shared by every consumer
+// (the server's Snapshot reply and /metrics endpoint, monitorbench -json,
+// driftserver's shutdown report) instead of each printing its own:
+//
+//   - AppendJSON / MarshalJSON: one JSON object whose keys are the Go field
+//     names in declaration order, so the encoding is byte-stable for a given
+//     snapshot and round-trips through encoding/json.Unmarshal;
+//   - WritePrometheus: the Prometheus text exposition format under the
+//     rbmim_ metric prefix, with per-class and per-shard breakdowns as
+//     labelled series.
+
+// AppendJSON appends the canonical JSON encoding of the snapshot to b and
+// returns the extended slice. Field order is the struct declaration order;
+// Uptime is encoded as integer nanoseconds (time.Duration's underlying
+// representation, which stdlib Unmarshal accepts).
+func (s Snapshot) AppendJSON(b []byte) []byte {
+	field := func(name string) {
+		if b[len(b)-1] != '{' {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, name...)
+		b = append(b, '"', ':')
+	}
+	num := func(name string, v int64) {
+		field(name)
+		b = strconv.AppendInt(b, v, 10)
+	}
+	unum := func(name string, v uint64) {
+		field(name)
+		b = strconv.AppendUint(b, v, 10)
+	}
+	unums := func(name string, vs []uint64) {
+		field(name)
+		if vs == nil {
+			b = append(b, "null"...)
+			return
+		}
+		b = append(b, '[')
+		for i, v := range vs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, v, 10)
+		}
+		b = append(b, ']')
+	}
+
+	b = append(b, '{')
+	num("Shards", int64(s.Shards))
+	num("Streams", int64(s.Streams))
+	unum("Ingested", s.Ingested)
+	unum("Drifts", s.Drifts)
+	unum("Warnings", s.Warnings)
+	unums("DriftsByClass", s.DriftsByClass)
+	unum("Dropped", s.Dropped)
+	unum("EventsDropped", s.EventsDropped)
+	unum("IdleEvicted", s.IdleEvicted)
+	unum("StreamErrors", s.StreamErrors)
+	unum("Checkpoints", s.Checkpoints)
+	unum("CheckpointErrors", s.CheckpointErrors)
+	unum("Rehydrated", s.Rehydrated)
+	num("Subscribers", int64(s.Subscribers))
+	unum("SubscriberDropped", s.SubscriberDropped)
+	field("ShardStreams")
+	if s.ShardStreams == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, v := range s.ShardStreams {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		b = append(b, ']')
+	}
+	unums("ShardIngested", s.ShardIngested)
+	num("Uptime", int64(s.Uptime))
+	field("InstancesPerSec")
+	b = strconv.AppendFloat(b, s.InstancesPerSec, 'g', -1, 64)
+	b = append(b, '}')
+	return b
+}
+
+// MarshalJSON implements json.Marshaler with the canonical stable-field-order
+// encoding (see AppendJSON).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	return s.AppendJSON(nil), nil
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4) under the rbmim_ prefix — the payload of the
+// server's /metrics endpoint.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var err error
+	emit := func(name, help, typ string, value float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
+	}
+	emit("rbmim_shards", "Worker shard count.", "gauge", float64(s.Shards))
+	emit("rbmim_streams", "Live streams across all shards.", "gauge", float64(s.Streams))
+	emit("rbmim_ingested_total", "Observations processed since start.", "counter", float64(s.Ingested))
+	emit("rbmim_drifts_total", "Drift detections since start.", "counter", float64(s.Drifts))
+	emit("rbmim_warnings_total", "Warning signals since start.", "counter", float64(s.Warnings))
+	if len(s.DriftsByClass) > 0 && err == nil {
+		_, err = fmt.Fprintf(w, "# HELP rbmim_drifts_by_class_total Drifts attributed to each class.\n# TYPE rbmim_drifts_by_class_total counter\n")
+		for k, v := range s.DriftsByClass {
+			if err != nil {
+				break
+			}
+			_, err = fmt.Fprintf(w, "rbmim_drifts_by_class_total{class=\"%d\"} %d\n", k, v)
+		}
+	}
+	emit("rbmim_dropped_total", "Observations dropped by TryIngest on full shard queues.", "counter", float64(s.Dropped))
+	emit("rbmim_events_dropped_total", "Drift events dropped on the full shared event channel.", "counter", float64(s.EventsDropped))
+	emit("rbmim_idle_evicted_total", "Streams evicted by idle GC.", "counter", float64(s.IdleEvicted))
+	emit("rbmim_stream_errors_total", "Observations rejected by factory failures, stream caps, and evicts of non-resident streams.", "counter", float64(s.StreamErrors))
+	emit("rbmim_checkpoints_total", "Detector snapshots written to the checkpoint store.", "counter", float64(s.Checkpoints))
+	emit("rbmim_checkpoint_errors_total", "Checkpoint serialization, store, and rehydration failures.", "counter", float64(s.CheckpointErrors))
+	emit("rbmim_rehydrated_total", "Streams restored from the checkpoint store.", "counter", float64(s.Rehydrated))
+	emit("rbmim_subscribers", "Live event-fanout subscriptions.", "gauge", float64(s.Subscribers))
+	emit("rbmim_subscriber_dropped_total", "Events dropped on full per-subscriber queues.", "counter", float64(s.SubscriberDropped))
+	if len(s.ShardStreams) > 0 && err == nil {
+		_, err = fmt.Fprintf(w, "# HELP rbmim_shard_streams Live streams per shard.\n# TYPE rbmim_shard_streams gauge\n")
+		for i, v := range s.ShardStreams {
+			if err != nil {
+				break
+			}
+			_, err = fmt.Fprintf(w, "rbmim_shard_streams{shard=\"%d\"} %d\n", i, v)
+		}
+	}
+	if len(s.ShardIngested) > 0 && err == nil {
+		_, err = fmt.Fprintf(w, "# HELP rbmim_shard_ingested_total Observations processed per shard.\n# TYPE rbmim_shard_ingested_total counter\n")
+		for i, v := range s.ShardIngested {
+			if err != nil {
+				break
+			}
+			_, err = fmt.Fprintf(w, "rbmim_shard_ingested_total{shard=\"%d\"} %d\n", i, v)
+		}
+	}
+	emit("rbmim_uptime_seconds", "Seconds since the monitor started.", "gauge", s.Uptime.Seconds())
+	emit("rbmim_instances_per_second", "Ingested / uptime.", "gauge", s.InstancesPerSec)
+	return err
+}

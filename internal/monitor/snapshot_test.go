@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSnapshot() Snapshot {
+	return Snapshot{
+		Shards:            4,
+		Streams:           17,
+		Ingested:          123456,
+		Drifts:            42,
+		Warnings:          7,
+		DriftsByClass:     []uint64{3, 0, 39},
+		Dropped:           5,
+		EventsDropped:     2,
+		IdleEvicted:       1,
+		StreamErrors:      9,
+		Checkpoints:       88,
+		CheckpointErrors:  1,
+		Rehydrated:        6,
+		Subscribers:       3,
+		SubscriberDropped: 11,
+		ShardStreams:      []int{5, 4, 4, 4},
+		ShardIngested:     []uint64{31000, 30000, 31456, 31000},
+		Uptime:            90 * time.Second,
+		InstancesPerSec:   1371.7333333333333,
+	}
+}
+
+// TestSnapshotJSONRoundTrip: the canonical encoding must round-trip through
+// stdlib Unmarshal field-for-field (the server's Snapshot reply decodes this
+// way) and be byte-stable across calls.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	sn := testSnapshot()
+	data, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sn, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, sn)
+	}
+	if again, _ := json.Marshal(sn); !bytes.Equal(data, again) {
+		t.Fatal("encoding is not byte-stable across calls")
+	}
+	// Nil slices must survive too (a custom-factory monitor has nil
+	// DriftsByClass).
+	sn.DriftsByClass = nil
+	data, err = json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back = Snapshot{}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DriftsByClass != nil {
+		t.Fatalf("nil DriftsByClass decoded as %v", back.DriftsByClass)
+	}
+}
+
+// TestSnapshotJSONStableFieldOrder pins the declaration order of the keys —
+// the property ad-hoc struct printing (and map-based encoders) cannot give.
+func TestSnapshotJSONStableFieldOrder(t *testing.T) {
+	data := string(testSnapshot().AppendJSON(nil))
+	order := []string{
+		"Shards", "Streams", "Ingested", "Drifts", "Warnings",
+		"DriftsByClass", "Dropped", "EventsDropped", "IdleEvicted",
+		"StreamErrors", "Checkpoints", "CheckpointErrors", "Rehydrated",
+		"Subscribers", "SubscriberDropped", "ShardStreams", "ShardIngested",
+		"Uptime", "InstancesPerSec",
+	}
+	pos := -1
+	for _, key := range order {
+		i := strings.Index(data, `"`+key+`"`)
+		if i < 0 {
+			t.Fatalf("key %q missing from %s", key, data)
+		}
+		if i < pos {
+			t.Fatalf("key %q out of declaration order in %s", key, data)
+		}
+		pos = i
+	}
+	// The field set must not silently diverge from the struct.
+	if n := reflect.TypeOf(Snapshot{}).NumField(); n != len(order) {
+		t.Fatalf("Snapshot has %d fields but the canonical encoding emits %d — update AppendJSON and this test", n, len(order))
+	}
+}
+
+// TestSnapshotPrometheus spot-checks the exposition format: metric lines,
+// HELP/TYPE headers, and the labelled per-class / per-shard series.
+func TestSnapshotPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE rbmim_ingested_total counter",
+		"rbmim_ingested_total 123456",
+		"rbmim_streams 17",
+		"rbmim_drifts_total 42",
+		`rbmim_drifts_by_class_total{class="2"} 39`,
+		`rbmim_shard_ingested_total{shard="3"} 31000`,
+		"rbmim_subscribers 3",
+		"rbmim_subscriber_dropped_total 11",
+		"rbmim_uptime_seconds 90",
+		"rbmim_checkpoints_total 88",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Fatalf("malformed metric line %q", line)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/detectors"
+	"rbmim/internal/monitor"
+)
+
+// ErrClientClosed is returned by Client methods after Close.
+var ErrClientClosed = errors.New("server: client closed")
+
+// Client speaks the driftserver wire protocol. One Client owns one TCP
+// connection plus connection-owned scratch buffers (encode payload, frame,
+// reply scanner), so steady-state Ingest/IngestBatch calls allocate
+// nothing: the 0 allocs/op hot path of the in-process Monitor survives the
+// network boundary. Requests on one Client are serialized (a mutex); use
+// one Client per producer goroutine for parallel ingestion, exactly like
+// the monitor's producers.
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	nc      net.Conn
+	sc      *codec.FrameScanner
+	rd      codec.Reader
+	payload *codec.Buffer
+	frame   []byte
+	nextID  uint64
+	closed  bool
+}
+
+// Dial connects to a driftserver at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{
+		addr:    addr,
+		nc:      nc,
+		sc:      codec.NewFrameScanner(nc),
+		payload: codec.NewBuffer(nil),
+	}, nil
+}
+
+// Close closes the connection. Subscriptions returned by Subscribe have
+// their own connections and are closed separately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
+
+// begin starts a request payload (caller holds c.mu) and returns the buffer
+// to append operands to.
+func (c *Client) begin() *codec.Buffer {
+	c.nextID++
+	c.payload.Reset()
+	c.payload.U64(c.nextID)
+	return c.payload
+}
+
+// finish frames the pending request, writes it, and reads the matching
+// reply. On success the client's reader is positioned just after the echoed
+// request id, ready for reply operands.
+func (c *Client) finish(kind uint8) (replyKind uint8, err error) {
+	c.frame = codec.AppendFrame(c.frame[:0], kind, c.payload.Bytes())
+	if _, err := c.nc.Write(c.frame); err != nil {
+		return 0, fmt.Errorf("server: write: %w", err)
+	}
+	k, body, err := c.sc.Next()
+	if err != nil {
+		return 0, fmt.Errorf("server: reading reply: %w", err)
+	}
+	c.rd.Reset(body)
+	id := c.rd.U64()
+	if err := c.rd.Err(); err != nil {
+		return 0, err
+	}
+	if id != c.nextID {
+		return 0, fmt.Errorf("server: reply id %d does not match request %d", id, c.nextID)
+	}
+	return k, nil
+}
+
+// expectOK maps a reply kind to an error: OK is success, Error carries the
+// server's message, anything else is a protocol violation.
+func (c *Client) expectOK(kind uint8) error {
+	switch kind {
+	case codec.KindWireOK:
+		return nil
+	case codec.KindWireError:
+		msg := c.rd.Blob()
+		if c.rd.Err() != nil {
+			return c.rd.Err()
+		}
+		return fmt.Errorf("server: %s", msg)
+	default:
+		return fmt.Errorf("server: unexpected reply kind %d", kind)
+	}
+}
+
+// Ingest sends one observation for one stream and waits for the ack. The
+// server applies the monitor's blocking backpressure, so a full shard queue
+// delays the reply rather than dropping data.
+func (c *Client) Ingest(streamID string, o detectors.Observation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	b := c.begin()
+	b.Str(streamID)
+	encodeObs(b, o)
+	k, err := c.finish(codec.KindWireIngest)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(k)
+}
+
+// IngestBatch sends a block of observations for one stream in a single
+// frame — one round trip, one server-side queue hop, one batched detector
+// update — and waits for the ack. Steady state allocates nothing on either
+// side. An empty block is a no-op.
+func (c *Client) IngestBatch(streamID string, obs []detectors.Observation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	k, err := c.sendBatch(codec.KindWireIngestBatch, streamID, obs)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(k)
+}
+
+// TryIngestBatch is IngestBatch without blocking backpressure: a full shard
+// queue on the server surfaces as a Busy reply, returned here as
+// (false, nil) — the caller decides whether to retry, thin out, or drop,
+// exactly like Monitor.TryIngestBatch in process.
+func (c *Client) TryIngestBatch(streamID string, obs []detectors.Observation) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, ErrClientClosed
+	}
+	k, err := c.sendBatch(codec.KindWireTryIngestBatch, streamID, obs)
+	if err != nil {
+		return false, err
+	}
+	if k == codec.KindWireBusy {
+		return false, nil
+	}
+	// Anything but OK (an Error reply, a protocol violation) means the batch
+	// was not accepted — mirror Monitor.TryIngestBatch's (false, err).
+	return k == codec.KindWireOK, c.expectOK(k)
+}
+
+func (c *Client) sendBatch(kind uint8, streamID string, obs []detectors.Observation) (uint8, error) {
+	b := c.begin()
+	b.Str(streamID)
+	b.U32(uint32(len(obs)))
+	for i := range obs {
+		encodeObs(b, obs[i])
+	}
+	return c.finish(kind)
+}
+
+// Evict asks the server to evict a stream (spilling its state to the
+// checkpoint store when one is configured). Like Monitor.Evict the removal
+// is asynchronous; FlushCheckpoints acts as the barrier.
+func (c *Client) Evict(streamID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.begin().Str(streamID)
+	k, err := c.finish(codec.KindWireEvict)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(k)
+}
+
+// FlushCheckpoints asks the server to process everything queued ahead of
+// the call and flush every dirty stream to the checkpoint store, returning
+// when the writes are durable (Monitor.FlushCheckpoints over the wire).
+// Without a configured store it is still a full processing barrier.
+func (c *Client) FlushCheckpoints() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.begin()
+	k, err := c.finish(codec.KindWireFlush)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(k)
+}
+
+// Snapshot fetches the monitor's aggregate counters.
+func (c *Client) Snapshot() (monitor.Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return monitor.Snapshot{}, ErrClientClosed
+	}
+	c.begin()
+	k, err := c.finish(codec.KindWireSnapshotReq)
+	if err != nil {
+		return monitor.Snapshot{}, err
+	}
+	if k != codec.KindWireSnapshot {
+		return monitor.Snapshot{}, c.expectOK(k)
+	}
+	data := c.rd.Blob()
+	if err := c.rd.Err(); err != nil {
+		return monitor.Snapshot{}, err
+	}
+	var sn monitor.Snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return monitor.Snapshot{}, fmt.Errorf("server: decoding snapshot: %w", err)
+	}
+	return sn, nil
+}
+
+// Subscription is a client-side drift-event stream (see Client.Subscribe).
+// It owns a dedicated connection; the server pushes Event frames which
+// arrive on Events.
+type Subscription struct {
+	nc     net.Conn
+	ch     chan monitor.Event
+	done   chan struct{} // closed by Close; unblocks a parked delivery
+	once   sync.Once
+	closed atomic.Bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// Events returns the event channel. It is closed when the subscription is
+// closed, the server shuts down, or the connection fails; Err explains a
+// non-local close.
+func (s *Subscription) Events() <-chan monitor.Event { return s.ch }
+
+// Err returns why the event channel closed: nil after a local Close or a
+// server shutdown's clean end-of-stream, the transport or protocol error
+// otherwise.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close terminates the subscription and its connection. It is idempotent
+// and safe to call with undrained events still queued: a delivery parked on
+// the full channel is released, so the decode goroutine never leaks.
+func (s *Subscription) Close() error {
+	s.once.Do(func() {
+		s.closed.Store(true)
+		close(s.done)
+		s.nc.Close()
+	})
+	return nil
+}
+
+// Subscribe opens a dedicated connection that streams every drift event the
+// monitor publishes. buffer sizes the server-side per-subscriber queue
+// (<= 0 selects the server's default): when this subscriber falls behind —
+// slow reader, slow link — events overflowing that queue are dropped for
+// this subscriber only and counted in Snapshot.SubscriberDropped.
+func (c *Client) Subscribe(buffer int) (*Subscription, error) {
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", c.addr, err)
+	}
+	b := codec.NewBuffer(nil)
+	b.U64(1)
+	if buffer < 0 {
+		buffer = 0
+	}
+	b.U32(uint32(buffer))
+	if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireSubscribe, b.Bytes())); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("server: write: %w", err)
+	}
+	sc := codec.NewFrameScanner(nc)
+	kind, body, err := sc.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("server: reading subscribe reply: %w", err)
+	}
+	rd := codec.NewReader(body)
+	rd.U64() // request id
+	switch kind {
+	case codec.KindWireOK:
+	case codec.KindWireError:
+		msg := rd.Blob()
+		nc.Close()
+		return nil, fmt.Errorf("server: %s", msg)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("server: unexpected subscribe reply kind %d", kind)
+	}
+	chanCap := buffer
+	if chanCap <= 0 {
+		chanCap = 256
+	}
+	sub := &Subscription{
+		nc:   nc,
+		ch:   make(chan monitor.Event, chanCap),
+		done: make(chan struct{}),
+	}
+	go sub.loop(sc)
+	return sub, nil
+}
+
+// loop decodes pushed Event frames until the stream ends. Delivery into the
+// local channel is blocking: a consumer that stops reading eventually
+// stalls this loop, TCP pushes back, and the overflow is dropped (and
+// counted) at the server-side subscriber queue — never silently in between.
+func (s *Subscription) loop(sc *codec.FrameScanner) {
+	defer close(s.ch)
+	for {
+		kind, body, err := sc.Next()
+		if err != nil {
+			// A clean end-of-stream (server shutdown) and a local Close both
+			// end quietly; anything else is worth surfacing via Err.
+			if err != io.EOF && !s.closed.Load() {
+				s.fail(err)
+			}
+			return
+		}
+		if kind != codec.KindWireEvent {
+			s.fail(fmt.Errorf("server: unexpected frame kind %d on event stream", kind))
+			s.nc.Close()
+			return
+		}
+		rd := codec.NewReader(body)
+		rd.U64() // id, always 0 for pushes
+		ev := monitor.Event{StreamID: string(rd.Blob())}
+		ev.Seq = rd.U64()
+		ev.At = time.Unix(0, rd.I64())
+		ev.Classes = rd.Ints()
+		if rd.Done() != nil {
+			s.fail(fmt.Errorf("server: bad event frame: %v", rd.Done()))
+			s.nc.Close()
+			return
+		}
+		select {
+		case s.ch <- ev:
+		case <-s.done:
+			// Closed with the channel full and nobody reading: exit instead
+			// of leaking this goroutine on the parked send.
+			return
+		}
+	}
+}
+
+func (s *Subscription) fail(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,70 @@
+// Package server exposes a Monitor over TCP: a length-prefixed binary
+// protocol built from internal/codec's versioned, CRC-protected frames, a
+// serving loop whose steady-state ingest path allocates nothing, and a
+// matching Client with the same property. See DESIGN.md ("Network serving
+// layer") for the protocol-vs-gRPC decision record.
+//
+// # Wire protocol
+//
+// Every message is one codec frame (magic | version | kind | length |
+// payload | CRC-32). Request payloads start with a uint64 request id that
+// the matching reply echoes; replies are sent in request order on the same
+// connection. The request kinds are Ingest, IngestBatch, TryIngestBatch,
+// Subscribe, SnapshotReq, Evict, and Flush; replies are OK, Busy (a
+// TryIngestBatch whose shard queue was full), Error (with a message), and
+// Snapshot (canonical JSON). A connection that sends Subscribe receives an
+// OK and then becomes a one-way event stream: the server pushes Event
+// frames (request id 0) and treats any further request on that connection
+// as a protocol error. Backpressure is explicit at every hop: IngestBatch
+// blocks its own connection (never the accept loop), TryIngestBatch turns a
+// full queue into a Busy reply, and a slow subscriber overflows its own
+// bounded queue on the monitor side, where the drops are counted.
+//
+// An observation travels as X (length-prefixed float64s), the true and
+// predicted labels, and optional per-class scores. Batch payloads carry the
+// stream ID once and the observation count up front, so the server can
+// decode straight into pooled slabs sized from the payload length.
+package server
+
+import (
+	"rbmim/internal/codec"
+	"rbmim/internal/detectors"
+)
+
+// minObsBytes is the smallest possible encoded observation (empty X, no
+// scores): the length prefix, two int64 labels, and the scores flag. Batch
+// decoding validates the declared count against it so a hostile count field
+// cannot drive allocation.
+const minObsBytes = 4 + 8 + 8 + 1
+
+// encodeObs appends one observation to a request payload.
+func encodeObs(b *codec.Buffer, o detectors.Observation) {
+	b.F64s(o.X)
+	b.Int(o.TrueClass)
+	b.Int(o.Predicted)
+	if o.Scores != nil {
+		b.Bool(true)
+		b.F64s(o.Scores)
+	} else {
+		b.Bool(false)
+	}
+}
+
+// decodeObs reads one observation, appending its X and Scores onto slab and
+// returning the grown slab with the observation viewing it. The caller must
+// presize slab so the appends cannot relocate earlier observations' views
+// (payloadLen/8 is a safe bound on the total floats in a payload).
+func decodeObs(rd *codec.Reader, slab []float64) ([]float64, detectors.Observation) {
+	var o detectors.Observation
+	start := len(slab)
+	slab = rd.F64sInto(slab)
+	o.X = slab[start:len(slab):len(slab)]
+	o.TrueClass = rd.Int()
+	o.Predicted = rd.Int()
+	if rd.Bool() {
+		start = len(slab)
+		slab = rd.F64sInto(slab)
+		o.Scores = slab[start:len(slab):len(slab)]
+	}
+	return slab, o
+}

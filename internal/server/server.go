@@ -1,0 +1,486 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/detectors"
+	"rbmim/internal/monitor"
+)
+
+// Config parameterizes a Server. Monitor is required; every other zero
+// value selects a sensible default.
+type Config struct {
+	// Monitor is the sharded drift-detection service the server exposes.
+	// The server borrows it: Close tears down the network side only, and
+	// the caller closes the Monitor afterwards (which flushes checkpoints).
+	Monitor *monitor.Monitor
+	// Addr is the TCP listen address; default "127.0.0.1:0" (loopback,
+	// kernel-chosen port — read the result from Server.Addr).
+	Addr string
+	// HTTPAddr, when non-empty, starts the HTTP sidecar serving GET
+	// /healthz and GET /metrics (Prometheus text) on that address.
+	HTTPAddr string
+	// MaxFrame bounds a request frame's payload length; connections
+	// declaring more are rejected before any allocation. Default 16 MiB
+	// (batch 256 at 80 features is ~170 KiB, so the default leaves two
+	// orders of magnitude of headroom).
+	MaxFrame int
+	// SubscriberBuffer is the per-subscription event queue capacity used
+	// when a Subscribe request does not specify one. Default 1024.
+	SubscriberBuffer int
+	// DrainTimeout bounds the graceful phase of Close: connections that
+	// have not wound down by then (e.g. a subscriber that stopped reading,
+	// leaving the server parked in a socket write) are force-closed so
+	// shutdown always terminates. Default 5s.
+	DrainTimeout time.Duration
+}
+
+func (c *Config) withDefaults() error {
+	if c.Monitor == nil {
+		return errors.New("server: Config.Monitor is required")
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 16 << 20
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// Server serves a Monitor over TCP (plus the optional HTTP sidecar). All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closed    bool
+	closeDone chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a Server and starts serving immediately (accept loop and, when
+// configured, the HTTP sidecar).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		conns:     make(map[net.Conn]struct{}),
+		closeDone: make(chan struct{}),
+	}
+	if cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: listen http %s: %w", cfg.HTTPAddr, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			cfg.Monitor.Snapshot().WritePrometheus(w)
+		})
+		s.httpLn = hln
+		s.httpSv = &http.Server{Handler: mux}
+		go s.httpSv.Serve(hln)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the TCP address the server is listening on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HTTPAddr returns the sidecar's address, or "" when no sidecar runs.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Close shuts the server down gracefully: it stops accepting, lets every
+// in-flight request finish and its reply go out, flushes subscribed
+// connections' queued events, and waits for all connection handlers to
+// exit. Connections that cannot wind down — a peer that stopped reading,
+// leaving a pump or reply parked in a socket write — are force-closed
+// after Config.DrainTimeout, so Close always terminates. The Monitor is
+// left running — close it separately (Monitor.Close flushes the
+// checkpoint store). Close is idempotent, and a concurrent second Close
+// blocks until the teardown is complete.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.closeDone
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	if s.httpSv != nil {
+		s.httpSv.Close()
+	}
+	// Graceful phase: expire every connection's pending read. A handler
+	// blocked waiting for the next request returns immediately; a handler
+	// mid-request finishes it, writes the reply, and exits on its next
+	// read. Subscribed connections close their monitor subscription on
+	// wakeup, which lets their pump drain the already-queued events before
+	// the socket closes.
+	for _, nc := range conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		// Force phase: a blocked socket write (stuck subscriber, client
+		// that never reads replies) holds its handler hostage; closing the
+		// socket errors the write out and the handler's teardown runs.
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	close(s.closeDone)
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// The only non-transient accept failure in practice is our own
+			// Close; either way the loop is done.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(nc)
+	}
+}
+
+func (s *Server) forget(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+// connHandler is one connection's state: the frame scanner and scratch
+// buffers are connection-owned and reused across requests, so the
+// steady-state request loop performs zero allocations.
+type connHandler struct {
+	s       *Server
+	nc      net.Conn
+	rd      codec.Reader
+	payload *codec.Buffer // reply payload scratch
+	frame   []byte        // framed reply scratch
+	json    []byte        // snapshot JSON scratch
+
+	// Pooled batch-decode slabs: slabObs views slabF exactly like the
+	// monitor's internal batchBuf, and both are reusable the moment
+	// IngestBatch returns (the monitor copies).
+	slabObs []detectors.Observation
+	slabF   []float64
+
+	// names interns stream IDs so repeated ingests for the same stream skip
+	// the []byte -> string allocation. Bounded: a connection cycling
+	// through unbounded distinct IDs falls back to allocating per request
+	// instead of growing the map forever.
+	names map[string]string
+
+	// Subscription state (nil until a Subscribe request).
+	sub      *monitor.Subscription
+	pumpDone chan struct{}
+}
+
+const maxInternedNames = 4096
+
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(nc)
+	defer nc.Close()
+	sc := codec.NewFrameScanner(nc)
+	sc.LimitPayload(s.cfg.MaxFrame)
+	h := &connHandler{
+		s:       s,
+		nc:      nc,
+		payload: codec.NewBuffer(nil),
+		names:   make(map[string]string),
+	}
+	for {
+		kind, payload, err := sc.Next()
+		if err != nil {
+			// Clean close, peer death, framing corruption, or our own
+			// shutdown deadline — all end the connection.
+			break
+		}
+		if !h.serve(kind, payload) {
+			break
+		}
+	}
+	if h.sub != nil {
+		h.sub.Close()
+		<-h.pumpDone
+	}
+}
+
+// serve handles one request frame; false ends the connection.
+func (h *connHandler) serve(kind uint8, payload []byte) bool {
+	if h.sub != nil {
+		// A subscribed connection is one-way; a client that keeps sending is
+		// violating the protocol.
+		return false
+	}
+	h.rd.Reset(payload)
+	id := h.rd.U64()
+	if h.rd.Err() != nil {
+		return false // no id to address an Error reply to
+	}
+	m := h.s.cfg.Monitor
+	switch kind {
+	case codec.KindWireIngest:
+		sid, ok := h.streamID()
+		if !ok {
+			return h.replyErr(id, "bad ingest payload")
+		}
+		var o detectors.Observation
+		h.slabF, o = decodeObs(&h.rd, h.growSlab(h.rd.Remaining()))
+		if h.rd.Done() != nil {
+			return h.replyErr(id, "bad ingest payload")
+		}
+		if err := m.Ingest(sid, o); err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		return h.reply(id, codec.KindWireOK)
+
+	case codec.KindWireIngestBatch, codec.KindWireTryIngestBatch:
+		sid, obs, ok := h.decodeBatch()
+		if !ok {
+			return h.replyErr(id, "bad batch payload")
+		}
+		if kind == codec.KindWireTryIngestBatch {
+			accepted, err := m.TryIngestBatch(sid, obs)
+			if err != nil {
+				return h.replyErr(id, err.Error())
+			}
+			if !accepted {
+				return h.reply(id, codec.KindWireBusy)
+			}
+			return h.reply(id, codec.KindWireOK)
+		}
+		if err := m.IngestBatch(sid, obs); err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		return h.reply(id, codec.KindWireOK)
+
+	case codec.KindWireSubscribe:
+		buffer := int(h.rd.U32())
+		if h.rd.Done() != nil {
+			return h.replyErr(id, "bad subscribe payload")
+		}
+		if buffer <= 0 {
+			buffer = h.s.cfg.SubscriberBuffer
+		}
+		sub, err := m.Subscribe(buffer)
+		if err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		if !h.reply(id, codec.KindWireOK) {
+			sub.Close()
+			return false
+		}
+		// From here the pump goroutine owns the write side of the socket;
+		// this goroutine only watches for EOF (see handle).
+		h.sub = sub
+		h.pumpDone = make(chan struct{})
+		go h.pump()
+		return true
+
+	case codec.KindWireSnapshotReq:
+		if h.rd.Done() != nil {
+			return h.replyErr(id, "bad snapshot payload")
+		}
+		h.json = m.Snapshot().AppendJSON(h.json[:0])
+		h.payload.Reset()
+		h.payload.U64(id)
+		h.payload.U32(uint32(len(h.json)))
+		h.payload.Write(h.json)
+		return h.write(codec.KindWireSnapshot)
+
+	case codec.KindWireEvict:
+		sid, ok := h.streamID()
+		if !ok || h.rd.Done() != nil {
+			return h.replyErr(id, "bad evict payload")
+		}
+		if err := m.Evict(sid); err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		return h.reply(id, codec.KindWireOK)
+
+	case codec.KindWireFlush:
+		if h.rd.Done() != nil {
+			return h.replyErr(id, "bad flush payload")
+		}
+		if err := m.FlushCheckpoints(); err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		return h.reply(id, codec.KindWireOK)
+
+	default:
+		// Unknown kind: the peer speaks a different protocol (or a newer
+		// one); answer once and hang up.
+		h.replyErr(id, "unknown request kind")
+		return false
+	}
+}
+
+// streamID reads a length-prefixed stream ID, interning it so steady-state
+// traffic for known streams does not allocate.
+func (h *connHandler) streamID() (string, bool) {
+	b := h.rd.Blob()
+	if h.rd.Err() != nil {
+		return "", false
+	}
+	if sid, ok := h.names[string(b)]; ok {
+		return sid, true
+	}
+	sid := string(b)
+	if len(h.names) < maxInternedNames {
+		h.names[sid] = sid
+	}
+	return sid, true
+}
+
+// growSlab resets the float slab with capacity for every float the rest of
+// the payload could possibly hold, so per-observation appends never
+// relocate earlier observations' views.
+func (h *connHandler) growSlab(payloadBytes int) []float64 {
+	need := payloadBytes / 8
+	if cap(h.slabF) < need {
+		h.slabF = make([]float64, 0, need)
+	}
+	return h.slabF[:0]
+}
+
+// decodeBatch decodes an IngestBatch/TryIngestBatch payload into the
+// connection's pooled slabs.
+func (h *connHandler) decodeBatch() (string, []detectors.Observation, bool) {
+	sid, ok := h.streamID()
+	if !ok {
+		return "", nil, false
+	}
+	n := int(h.rd.U32())
+	if h.rd.Err() != nil || n*minObsBytes > h.rd.Remaining() {
+		return "", nil, false
+	}
+	slab := h.growSlab(h.rd.Remaining())
+	if cap(h.slabObs) < n {
+		h.slabObs = make([]detectors.Observation, n)
+	}
+	obs := h.slabObs[:n]
+	for i := range obs {
+		slab, obs[i] = decodeObs(&h.rd, slab)
+	}
+	h.slabF = slab
+	if h.rd.Done() != nil {
+		return "", nil, false
+	}
+	return sid, obs, true
+}
+
+// reply sends a payload-less reply (OK / Busy) carrying the request id.
+func (h *connHandler) reply(id uint64, kind uint8) bool {
+	h.payload.Reset()
+	h.payload.U64(id)
+	return h.write(kind)
+}
+
+// replyErr sends an Error reply with a message; the connection stays open
+// (the framing is intact, only the request was bad).
+func (h *connHandler) replyErr(id uint64, msg string) bool {
+	h.payload.Reset()
+	h.payload.U64(id)
+	h.payload.Str(msg)
+	return h.write(codec.KindWireError)
+}
+
+// write frames h.payload and writes it in one Write call.
+func (h *connHandler) write(kind uint8) bool {
+	h.frame = codec.AppendFrame(h.frame[:0], kind, h.payload.Bytes())
+	_, err := h.nc.Write(h.frame)
+	return err == nil
+}
+
+// pump streams the connection's subscription to the socket. It owns its own
+// scratch (the request loop no longer writes once a subscription exists)
+// and exits when the subscription channel closes — via Subscription.Close
+// on connection teardown, or via Monitor.Close.
+func (h *connHandler) pump() {
+	defer close(h.pumpDone)
+	defer h.nc.Close() // wake the request loop if it outlives us
+	b := codec.NewBuffer(nil)
+	var frame []byte
+	for ev := range h.sub.Events() {
+		b.Reset()
+		b.U64(0) // events are pushes, not replies
+		b.Str(ev.StreamID)
+		b.U64(ev.Seq)
+		b.I64(ev.At.UnixNano())
+		b.Ints(ev.Classes)
+		frame = codec.AppendFrame(frame[:0], codec.KindWireEvent, b.Bytes())
+		if _, err := h.nc.Write(frame); err != nil {
+			// Peer gone: detach so the monitor stops queueing for us, and
+			// drain what it already queued so the channel close can proceed.
+			h.sub.Close()
+			for range h.sub.Events() {
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,687 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/core"
+	"rbmim/internal/detectors"
+	"rbmim/internal/monitor"
+	"rbmim/internal/synth"
+)
+
+// nullDetector does nothing — it isolates the network + monitor path.
+type nullDetector struct{}
+
+func (nullDetector) Update(detectors.Observation) detectors.State { return detectors.None }
+func (nullDetector) Reset()                                       {}
+func (nullDetector) Name() string                                 { return "null" }
+
+// wireDriftEveryN drifts deterministically every n observations.
+type wireDriftEveryN struct {
+	n, updates, class int
+}
+
+func (d *wireDriftEveryN) Update(detectors.Observation) detectors.State {
+	d.updates++
+	if d.updates%d.n == 0 {
+		return detectors.Drift
+	}
+	return detectors.None
+}
+func (d *wireDriftEveryN) Reset()              {}
+func (d *wireDriftEveryN) Name() string        { return "wireDriftEveryN" }
+func (d *wireDriftEveryN) DriftClasses() []int { return []int{d.class} }
+
+// newTestServer starts a monitor + server pair on loopback and returns a
+// connected client. Cleanup tears all three down.
+func newTestServer(t testing.TB, mcfg monitor.Config, scfg Config) (*Server, *monitor.Monitor, *Client) {
+	t.Helper()
+	m, err := monitor.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg.Monitor = m
+	srv, err := New(scfg)
+	if err != nil {
+		m.Close()
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		m.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		m.Close()
+	})
+	return srv, m, c
+}
+
+func testObs(features, n int) []detectors.Observation {
+	gen, err := synth.NewRBF(synth.Config{Features: features, Classes: 3, Seed: 11}, 3, 0.08)
+	if err != nil {
+		panic(err)
+	}
+	obs := make([]detectors.Observation, n)
+	for i := range obs {
+		in := gen.Next()
+		obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+	}
+	return obs
+}
+
+// TestServerRoundTrip drives every request kind end to end and checks the
+// monitor's counters through the wire snapshot.
+func TestServerRoundTrip(t *testing.T) {
+	store := monitor.NewMemStore()
+	_, _, c := newTestServer(t, monitor.Config{
+		Detector:   core.Config{Features: 8, Classes: 3, Seed: 7},
+		Shards:     2,
+		Checkpoint: monitor.CheckpointConfig{Store: store, Interval: time.Hour},
+	}, Config{})
+
+	obs := testObs(8, 64)
+	if err := c.Ingest("alpha", obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestBatch("alpha", obs[1:33]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestBatch("beta", obs[33:]); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.TryIngestBatch("beta", obs[:8])
+	if err != nil || !ok {
+		t.Fatalf("TryIngestBatch = (%v, %v), want accepted", ok, err)
+	}
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Ingested != 72 || sn.Streams != 2 {
+		t.Fatalf("snapshot after ingest: Ingested=%d Streams=%d, want 72/2", sn.Ingested, sn.Streams)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store holds %d checkpoints after flush, want 2", store.Len())
+	}
+	// Evict is async; the flush barrier makes it visible.
+	if err := c.Evict("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	sn, err = c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Streams != 1 {
+		t.Fatalf("streams after evict = %d, want 1", sn.Streams)
+	}
+	// Observations with per-class scores survive the wire.
+	scored := obs[0]
+	scored.Scores = []float64{0.2, 0.5, 0.3}
+	if err := c.Ingest("gamma", scored); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerSubscribe checks the event path: a subscribed connection
+// receives every drift with stream, sequence, and attributed classes.
+func TestServerSubscribe(t *testing.T) {
+	_, _, c := newTestServer(t, monitor.Config{
+		Shards: 2,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &wireDriftEveryN{n: 10, class: 2}, nil
+		},
+	}, Config{})
+	sub, err := c.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	obs := testObs(4, 25)
+	if err := c.IngestBatch("drifty", obs); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantSeq := range []uint64{10, 20} {
+		select {
+		case ev := <-sub.Events():
+			if ev.StreamID != "drifty" || ev.Seq != wantSeq {
+				t.Fatalf("event = %q/%d, want drifty/%d", ev.StreamID, ev.Seq, wantSeq)
+			}
+			if len(ev.Classes) != 1 || ev.Classes[0] != 2 {
+				t.Fatalf("event classes = %v, want [2]", ev.Classes)
+			}
+			if ev.At.IsZero() || time.Since(ev.At) > time.Minute {
+				t.Fatalf("event timestamp %v did not survive the wire", ev.At)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for event seq %d", wantSeq)
+		}
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blockingDetector parks inside Update until released, letting the test
+// wedge a shard deterministically.
+type blockingDetector struct {
+	entered chan struct{}
+	release chan struct{}
+	blocked bool
+}
+
+func (d *blockingDetector) Update(detectors.Observation) detectors.State {
+	if !d.blocked {
+		d.blocked = true
+		d.entered <- struct{}{}
+		<-d.release
+	}
+	return detectors.None
+}
+func (d *blockingDetector) Reset()       {}
+func (d *blockingDetector) Name() string { return "blocking" }
+
+// TestServerBusyReply wedges the single shard and fills its 1-slot queue:
+// TryIngestBatch must come back as a Busy reply — (false, nil) at the
+// client — while blocking IngestBatch keeps its backpressure semantics.
+func TestServerBusyReply(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	_, _, c := newTestServer(t, monitor.Config{
+		Shards:    1,
+		QueueSize: 1,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &blockingDetector{entered: entered, release: release}, nil
+		},
+	}, Config{})
+	obs := testObs(4, 4)
+	// First observation occupies the shard inside Update.
+	if err := c.Ingest("s", obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// Second fills the queue's only slot.
+	if err := c.Ingest("s", obs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// A try-ingest now bounces with Busy.
+	ok, err := c.TryIngestBatch("s", obs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("TryIngestBatch on a full queue reported accepted, want Busy")
+	}
+	close(release)
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Ingested != 2 || sn.Dropped != 2 {
+		t.Fatalf("Ingested=%d Dropped=%d, want 2/2", sn.Ingested, sn.Dropped)
+	}
+}
+
+// TestServerBadRequest: a well-framed but undecodable payload draws an
+// Error reply and leaves the connection usable; a corrupt frame ends it.
+func TestServerBadRequest(t *testing.T) {
+	srv, _, c := newTestServer(t, monitor.Config{
+		Detector: core.Config{Features: 8, Classes: 3, Seed: 7},
+		Shards:   1,
+	}, Config{})
+
+	// Hand-roll a truncated ingest payload (id + stream ID, no observation).
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	b := codec.NewBuffer(nil)
+	b.U64(1)
+	b.Str("s")
+	if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireIngest, b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	sc := codec.NewFrameScanner(nc)
+	kind, body, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != codec.KindWireError {
+		t.Fatalf("reply kind %d, want Error", kind)
+	}
+	rd := codec.NewReader(body)
+	if id := rd.U64(); id != 1 {
+		t.Fatalf("error reply echoes id %d, want 1", id)
+	}
+	if msg := rd.Blob(); len(msg) == 0 {
+		t.Fatal("error reply carries no message")
+	}
+	// The connection survives a payload error: a valid request still works.
+	obs := testObs(8, 1)
+	b.Reset()
+	b.U64(2)
+	b.Str("s")
+	encodeObs(b, obs[0])
+	if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireIngest, b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err = sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Reset(body)
+	if rd.U64(); kind != codec.KindWireOK {
+		t.Fatalf("reply kind %d after recovery, want OK", kind)
+	}
+
+	// A frame with a corrupted CRC ends the connection.
+	frame := codec.AppendFrame(nil, codec.KindWireIngest, b.Bytes())
+	frame[len(frame)-1] ^= 0xFF
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Next(); err == nil {
+		t.Fatal("server kept talking after a corrupt frame")
+	}
+
+	// An unknown request kind draws an Error and a hangup on a fresh conn.
+	nc2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	b.Reset()
+	b.U64(9)
+	if _, err := nc2.Write(codec.AppendFrame(nil, 99, b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	sc2 := codec.NewFrameScanner(nc2)
+	if kind, _, err := sc2.Next(); err != nil || kind != codec.KindWireError {
+		t.Fatalf("unknown kind: reply (%d, %v), want Error", kind, err)
+	}
+	if _, _, err := sc2.Next(); err != io.EOF {
+		t.Fatalf("connection after unknown kind: %v, want EOF", err)
+	}
+
+	// The original client was unaffected throughout.
+	if err := c.Ingest("t", obs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerMaxFrame: a frame declaring a payload over the configured bound
+// is rejected without allocation and the connection is closed.
+func TestServerMaxFrame(t *testing.T) {
+	srv, _, _ := newTestServer(t, monitor.Config{
+		Detector: core.Config{Features: 8, Classes: 3, Seed: 7},
+		Shards:   1,
+	}, Config{MaxFrame: 1024})
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireIngestBatch, make([]byte, 4096))); err != nil {
+		t.Fatal(err)
+	}
+	sc := codec.NewFrameScanner(nc)
+	// The server hangs up without reading the oversized body, so the close
+	// may surface as EOF or a reset — either way, no reply and no connection.
+	if _, _, err := sc.Next(); err == nil {
+		t.Fatal("server answered an over-limit frame")
+	}
+}
+
+// TestServerGracefulShutdown: Close lets in-flight work finish, flushes a
+// subscriber's queued events, and ends every connection; the monitor stays
+// usable until its own Close.
+func TestServerGracefulShutdown(t *testing.T) {
+	m, err := monitor.New(monitor.Config{
+		Shards: 1,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &wireDriftEveryN{n: 1, class: 0}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv, err := New(Config{Monitor: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	const obsN = 50
+	if err := c.IngestBatch("s", testObs(4, obsN)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushCheckpoints(); err != nil { // all 50 events published
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // idempotent
+	// Every event queued before shutdown must still be delivered, then the
+	// stream ends cleanly.
+	got := 0
+	for range sub.Events() {
+		got++
+	}
+	if got != obsN {
+		t.Fatalf("subscriber got %d events across shutdown, want %d", got, obsN)
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("subscription ended with error: %v", err)
+	}
+	// New connections are refused; the monitor itself still works.
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("Dial succeeded after server Close")
+	}
+	if err := m.Ingest("s", testObs(4, 1)[0]); err != nil {
+		t.Fatalf("monitor must outlive the server: %v", err)
+	}
+}
+
+// TestServerHTTPSidecar checks /healthz and the Prometheus /metrics payload.
+func TestServerHTTPSidecar(t *testing.T) {
+	srv, _, c := newTestServer(t, monitor.Config{
+		Detector: core.Config{Features: 8, Classes: 3, Seed: 7},
+		Shards:   2,
+	}, Config{HTTPAddr: "127.0.0.1:0"})
+	if err := c.IngestBatch("s", testObs(8, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + srv.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"rbmim_ingested_total 32", "rbmim_streams 1", "# TYPE rbmim_drifts_total counter"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestClientIngestAllocs pins the acceptance criterion: the steady-state
+// client batch-ingest path performs zero allocations per call, measured
+// process-wide against a live server (whose own hot path must therefore be
+// allocation-free too).
+func TestClientIngestAllocs(t *testing.T) {
+	_, _, c := newTestServer(t, monitor.Config{
+		Shards:    1,
+		QueueSize: 4096,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return nullDetector{}, nil
+		},
+	}, Config{})
+	obs := testObs(20, 256)
+	// Warm every pool, map, and scratch buffer on both sides.
+	for i := 0; i < 50; i++ {
+		if err := c.IngestBatch("stream-1", obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.IngestBatch("stream-1", obs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state IngestBatch allocates %.2f allocs/op (process-wide), want 0", allocs)
+	}
+	single := testing.AllocsPerRun(100, func() {
+		if err := c.Ingest("stream-1", obs[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if single > 0.5 {
+		t.Fatalf("steady-state Ingest allocates %.2f allocs/op (process-wide), want 0", single)
+	}
+}
+
+// TestServerConcurrentSoak is the -race soak: parallel batch producers over
+// many streams with subscribers churning underneath, then a full teardown.
+func TestServerConcurrentSoak(t *testing.T) {
+	srv, m, c := newTestServer(t, monitor.Config{
+		Shards:    4,
+		QueueSize: 64,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &wireDriftEveryN{n: 7, class: 1}, nil
+		},
+	}, Config{})
+	obs := testObs(8, 256)
+	const (
+		producers = 6
+		rounds    = 40
+		churners  = 3
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pc, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer pc.Close()
+			for r := 0; r < rounds; r++ {
+				id := fmt.Sprintf("stream-%d-%d", p, r%8)
+				if r%5 == 4 {
+					if _, err := pc.TryIngestBatch(id, obs[:64]); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := pc.IngestBatch(id, obs[:64]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for s := 0; s < churners; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				sub, err := c.Subscribe(32)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Read a few events (or give up quickly) and drop the
+				// subscription mid-stream.
+				for i := 0; i < 3; i++ {
+					select {
+					case <-sub.Events():
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+				sub.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := uint64(producers * rounds * 64 * 4 / 5) // Try batches may drop
+	if sn.Ingested+sn.Dropped != uint64(producers*rounds*64) {
+		t.Fatalf("Ingested+Dropped = %d, want %d", sn.Ingested+sn.Dropped, producers*rounds*64)
+	}
+	if sn.Ingested < wantMin {
+		t.Fatalf("Ingested = %d, want >= %d", sn.Ingested, wantMin)
+	}
+	srv.Close()
+	m.Close()
+}
+
+// TestServerCloseWithStuckSubscriber pins the shutdown liveness fix: a
+// subscriber that stops reading fills the socket buffers and parks the
+// server's event pump inside a write; Close must still terminate, via the
+// DrainTimeout force phase.
+func TestServerCloseWithStuckSubscriber(t *testing.T) {
+	srv, m, c := newTestServer(t, monitor.Config{
+		Shards:    1,
+		QueueSize: 4096,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &wireDriftEveryN{n: 1, class: 0}, nil
+		},
+	}, Config{DrainTimeout: 200 * time.Millisecond})
+
+	// A raw subscriber that never reads past the OK: no client-side loop
+	// draining the socket, so the server's pump wedges once the kernel
+	// buffers fill.
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	b := codec.NewBuffer(nil)
+	b.U64(1)
+	b.U32(64)
+	if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireSubscribe, b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if kind, _, err := codec.NewFrameScanner(nc).Next(); err != nil || kind != codec.KindWireOK {
+		t.Fatalf("subscribe reply (%d, %v), want OK", kind, err)
+	}
+	// Every observation drifts: tens of thousands of event frames swamp the
+	// unread socket. IngestBatch keeps the producer itself unblocked.
+	obs := testObs(4, 1000)
+	for i := 0; i < 40; i++ {
+		if err := c.IngestBatch("s", obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v with a stuck subscriber; the drain timeout did not engage", elapsed)
+	}
+	m.Close()
+}
+
+// TestClientSubscriptionCloseUnblocks pins the client-side leak fix:
+// closing a subscription whose channel is full (nobody reading) must let
+// the decode goroutine exit, observable as the channel closing after the
+// buffered events drain.
+func TestClientSubscriptionCloseUnblocks(t *testing.T) {
+	_, _, c := newTestServer(t, monitor.Config{
+		Shards: 1,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &wireDriftEveryN{n: 1, class: 0}, nil
+		},
+	}, Config{})
+	sub, err := c.Subscribe(8) // tiny local buffer, immediately saturated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestBatch("s", testObs(4, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the local queue is provably full (the loop goroutine is
+	// then parked on the channel send).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sub.Events()) < 8 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sub.Close()
+	// The loop must exit, closing the channel behind the buffered events.
+	drained := 0
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Events():
+			if !ok {
+				if drained < 8 {
+					t.Fatalf("channel closed after only %d events", drained)
+				}
+				return
+			}
+			drained++
+		case <-timeout:
+			t.Fatalf("channel never closed after Close (drained %d); decode goroutine leaked", drained)
+		}
+	}
+}
+
+// TestClientTryIngestBatchErrorNotAccepted pins the reply mapping: an Error
+// reply must come back as (false, err), mirroring Monitor.TryIngestBatch.
+func TestClientTryIngestBatchErrorNotAccepted(t *testing.T) {
+	_, m, c := newTestServer(t, monitor.Config{
+		Detector: core.Config{Features: 8, Classes: 3, Seed: 7},
+		Shards:   1,
+	}, Config{})
+	m.Close() // the server now answers every ingest with an Error reply
+	ok, err := c.TryIngestBatch("s", testObs(8, 4))
+	if err == nil {
+		t.Fatal("TryIngestBatch against a closed monitor returned no error")
+	}
+	if ok {
+		t.Fatal("TryIngestBatch reported accepted=true alongside an error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"rbmim/internal/eval"
 	"rbmim/internal/monitor"
 	"rbmim/internal/realworld"
+	"rbmim/internal/server"
 	"rbmim/internal/stream"
 	"rbmim/internal/synth"
 )
@@ -235,6 +236,10 @@ type (
 	MemStore = monitor.MemStore
 	// FSStore is the one-file-per-stream filesystem CheckpointStore.
 	FSStore = monitor.FSStore
+	// MonitorSubscription is one subscriber's private, bounded drift-event
+	// queue on an in-process Monitor (Monitor.Subscribe). Each subscriber
+	// receives every event; a slow one drops only its own.
+	MonitorSubscription = monitor.Subscription
 )
 
 // NewMemStore builds an in-memory checkpoint store (spill-and-rehydrate
@@ -257,6 +262,38 @@ var ErrMonitorClosed = monitor.ErrClosed
 // Monitor.IngestBatch: a block travels the shard queue as one slab-copied
 // envelope and reaches the stream's detector in one batched update.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
+
+// Network serving layer re-exports: a Monitor served over TCP with a
+// codec-framed binary protocol (see internal/server), and the matching
+// client whose steady-state batch ingest allocates nothing.
+type (
+	// Server exposes a Monitor over TCP plus an optional HTTP sidecar
+	// (/healthz, Prometheus /metrics).
+	Server = server.Server
+	// ServerConfig parameterizes a Server; Monitor is required.
+	ServerConfig = server.Config
+	// Client speaks the driftserver wire protocol: Ingest / IngestBatch /
+	// TryIngestBatch / Subscribe / Snapshot / Evict / FlushCheckpoints /
+	// Close. One Client owns one connection and its scratch buffers, so
+	// steady-state batch ingest is allocation-free; use one Client per
+	// producer goroutine.
+	Client = server.Client
+	// ClientSubscription is a server-pushed drift-event stream on its own
+	// connection (Client.Subscribe).
+	ClientSubscription = server.Subscription
+)
+
+// NewServer builds a Server and starts serving immediately. The server
+// borrows the Monitor: Server.Close tears down only the network side, and
+// closing the Monitor afterwards flushes the checkpoint store — the
+// graceful-shutdown order cmd/driftserver implements.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Dial connects a Client to a driftserver at addr ("host:port").
+func Dial(addr string) (*Client, error) { return server.Dial(addr) }
+
+// ErrClientClosed is returned by Client methods after Client.Close.
+var ErrClientClosed = server.ErrClientClosed
 
 // Evaluation harness re-exports.
 type (
