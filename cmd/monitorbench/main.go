@@ -9,7 +9,7 @@
 // Usage:
 //
 //	monitorbench [-streams 256] [-instances 4000] [-features 20] [-classes 5]
-//	             [-shards 1,2,4,8] [-producers 0] [-drift]
+//	             [-shards 1,2,4,8|auto] [-producers 0] [-procs 1,4,8] [-drift]
 //	             [-batch 256] [-json BENCH_monitor.json]
 //	             [-checkpoint mem|DIR] [-ckptint 500ms]
 //	             [-remote ADDR]
@@ -24,6 +24,14 @@
 // -ckptint cadence ("mem" = in-memory store, anything else = filesystem
 // store rooted at that directory, one fresh subdirectory per sweep), so the
 // throughput table shows what checkpointing costs the ingest path.
+//
+// With -procs the whole sweep repeats under each GOMAXPROCS value — the
+// multi-core scaling table: the instances/s column is aggregate throughput
+// across all producers and shards, and each row beyond the first core count
+// reports its speedup over the same shard/mode row at the first core count.
+// Each core count appends its own record to the -json trajectory (the
+// config's gomaxprocs field keys them). "-shards auto" resolves to the
+// monitor's autotuner (one shard per schedulable core at each -procs step).
 //
 // With -remote ADDR monitorbench becomes a load generator for a running
 // driftserver: the shard sweep is skipped (sharding is the server's
@@ -65,15 +73,17 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", `enable checkpointing: "mem" or a directory for a filesystem store`)
 	ckptInt := flag.Duration("ckptint", 500*time.Millisecond, "periodic snapshot cadence when -checkpoint is set")
 	remote := flag.String("remote", "", "drive a running driftserver at this address instead of an in-process monitor")
+	procsList := flag.String("procs", "", "comma-separated GOMAXPROCS values to sweep (multi-core scaling mode; default: current setting only)")
 	flag.Parse()
 
 	shardCounts := parseShards(*shardList)
+	procs := parseProcs(*procsList)
 	if *producers <= 0 {
 		*producers = runtime.NumCPU()
 	}
 
-	fmt.Printf("monitorbench: %d streams x %d instances, %d features, %d classes, %d producers (GOMAXPROCS=%d)\n\n",
-		*streams, *instances, *features, *classes, *producers, runtime.GOMAXPROCS(0))
+	fmt.Printf("monitorbench: %d streams x %d instances, %d features, %d classes, %d producers (GOMAXPROCS sweep %v)\n\n",
+		*streams, *instances, *features, *classes, *producers, procs)
 
 	// Pre-draw every stream's observations so the sweep measures the monitor,
 	// not the generators.
@@ -95,57 +105,82 @@ func main() {
 	if *batch > 0 {
 		modes = []int{0, *batch}
 	}
-	fmt.Printf("%-8s %-10s %-14s %-12s %-10s %-10s %s\n", "shards", "mode", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
-	var rows []runRow
-	base := map[int]float64{} // per-instance rate per shard count
-	var firstRate float64
-	for _, shards := range shardCounts {
-		for _, b := range modes {
-			res, err := runSweep(workload, *features, *classes, shards, *producers, *queue, b, *checkpoint, *ckptInt)
-			if err != nil {
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	// coreBase remembers the aggregate rate of each shard/mode row at the
+	// first core count, so later core counts print their scaling factor.
+	type rowKey struct{ shards, batch int }
+	coreBase := map[rowKey]float64{}
+	for pi, p := range procs {
+		runtime.GOMAXPROCS(p)
+		if len(procs) > 1 {
+			fmt.Printf("--- GOMAXPROCS=%d ---\n", p)
+		}
+		fmt.Printf("%-8s %-10s %-14s %-12s %-10s %-10s %s\n", "shards", "mode", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
+		var rows []runRow
+		base := map[int]float64{} // per-instance rate per shard count
+		var firstRate float64
+		for _, shardSel := range shardCounts {
+			shards := shardSel
+			if shards == 0 { // "auto": one shard per schedulable core
+				shards = p
+			}
+			for _, b := range modes {
+				res, err := runSweep(workload, *features, *classes, shards, *producers, *queue, b, *checkpoint, *ckptInt)
+				if err != nil {
+					fail(err)
+				}
+				mode := "single"
+				note := ""
+				if b > 0 {
+					mode = fmt.Sprintf("batch%d", b)
+					if s := base[shards]; s > 0 {
+						note = fmt.Sprintf("  (%.2fx vs single)", res.rate/s)
+					}
+				} else {
+					base[shards] = res.rate
+					if firstRate == 0 {
+						firstRate = res.rate
+					} else {
+						note = fmt.Sprintf("  (%.2fx vs 1 shard)", res.rate/firstRate)
+					}
+				}
+				k := rowKey{shardSel, b}
+				if pi == 0 {
+					coreBase[k] = res.rate
+				} else if s := coreBase[k]; s > 0 {
+					note += fmt.Sprintf("  (%.2fx vs %d cores)", res.rate/s, procs[0])
+				}
+				fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s%s\n",
+					shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
+					res.drifts, res.streams, res.balance, note)
+				sn := res.sn
+				rows = append(rows, runRow{
+					Shards: shards, Batch: b, InstancesPerSec: res.rate,
+					WallMS: float64(res.wall.Microseconds()) / 1000,
+					Drifts: res.drifts, Streams: res.streams, Snapshot: &sn,
+				})
+			}
+		}
+		if *jsonPath != "" {
+			rec := runRecord{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Config: runConfig{
+					Streams: *streams, Instances: *instances, Features: *features,
+					Classes: *classes, Producers: *producers, Queue: *queue,
+					Drift: *drift, GOMAXPROCS: p,
+					Checkpoint: *checkpoint,
+				},
+				Rows: rows,
+			}
+			if err := appendRecord(*jsonPath, rec); err != nil {
 				fail(err)
 			}
-			mode := "single"
-			note := ""
-			if b > 0 {
-				mode = fmt.Sprintf("batch%d", b)
-				if s := base[shards]; s > 0 {
-					note = fmt.Sprintf("  (%.2fx vs single)", res.rate/s)
-				}
-			} else {
-				base[shards] = res.rate
-				if firstRate == 0 {
-					firstRate = res.rate
-				} else {
-					note = fmt.Sprintf("  (%.2fx vs 1 shard)", res.rate/firstRate)
-				}
-			}
-			fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s%s\n",
-				shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
-				res.drifts, res.streams, res.balance, note)
-			sn := res.sn
-			rows = append(rows, runRow{
-				Shards: shards, Batch: b, InstancesPerSec: res.rate,
-				WallMS: float64(res.wall.Microseconds()) / 1000,
-				Drifts: res.drifts, Streams: res.streams, Snapshot: &sn,
-			})
+			fmt.Printf("\nappended run record to %s\n", *jsonPath)
 		}
-	}
-	if *jsonPath != "" {
-		rec := runRecord{
-			Generated: time.Now().UTC().Format(time.RFC3339),
-			Config: runConfig{
-				Streams: *streams, Instances: *instances, Features: *features,
-				Classes: *classes, Producers: *producers, Queue: *queue,
-				Drift: *drift, GOMAXPROCS: runtime.GOMAXPROCS(0),
-				Checkpoint: *checkpoint,
-			},
-			Rows: rows,
+		if len(procs) > 1 {
+			fmt.Println()
 		}
-		if err := appendRecord(*jsonPath, rec); err != nil {
-			fail(err)
-		}
-		fmt.Printf("\nappended run record to %s\n", *jsonPath)
 	}
 }
 
@@ -494,7 +529,8 @@ func balanceString(loads []uint64) string {
 }
 
 // parseShards expands the -shards flag, defaulting to powers of two up to
-// NumCPU.
+// NumCPU. The entry "auto" becomes the sentinel 0, resolved to the current
+// GOMAXPROCS at sweep time (the monitor autotuner's choice).
 func parseShards(s string) []int {
 	if s == "" {
 		var out []int
@@ -508,9 +544,31 @@ func parseShards(s string) []int {
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
+		part = strings.TrimSpace(part)
+		if part == "auto" {
+			out = append(out, 0)
+			continue
+		}
+		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
 			fail(fmt.Errorf("bad -shards entry %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// parseProcs expands the -procs flag into the GOMAXPROCS sweep; empty means
+// a single pass at the current setting.
+func parseProcs(s string) []int {
+	if s == "" {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fail(fmt.Errorf("bad -procs entry %q", part))
 		}
 		out = append(out, n)
 	}

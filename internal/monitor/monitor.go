@@ -20,13 +20,18 @@
 // (FNV-1a + jump hash), so placement is deterministic, balanced, and maximally
 // stable under shard-count changes. Each shard is a single goroutine that
 // owns its streams' detectors outright — no locks on the hot path — and
-// drains a buffered channel of observations in micro-batches: every wakeup
-// pulls whatever is queued (bounded), groups it per stream, and hands each
-// stream's run to its detector in one UpdateBatch call. Producers with
-// blocks of observations should use IngestBatch, which moves a whole block
-// through the queue in a single copied slab. Detectors are created lazily on
-// first ingest, evicted explicitly via Evict, or garbage-collected after
-// Config.IdleTTL without traffic.
+// drains a bounded MPSC ring buffer (see ring.go) of observations in
+// micro-batches: every wakeup pops whatever is queued (bounded), groups it
+// per stream, and hands each stream's run to its detector in one UpdateBatch
+// call. Producers with blocks of observations should use IngestBatch, which
+// moves a whole block through the queue in a single copied slab — one ring
+// slot per block. Because a stream lives on exactly one shard and the ring
+// preserves per-producer FIFO order, a stream's observations reach its
+// detector in send order at any GOMAXPROCS: the parallel monitor's per-stream
+// drift decisions are identical to a sequential run's (ordering_test.go
+// proves it). Detectors are created lazily on first ingest, evicted
+// explicitly via Evict, or garbage-collected after Config.IdleTTL without
+// traffic.
 package monitor
 
 import (
@@ -65,11 +70,14 @@ type Config struct {
 	// low-value streams). When set, Detector is ignored except for Classes,
 	// which sizes the per-class drift statistics.
 	NewDetector Factory
-	// Shards is the number of worker goroutines; default runtime.NumCPU().
+	// Shards is the number of worker goroutines; <= 0 selects
+	// AutotuneShards() (runtime.GOMAXPROCS at construction — one worker per
+	// schedulable core).
 	Shards int
-	// QueueSize is each shard's buffered-channel capacity; default 1024.
-	// Ingest blocks when the target shard's queue is full (backpressure);
-	// TryIngest drops instead.
+	// QueueSize is each shard's ring-buffer capacity in envelopes (an
+	// IngestBatch block occupies one envelope), rounded up to a power of
+	// two; default 1024. Ingest blocks when the target shard's ring is full
+	// (backpressure); TryIngest drops instead.
 	QueueSize int
 	// EventBuffer is the capacity of the drift-event channel; default 256.
 	// Events are dropped (and counted) when the channel is full, so slow
@@ -116,7 +124,7 @@ func (c *Config) withDefaults() error {
 		}
 	}
 	if c.Shards <= 0 {
-		c.Shards = runtime.NumCPU()
+		c.Shards = AutotuneShards()
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 1024
@@ -209,7 +217,7 @@ func New(cfg Config) (*Monitor, error) {
 	for i := range m.shards {
 		s := &shard{
 			m:       m,
-			in:      make(chan envelope, cfg.QueueSize),
+			in:      newRing(cfg.QueueSize),
 			streams: make(map[string]*streamState),
 			groups:  make(map[string]*obsGroup),
 			// Pool of pointers: putting a *batchBuf into an interface is
@@ -240,13 +248,13 @@ func (m *Monitor) Ingest(streamID string, o detectors.Observation) error {
 	if m.closed {
 		return ErrClosed
 	}
-	s.in <- envelope{op: opIngest, id: streamID, bat: s.copyOne(o)}
+	s.send(envelope{op: opIngest, id: streamID, bat: s.copyOne(o)}, 1)
 	return nil
 }
 
 // IngestBatch routes a block of observations for one stream through a single
 // queue operation: all X and Scores slices are copied into one pooled slab,
-// the block travels as one envelope (one channel hop instead of len(obs)),
+// the block travels as one envelope (one ring slot instead of len(obs)),
 // and the shard hands it to the stream's detector in one UpdateBatch call.
 // Per-stream observation order is preserved. Like Ingest it blocks when the
 // shard queue is full and returns ErrClosed after Close; callers may reuse
@@ -261,7 +269,7 @@ func (m *Monitor) IngestBatch(streamID string, obs []detectors.Observation) erro
 	if len(obs) == 0 {
 		return nil
 	}
-	s.in <- envelope{op: opIngest, id: streamID, bat: s.copyBatch(obs)}
+	s.send(envelope{op: opIngest, id: streamID, bat: s.copyBatch(obs)}, len(obs))
 	return nil
 }
 
@@ -275,14 +283,12 @@ func (m *Monitor) TryIngest(streamID string, o detectors.Observation) (bool, err
 		return false, ErrClosed
 	}
 	env := envelope{op: opIngest, id: streamID, bat: s.copyOne(o)}
-	select {
-	case s.in <- env:
+	if s.trySend(env, 1) {
 		return true, nil
-	default:
-		s.pool.Put(env.bat)
-		s.dropped.Add(1)
-		return false, nil
 	}
+	s.pool.Put(env.bat)
+	s.dropped.Add(1)
+	return false, nil
 }
 
 // TryIngestBatch is IngestBatch without backpressure: when the shard queue
@@ -299,14 +305,12 @@ func (m *Monitor) TryIngestBatch(streamID string, obs []detectors.Observation) (
 		return true, nil
 	}
 	env := envelope{op: opIngest, id: streamID, bat: s.copyBatch(obs)}
-	select {
-	case s.in <- env:
+	if s.trySend(env, len(obs)) {
 		return true, nil
-	default:
-		s.pool.Put(env.bat)
-		s.dropped.Add(uint64(len(obs)))
-		return false, nil
 	}
+	s.pool.Put(env.bat)
+	s.dropped.Add(uint64(len(obs)))
+	return false, nil
 }
 
 // Evict asynchronously removes a stream and its detector from memory,
@@ -325,7 +329,7 @@ func (m *Monitor) Evict(streamID string) error {
 	if m.closed {
 		return ErrClosed
 	}
-	s.in <- envelope{op: opEvict, id: streamID}
+	s.in.push(envelope{op: opEvict, id: streamID})
 	return nil
 }
 
@@ -399,8 +403,11 @@ func (m *Monitor) Close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
+	// closed is set and every in-flight producer held the read lock, so the
+	// opClose envelope below is the last push each ring will ever see: the
+	// worker drains everything queued before it, then exits.
 	for _, s := range m.shards {
-		close(s.in)
+		s.in.push(envelope{op: opClose})
 	}
 	m.wg.Wait()
 	if m.ckptEnabled() {
@@ -446,7 +453,7 @@ func (m *Monitor) FlushCheckpoints() error {
 	dones := make([]chan struct{}, len(m.shards))
 	for i, s := range m.shards {
 		dones[i] = make(chan struct{})
-		s.in <- envelope{op: opFlush, done: dones[i]}
+		s.in.push(envelope{op: opFlush, done: dones[i]})
 	}
 	for _, done := range dones {
 		<-done
@@ -500,6 +507,21 @@ type Snapshot struct {
 	// per-shard stream-cap limits (MaxStreamsPerShard), plus Evict calls for
 	// streams that were not resident (see Evict).
 	Dropped, EventsDropped, IdleEvicted, StreamErrors uint64
+	// Received counts observations accepted into shard ring queues (every
+	// Ingest/IngestBatch plus successful Try* calls); Rejected counts
+	// received observations refused at processing time (factory failures and
+	// stream caps — the observation portion of StreamErrors); Queued is the
+	// number received but not yet resolved, sampled across the shard rings.
+	// Conservation holds at any quiescent point (e.g. after the
+	// FlushCheckpoints barrier): Received == Ingested + Rejected + Queued,
+	// with Queued == 0.
+	Received, Rejected, Queued uint64
+	// QueueCap is each shard's ring capacity in envelopes (QueueSize rounded
+	// up to a power of two); QueueHighWater is the largest per-shard envelope
+	// occupancy any shard worker has observed — together they are the
+	// saturation signal Monitor.TuneAdvice reads.
+	QueueCap       int
+	QueueHighWater uint64
 	// Checkpoints counts snapshots written to the checkpoint Store;
 	// CheckpointErrors counts failed serializations, Store errors, skipped
 	// snapshots on a full write queue, and rehydration failures; Rehydrated
@@ -549,6 +571,17 @@ func (m *Monitor) Snapshot() Snapshot {
 		sn.Dropped += s.dropped.Load()
 		sn.IdleEvicted += s.idleEvicted.Load()
 		sn.StreamErrors += s.streamErrors.Load()
+		sn.Received += s.received.Load()
+		sn.Rejected += s.rejected.Load()
+		// queued can dip negative transiently (a concurrent drain's decrement
+		// racing a producer's increment); clamp per shard.
+		if q := s.queued.Load(); q > 0 {
+			sn.Queued += uint64(q)
+		}
+		sn.QueueCap = s.in.cap()
+		if hw := s.in.highWater.Load(); hw > sn.QueueHighWater {
+			sn.QueueHighWater = hw
+		}
 		for k := range sn.DriftsByClass {
 			sn.DriftsByClass[k] += s.driftsByClass[k].Load()
 		}
@@ -577,6 +610,10 @@ const (
 	// snapshots its dirty streams (blocking, when checkpointing is on), and
 	// closes the envelope's done channel. See Monitor.FlushCheckpoints.
 	opFlush
+	// opClose is the shutdown sentinel Close pushes after refusing new
+	// producers: necessarily the last envelope on the ring, so the worker
+	// drains everything ahead of it and exits.
+	opClose
 )
 
 // batchBuf is the pooled carrier of one Ingest/IngestBatch call: the copied
@@ -622,14 +659,14 @@ type obsGroup struct {
 // never delayed by more than one flush of work already queued anyway.
 const microBatch = 128
 
-// shard is one worker: a goroutine draining a queue of observations for the
-// streams consistently hashed onto it. Every wakeup drains the queue in a
-// micro-batch, groups the observations per stream, and feeds each stream's
+// shard is one worker: a goroutine draining a ring buffer of observations
+// for the streams consistently hashed onto it. Every wakeup pops the ring in
+// a micro-batch, groups the observations per stream, and feeds each stream's
 // run to its detector in one UpdateBatch call. All mutable per-stream state
 // is confined to the goroutine; only the atomic counters are shared.
 type shard struct {
 	m       *Monitor
-	in      chan envelope
+	in      *ring
 	streams map[string]*streamState
 	pool    sync.Pool // *batchBuf slabs carrying copied observations
 
@@ -659,6 +696,36 @@ type shard struct {
 	idleEvicted   atomic.Uint64
 	streamErrors  atomic.Uint64
 	driftsByClass []atomic.Uint64
+
+	// Conservation counters (see Snapshot.Received): received and queued are
+	// adjusted by producers at push time; queued is drawn down and rejected
+	// raised on the shard goroutine as observations resolve. queued is
+	// signed because a Try* producer's increment races the drain's decrement.
+	received atomic.Uint64
+	rejected atomic.Uint64
+	queued   atomic.Int64
+}
+
+// send pushes an envelope carrying n observations, blocking on a full ring
+// (the Ingest/IngestBatch backpressure path). Counters move before the push
+// so a concurrent Snapshot never sees queued dip below zero on this path.
+func (s *shard) send(env envelope, n int) {
+	s.received.Add(uint64(n))
+	s.queued.Add(int64(n))
+	s.in.push(env)
+}
+
+// trySend is send without backpressure: on a full ring the counters are
+// rolled back and false returned (the caller counts the drop).
+func (s *shard) trySend(env envelope, n int) bool {
+	s.received.Add(uint64(n))
+	s.queued.Add(int64(n))
+	if s.in.tryPush(env) {
+		return true
+	}
+	s.received.Add(-uint64(n))
+	s.queued.Add(int64(-n))
+	return false
 }
 
 // appendObs copies o's X (and Scores, when present) onto slab and returns
@@ -714,6 +781,17 @@ func (s *shard) copyBatch(obs []detectors.Observation) *batchBuf {
 	return bat
 }
 
+// Adaptive spin bounds for the worker's wait-for-work loop: the budget
+// doubles whenever spinning paid off (work arrived before parking) and
+// halves after a futile spin, so a loaded shard burns a few yields instead
+// of a futex round-trip while an idle one converges to parking almost
+// immediately.
+const (
+	spinMin     = 4
+	spinDefault = 32
+	spinMax     = 256
+)
+
 func (s *shard) run() {
 	defer s.m.wg.Done()
 	// Registered after wg.Done, so it runs first (LIFO): the close-time
@@ -732,47 +810,83 @@ func (s *shard) run() {
 		defer t.Stop()
 		ckptC = t.C
 	}
-	pending := make([]envelope, 0, microBatch)
+	pending := make([]envelope, microBatch)
+	spins := spinDefault
 	for {
+		// Pop whatever is already queued (bounded) so the per-stream
+		// grouping in process amortizes detector dispatch over the whole
+		// micro-batch.
+		if n := s.in.popBatch(pending); n > 0 {
+			if s.process(pending[:n]) {
+				return // opClose drained
+			}
+			// Give the maintenance tickers a chance between drains without
+			// ever blocking the hot loop (nil channels never fire).
+			select {
+			case <-gcC:
+				s.gcIdle()
+			case <-ckptC:
+				s.snapshotDirty()
+			default:
+			}
+			continue
+		}
+		// Ring empty: spin briefly — under load the next envelope lands
+		// within microseconds and parking would cost two scheduler hops.
+		if s.spinForWork(&spins) {
+			continue
+		}
+		// Park. The flag-then-recheck order pairs with the producer's
+		// publish-then-check-flag order (see ring.prepark): one side always
+		// sees the other.
+		s.in.prepark()
+		if s.in.occupancy() > 0 {
+			s.in.unpark()
+			continue
+		}
 		select {
-		case env, ok := <-s.in:
-			if !ok {
-				return
-			}
-			// Drain whatever else is already queued (bounded) so the
-			// per-stream grouping below amortizes detector dispatch over
-			// the whole micro-batch.
-			pending = append(pending[:0], env)
-		drain:
-			for len(pending) < microBatch {
-				select {
-				case env, ok := <-s.in:
-					if !ok {
-						s.process(pending)
-						return
-					}
-					pending = append(pending, env)
-				default:
-					break drain
-				}
-			}
-			s.process(pending)
+		case <-s.in.wakeCh():
 		case <-gcC:
 			s.gcIdle()
 		case <-ckptC:
 			s.snapshotDirty()
 		}
+		s.in.unpark()
 	}
 }
 
+// spinForWork yields up to the adaptive budget waiting for the ring to go
+// non-empty, growing the budget on success and shrinking it on a futile
+// spin. Returns true when work arrived.
+func (s *shard) spinForWork(spins *int) bool {
+	for i := 0; i < *spins; i++ {
+		if s.in.occupancy() > 0 {
+			if *spins < spinMax {
+				*spins *= 2
+			}
+			return true
+		}
+		runtime.Gosched()
+	}
+	if *spins > spinMin {
+		*spins /= 2
+	}
+	return false
+}
+
 // process groups a drained micro-batch per stream and flushes each stream's
-// run through its detector once. Per-stream observation order is preserved:
-// observations accumulate in arrival order and an Evict flushes the stream's
-// queued observations before removing it.
-func (s *shard) process(pending []envelope) {
+// run through its detector once, returning true when the batch contained the
+// opClose sentinel. Per-stream observation order is preserved: observations
+// accumulate in arrival order and an Evict flushes the stream's queued
+// observations before removing it.
+func (s *shard) process(pending []envelope) (closing bool) {
 	var flushDones []chan struct{}
 	for _, env := range pending {
 		switch env.op {
+		case opClose:
+			// Necessarily the last envelope Close will ever push; finish the
+			// batch (it can only contain earlier envelopes) and report done.
+			closing = true
 		case opFlush:
 			// Acknowledged after the group flush below, so every envelope
 			// queued before the flush has been applied; observations later in
@@ -834,6 +948,7 @@ func (s *shard) process(pending []envelope) {
 			close(done)
 		}
 	}
+	return closing
 }
 
 func (s *shard) getGroup() *obsGroup {
@@ -867,13 +982,13 @@ func (s *shard) flush(id string, g *obsGroup) {
 	st, ok := s.streams[id]
 	if !ok {
 		if max := s.m.cfg.MaxStreamsPerShard; max > 0 && len(s.streams) >= max {
-			s.streamErrors.Add(uint64(n))
+			s.reject(n)
 			s.release(g)
 			return
 		}
 		det, err := s.m.cfg.NewDetector(id)
 		if err != nil {
-			s.streamErrors.Add(uint64(n))
+			s.reject(n)
 			s.release(g)
 			return
 		}
@@ -919,8 +1034,18 @@ func (s *shard) flush(id string, g *obsGroup) {
 		}
 	}
 	s.ingested.Add(uint64(n))
+	s.queued.Add(int64(-n))
 	st.dirty = true
 	s.release(g)
+}
+
+// reject resolves n received-but-unprocessable observations (factory
+// failure, stream cap): they leave the queue into Rejected, and StreamErrors
+// keeps its historical per-observation accounting.
+func (s *shard) reject(n int) {
+	s.streamErrors.Add(uint64(n))
+	s.rejected.Add(uint64(n))
+	s.queued.Add(int64(-n))
 }
 
 // tally records one observation's detector state and publishes drift events.

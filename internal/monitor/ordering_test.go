@@ -1,0 +1,196 @@
+package monitor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/core"
+	"rbmim/internal/detectors"
+	"rbmim/internal/stream"
+	"rbmim/internal/synth"
+)
+
+// buildOrderingWorkload generates a deterministic multi-stream workload with
+// a sudden concept change halfway through each stream, so the equivalence
+// check covers real drift decisions, not just quiet streams.
+func buildOrderingWorkload(t *testing.T, streams, perStream int) map[string][]detectors.Observation {
+	t.Helper()
+	base := synth.Config{Features: 8, Classes: 3, Seed: 3}
+	work := make(map[string][]detectors.Observation, streams)
+	for s := 0; s < streams; s++ {
+		before, err := synth.NewRBF(base, 3, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		afterCfg := base
+		afterCfg.Seed = 200 + int64(s)
+		after, err := synth.NewRBF(afterCfg, 3, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := stream.NewDriftStream(before, after, stream.Sudden, perStream/2, 0, 1)
+		obs := make([]detectors.Observation, perStream)
+		for i := range obs {
+			in := src.Next()
+			obs[i] = detectors.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}
+		}
+		work[fmt.Sprintf("stream-%d", s)] = obs
+	}
+	return work
+}
+
+// runOrderingWorkload pushes the workload through a monitor with the given
+// parallelism and returns (per-stream drift sequence numbers, per-stream
+// weight checksums restored from flushed checkpoints). Streams are split
+// across `producers` goroutines — each stream is owned by exactly one
+// producer, so per-stream send order is preserved while producers race each
+// other on the shard rings.
+func runOrderingWorkload(t *testing.T, work map[string][]detectors.Observation, shards, producers, procs int) (map[string][]uint64, map[string]uint64) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	var mu sync.Mutex
+	drifts := make(map[string][]uint64)
+	store := NewMemStore()
+	m, err := New(Config{
+		Detector: core.Config{
+			Features: 8, Classes: 3, Seed: 11,
+			BatchSize: 25, WarmupBatches: 5, AdaptiveWindow: true,
+		},
+		Shards:     shards,
+		QueueSize:  128,
+		Checkpoint: CheckpointConfig{Store: store},
+		// OnDrift runs on the shard goroutine; per-stream events therefore
+		// arrive in sequence order even while shards interleave.
+		OnDrift: func(ev Event) {
+			mu.Lock()
+			drifts[ev.StreamID] = append(drifts[ev.StreamID], ev.Seq)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(work))
+	for id := range work {
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		mine := make([]string, 0, len(ids)/producers+1)
+		for i := p; i < len(ids); i += producers {
+			mine = append(mine, ids[i])
+		}
+		wg.Add(1)
+		go func(mine []string) {
+			defer wg.Done()
+			// Interleave blocks across the producer's streams so shard
+			// queues see mixed traffic, not one stream at a time.
+			const block = 50
+			for off := 0; ; off += block {
+				sent := false
+				for _, id := range mine {
+					obs := work[id]
+					if off >= len(obs) {
+						continue
+					}
+					end := off + block
+					if end > len(obs) {
+						end = len(obs)
+					}
+					if err := m.IngestBatch(id, obs[off:end]); err != nil {
+						t.Errorf("IngestBatch(%s): %v", id, err)
+						return
+					}
+					sent = true
+				}
+				if !sent {
+					return
+				}
+			}
+		}(mine)
+	}
+	wg.Wait()
+	if err := m.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	sums := make(map[string]uint64, len(ids))
+	for _, id := range ids {
+		data, ok, err := store.Get(id)
+		if err != nil || !ok {
+			t.Fatalf("checkpoint for %s after flush: ok=%v err=%v", id, ok, err)
+		}
+		// Restore into a fresh detector and checksum the learned weights.
+		// The raw frame is NOT hashed directly: it also carries the last
+		// drift's attributed class list, which is a block-union and hence
+		// grouping-dependent — the weights are the bit-identity guarantee.
+		det, err := core.NewDetector(core.Config{
+			Features: 8, Classes: 3, Seed: 11 ^ int64(fnv1a(id)),
+			BatchSize: 25, WarmupBatches: 5, AdaptiveWindow: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stored frames are the monitor envelope: seq (8 bytes) + detector
+		// frame (see newEnvelopeFrame).
+		payload, err := codec.ExpectFrame(data, codec.KindMonitorStream)
+		if err != nil {
+			t.Fatalf("checkpoint frame for %s: %v", id, err)
+		}
+		if err := det.LoadStateBytes(payload[8:]); err != nil {
+			t.Fatalf("restore %s: %v", id, err)
+		}
+		sums[id] = det.RBM().WeightChecksum()
+	}
+	sn := m.Snapshot()
+	m.Close()
+	// Conservation at the flush barrier: everything accepted was processed.
+	if sn.Received != sn.Ingested+sn.Rejected || sn.Queued != 0 {
+		t.Fatalf("counters not conserved at barrier: %+v", sn)
+	}
+	return drifts, sums
+}
+
+// TestOrderingEquivalenceAcrossParallelism is the tentpole guarantee: the
+// same workload run single-threaded (1 shard, 1 producer, GOMAXPROCS=1) and
+// fully parallel (8 shards, 8 producers, GOMAXPROCS=8) must yield identical
+// per-stream drift decisions (sequence numbers at detection) and bit-identical
+// detector state, verified via checkpoint checksums after a flush barrier.
+//
+// Event.Classes is deliberately NOT compared: batched attribution is the
+// union over a flushed block's drifting mini-batches, so the class list
+// depends on how observations were grouped in flight — the weights and the
+// drift decisions do not.
+func TestOrderingEquivalenceAcrossParallelism(t *testing.T) {
+	streams, perStream := 6, 4000
+	if testing.Short() {
+		streams, perStream = 4, 1500
+	}
+	work := buildOrderingWorkload(t, streams, perStream)
+	serialDrifts, serialSums := runOrderingWorkload(t, work, 1, 1, 1)
+	parallelDrifts, parallelSums := runOrderingWorkload(t, work, 8, 8, 8)
+
+	total := 0
+	for id := range work {
+		s, p := serialDrifts[id], parallelDrifts[id]
+		if len(s) != len(p) {
+			t.Fatalf("%s: %d drifts serial vs %d parallel\nserial:   %v\nparallel: %v", id, len(s), len(p), s, p)
+		}
+		for i := range s {
+			if s[i] != p[i] {
+				t.Fatalf("%s: drift %d at seq %d serial vs %d parallel", id, i, s[i], p[i])
+			}
+		}
+		total += len(s)
+		if serialSums[id] != parallelSums[id] {
+			t.Fatalf("%s: weight checksum %x serial vs %x parallel — detector state diverged", id, serialSums[id], parallelSums[id])
+		}
+	}
+	if total == 0 {
+		t.Fatal("no drift detected on any stream: the equivalence check is vacuous")
+	}
+}

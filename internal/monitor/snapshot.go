@@ -65,6 +65,11 @@ func (s Snapshot) AppendJSON(b []byte) []byte {
 	unum("EventsDropped", s.EventsDropped)
 	unum("IdleEvicted", s.IdleEvicted)
 	unum("StreamErrors", s.StreamErrors)
+	unum("Received", s.Received)
+	unum("Rejected", s.Rejected)
+	unum("Queued", s.Queued)
+	num("QueueCap", int64(s.QueueCap))
+	unum("QueueHighWater", s.QueueHighWater)
 	unum("Checkpoints", s.Checkpoints)
 	unum("CheckpointErrors", s.CheckpointErrors)
 	unum("Rehydrated", s.Rehydrated)
@@ -123,6 +128,11 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	emit("rbmim_dropped_total", "Observations dropped by TryIngest on full shard queues.", "counter", float64(s.Dropped))
+	emit("rbmim_received_total", "Observations accepted into shard ring queues.", "counter", float64(s.Received))
+	emit("rbmim_rejected_total", "Received observations refused at processing time (factory failures, stream caps).", "counter", float64(s.Rejected))
+	emit("rbmim_queued", "Observations received but not yet processed, sampled across shard rings.", "gauge", float64(s.Queued))
+	emit("rbmim_queue_capacity", "Per-shard ring capacity in envelopes.", "gauge", float64(s.QueueCap))
+	emit("rbmim_queue_high_water", "Largest per-shard ring occupancy observed, in envelopes.", "gauge", float64(s.QueueHighWater))
 	emit("rbmim_events_dropped_total", "Drift events dropped on the full shared event channel.", "counter", float64(s.EventsDropped))
 	emit("rbmim_idle_evicted_total", "Streams evicted by idle GC.", "counter", float64(s.IdleEvicted))
 	emit("rbmim_stream_errors_total", "Observations rejected by factory failures, stream caps, and evicts of non-resident streams.", "counter", float64(s.StreamErrors))

@@ -21,6 +21,11 @@ func testSnapshot() Snapshot {
 		EventsDropped:     2,
 		IdleEvicted:       1,
 		StreamErrors:      9,
+		Received:          123465,
+		Rejected:          9,
+		Queued:            0,
+		QueueCap:          1024,
+		QueueHighWater:    512,
 		Checkpoints:       88,
 		CheckpointErrors:  1,
 		Rehydrated:        6,
@@ -75,7 +80,8 @@ func TestSnapshotJSONStableFieldOrder(t *testing.T) {
 	order := []string{
 		"Shards", "Streams", "Ingested", "Drifts", "Warnings",
 		"DriftsByClass", "Dropped", "EventsDropped", "IdleEvicted",
-		"StreamErrors", "Checkpoints", "CheckpointErrors", "Rehydrated",
+		"StreamErrors", "Received", "Rejected", "Queued", "QueueCap",
+		"QueueHighWater", "Checkpoints", "CheckpointErrors", "Rehydrated",
 		"Subscribers", "SubscriberDropped", "ShardStreams", "ShardIngested",
 		"Uptime", "InstancesPerSec",
 	}

@@ -24,6 +24,19 @@
 // predicted labels, and optional per-class scores. Batch payloads carry the
 // stream ID once and the observation count up front, so the server can
 // decode straight into pooled slabs sized from the payload length.
+//
+// # Parallel fan-in
+//
+// Each connection is served by its own goroutine, so N clients are N
+// concurrent producers pushing into the monitor's per-shard MPSC rings
+// (internal/monitor). No serialization happens on the server side: the
+// rings take concurrent pushes directly, a stream's observations stay in
+// its connection's send order (per-producer FIFO through one ring), and the
+// monitor's ordering-equivalence guarantee — identical per-stream drift
+// decisions at any shard/producer count — extends to wire-fed workloads.
+// Replies stay in per-connection request order because each handler decodes
+// and answers sequentially; only the detector work behind the rings fans
+// out across cores.
 package server
 
 import (

@@ -198,9 +198,10 @@ func (d *blockingDetector) Update(detectors.Observation) detectors.State {
 func (d *blockingDetector) Reset()       {}
 func (d *blockingDetector) Name() string { return "blocking" }
 
-// TestServerBusyReply wedges the single shard and fills its 1-slot queue:
-// TryIngestBatch must come back as a Busy reply — (false, nil) at the
-// client — while blocking IngestBatch keeps its backpressure semantics.
+// TestServerBusyReply wedges the single shard and fills its ring queue
+// (QueueSize 1 rounds up to the 2-slot ring minimum): TryIngestBatch must
+// come back as a Busy reply — (false, nil) at the client — while blocking
+// IngestBatch keeps its backpressure semantics.
 func TestServerBusyReply(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	release := make(chan struct{})
@@ -217,12 +218,15 @@ func TestServerBusyReply(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-entered
-	// Second fills the queue's only slot.
+	// Second and third fill the ring's two slots.
 	if err := c.Ingest("s", obs[1]); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Ingest("s", obs[2]); err != nil {
+		t.Fatal(err)
+	}
 	// A try-ingest now bounces with Busy.
-	ok, err := c.TryIngestBatch("s", obs[2:])
+	ok, err := c.TryIngestBatch("s", obs[3:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,8 +241,8 @@ func TestServerBusyReply(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sn.Ingested != 2 || sn.Dropped != 2 {
-		t.Fatalf("Ingested=%d Dropped=%d, want 2/2", sn.Ingested, sn.Dropped)
+	if sn.Ingested != 3 || sn.Dropped != 1 {
+		t.Fatalf("Ingested=%d Dropped=%d, want 3/1", sn.Ingested, sn.Dropped)
 	}
 }
 

@@ -12,11 +12,18 @@
 //     (an array of records, one per invocation — append, never overwrite),
 //     creating the file when missing.
 //
+// By default the `-N` GOMAXPROCS suffix `go test` appends to benchmark names
+// is stripped, so runs at different parallelism levels share one baseline
+// key. With -percpu the suffix is kept as an explicit `@cpuN` component —
+// the mode for `go test -cpu 1,4,8` sweeps, where each parallelism level is
+// its own gated series (a regression that only appears at 8 procs must not
+// hide behind a healthy single-proc number).
+//
 // Usage:
 //
 //	go test -run xxx -bench BenchmarkTrainBatchKernels ./internal/core/ |
 //	    go run ./scripts/benchguard -baseline BENCH_core.json [-threshold 0.25]
-//	    [-minspeedup 1.5] [-update]
+//	    [-minspeedup 1.5] [-percpu] [-update]
 package main
 
 import (
@@ -51,16 +58,20 @@ type benchmark struct {
 // metric, e.g.:
 //
 //	BenchmarkTrainBatchKernels/V20/B256/batch-4  3082  808167 ns/op  3157 ns/obs
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op.*?\s([\d.]+) ns/obs`)
+//
+// Group 2 is the `-N` GOMAXPROCS suffix (kept as a key component in -percpu
+// mode, dropped otherwise).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+[\d.]+ ns/op.*?\s([\d.]+) ns/obs`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_core.json", "baseline trajectory file")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative ns/obs regression vs the baseline")
 	minSpeedup := flag.Float64("minspeedup", 0, "minimum tolerated batch-vs-seq speedup (0 disables the floor)")
 	update := flag.Bool("update", false, "append this run to the baseline file instead of checking")
+	perCPU := flag.Bool("percpu", false, "keep the -N GOMAXPROCS suffix as an @cpuN key component (for go test -cpu sweeps)")
 	flag.Parse()
 
-	got := parseRuns(os.Stdin)
+	got := parseRuns(os.Stdin, *perCPU)
 	if len(got) == 0 {
 		fail(fmt.Errorf("no benchmark lines with an ns/obs metric on stdin"))
 	}
@@ -72,11 +83,18 @@ func main() {
 
 	speedups := map[string]float64{}
 	for _, name := range names {
-		if !strings.HasSuffix(name, "/batch") {
+		// In -percpu mode the key carries an @cpuN tail; pair batch/seq
+		// within the same parallelism level.
+		base, cpu := name, ""
+		if i := strings.LastIndex(base, "@cpu"); i >= 0 {
+			base, cpu = name[:i], name[i:]
+		}
+		if !strings.HasSuffix(base, "/batch") {
 			continue
 		}
-		if seq, ok := got[strings.TrimSuffix(name, "/batch")+"/seq"]; ok {
-			speedups[strings.TrimSuffix(name, "/batch")] = seq / got[name]
+		stem := strings.TrimSuffix(base, "/batch")
+		if seq, ok := got[stem+"/seq"+cpu]; ok {
+			speedups[stem+cpu] = seq / got[name]
 		}
 	}
 	for _, name := range names {
@@ -134,8 +152,9 @@ func main() {
 
 // parseRuns collects the best (minimum) ns/obs per benchmark name from the
 // stream — repeated -count runs measure the same code, so the minimum is
-// the sample least distorted by machine noise.
-func parseRuns(f *os.File) map[string]float64 {
+// the sample least distorted by machine noise. With perCPU each GOMAXPROCS
+// suffix keys its own series.
+func parseRuns(f *os.File, perCPU bool) map[string]float64 {
 	got := map[string]float64{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -143,11 +162,14 @@ func parseRuns(f *os.File) map[string]float64 {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
+		v, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
 		name := strings.TrimPrefix(m[1], "Benchmark")
+		if perCPU && m[2] != "" {
+			name += "@cpu" + m[2]
+		}
 		if old, ok := got[name]; !ok || v < old {
 			got[name] = v
 		}
