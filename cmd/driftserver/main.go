@@ -11,6 +11,7 @@
 //	            [-addr 127.0.0.1:7365] [-http 127.0.0.1:7366]
 //	            [-shards N] [-queue 4096] [-seed 7]
 //	            [-checkpoint mem|DIR] [-ckptint 30s] [-idlettl 0]
+//	            [-subevict 0]
 //
 // With -checkpoint DIR the per-stream detector states live in a filesystem
 // store: a killed server restarted against the same directory rehydrates
@@ -44,6 +45,7 @@ func main() {
 	ckptInt := flag.Duration("ckptint", 30*time.Second, "periodic snapshot cadence when -checkpoint is set")
 	idleTTL := flag.Duration("idlettl", 0, "evict streams idle for this long (0 disables; evicted state spills to the store)")
 	maxFrame := flag.Int("maxframe", 0, "maximum request frame payload in bytes (default 16 MiB)")
+	subEvict := flag.Int("subevict", 0, "evict a subscriber after this many dropped events (0 = drop-only, never evict)")
 	flag.Parse()
 
 	var ckpt rbmim.CheckpointConfig
@@ -59,11 +61,12 @@ func main() {
 		ckpt = rbmim.CheckpointConfig{Store: store, Interval: *ckptInt}
 	}
 	m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
-		Detector:   rbmim.DetectorConfig{Features: *features, Classes: *classes, Seed: *seed, AdaptiveWindow: *adaptive},
-		Shards:     *shards,
-		QueueSize:  *queue,
-		IdleTTL:    *idleTTL,
-		Checkpoint: ckpt,
+		Detector:             rbmim.DetectorConfig{Features: *features, Classes: *classes, Seed: *seed, AdaptiveWindow: *adaptive},
+		Shards:               *shards,
+		QueueSize:            *queue,
+		IdleTTL:              *idleTTL,
+		Checkpoint:           ckpt,
+		SubscriberEvictDrops: *subEvict,
 	})
 	if err != nil {
 		fail(err)

@@ -12,7 +12,7 @@
 //	             [-shards 1,2,4,8|auto] [-producers 0] [-procs 1,4,8] [-drift]
 //	             [-batch 256] [-json BENCH_monitor.json]
 //	             [-checkpoint mem|DIR] [-ckptint 500ms]
-//	             [-remote ADDR]
+//	             [-remote ADDR] [-clients N] [-conns K] [-inflight W] [-churn S]
 //
 // With -drift every stream undergoes a sudden concept change halfway
 // through, so the drift-event column should be non-zero for most streams.
@@ -35,12 +35,29 @@
 //
 // With -remote ADDR monitorbench becomes a load generator for a running
 // driftserver: the shard sweep is skipped (sharding is the server's
-// business), each producer goroutine dials its own client connection, and
-// the workload is driven over the wire with IngestBatch (-batch > 0) or
-// per-observation Ingest. The run ends with a FlushCheckpoints barrier and
-// verifies through the wire snapshot that the server processed every
-// observation sent — a non-zero exit otherwise, which is what the CI smoke
-// asserts. JSON rows embed the server's canonical snapshot encoding.
+// business) and the workload is driven over the wire with IngestBatch
+// (-batch > 0) or per-observation Ingest. The run ends with a
+// FlushCheckpoints barrier and verifies through the wire snapshot that the
+// server processed every observation sent — a non-zero exit otherwise,
+// which is what the CI smoke asserts. JSON rows embed the server's
+// canonical snapshot encoding.
+//
+// The remote saturation knobs:
+//
+//   - -clients N overrides -producers as the number of load goroutines;
+//   - -inflight W opens a pipelined in-flight window of W requests per
+//     connection (1 = the serial stop-and-wait client, the default);
+//   - -conns K > 0 multiplexes all clients over a ClientPool of K pipelined
+//     connections with consistent-hash stream affinity (0 = one private
+//     connection per client, the historical shape);
+//   - -churn S runs S subscriber churners that connect, drain a few drift
+//     events, and disconnect in a loop for the whole run — the
+//     slow-subscriber/eviction path exercised while the ingest path is
+//     saturated.
+//
+// Sweeping -clients x -inflight is the saturation experiment in
+// EXPERIMENTS.md: obs/s as a function of offered concurrency and window
+// depth.
 package main
 
 import (
@@ -73,6 +90,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", `enable checkpointing: "mem" or a directory for a filesystem store`)
 	ckptInt := flag.Duration("ckptint", 500*time.Millisecond, "periodic snapshot cadence when -checkpoint is set")
 	remote := flag.String("remote", "", "drive a running driftserver at this address instead of an in-process monitor")
+	clients := flag.Int("clients", 0, "remote mode: load goroutines (overrides -producers; 0 = use -producers)")
+	conns := flag.Int("conns", 0, "remote mode: multiplex all clients over a pool of this many pipelined connections (0 = one connection per client)")
+	inflight := flag.Int("inflight", 1, "remote mode: pipelined in-flight requests per connection (1 = serial)")
+	churn := flag.Int("churn", 0, "remote mode: subscriber churners connecting/draining/disconnecting for the whole run")
 	procsList := flag.String("procs", "", "comma-separated GOMAXPROCS values to sweep (multi-core scaling mode; default: current setting only)")
 	flag.Parse()
 
@@ -93,10 +114,21 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemoteMode(workload, *producers, *batch, *remote, *jsonPath, runConfig{
+		opts := remoteOpts{
+			clients: *clients, conns: *conns, inflight: *inflight,
+			batch: *batch, churn: *churn, addr: *remote,
+		}
+		if opts.clients <= 0 {
+			opts.clients = *producers
+		}
+		if opts.inflight < 1 {
+			opts.inflight = 1
+		}
+		runRemoteMode(workload, opts, *jsonPath, runConfig{
 			Streams: *streams, Instances: *instances, Features: *features,
-			Classes: *classes, Producers: *producers, Drift: *drift,
+			Classes: *classes, Producers: opts.clients, Drift: *drift,
 			GOMAXPROCS: runtime.GOMAXPROCS(0), Remote: *remote,
+			Conns: opts.conns, Inflight: opts.inflight, Churn: opts.churn,
 		})
 		return
 	}
@@ -206,6 +238,12 @@ type runConfig struct {
 	// Remote records the driftserver address of a -remote loadgen run
 	// ("" = in-process monitor).
 	Remote string `json:"remote,omitempty"`
+	// Conns/Inflight/Churn record the remote saturation knobs: pooled
+	// connections (0 = one per client), in-flight window per connection,
+	// and subscriber churners running alongside the load.
+	Conns    int `json:"conns,omitempty"`
+	Inflight int `json:"inflight,omitempty"`
+	Churn    int `json:"churn,omitempty"`
 }
 
 type runRow struct {
@@ -252,29 +290,40 @@ type sweepResult struct {
 	sn      rbmim.MonitorSnapshot
 }
 
+// remoteOpts bundles the -remote saturation knobs.
+type remoteOpts struct {
+	clients  int // load goroutines
+	conns    int // pooled connections; 0 = one private connection per client
+	inflight int // in-flight window per connection; 1 = serial
+	batch    int
+	churn    int // subscriber churners
+	addr     string
+}
+
 // runRemoteMode is the -remote loadgen path: it drives a running
 // driftserver over loopback/network, prints one result row, optionally
 // appends it to the JSON trajectory, and fails the process when the
 // server-side counters do not account for every observation sent.
-func runRemoteMode(workload []workloadStream, producers, batch int, addr, jsonPath string, cfg runConfig) {
-	res, err := runRemote(workload, producers, batch, addr)
+func runRemoteMode(workload []workloadStream, opts remoteOpts, jsonPath string, cfg runConfig) {
+	res, err := runRemote(workload, opts)
 	if err != nil {
 		fail(err)
 	}
 	mode := "single"
-	if batch > 0 {
-		mode = fmt.Sprintf("batch%d", batch)
+	if opts.batch > 0 {
+		mode = fmt.Sprintf("batch%d", opts.batch)
 	}
+	wire := fmt.Sprintf("clients=%d conns=%d inflight=%d churn=%d", opts.clients, opts.conns, opts.inflight, opts.churn)
 	fmt.Printf("%-8s %-10s %-14s %-12s %-10s %-10s %s\n", "shards", "mode", "instances/s", "wall", "drifts", "streams", "shard balance (ingested)")
-	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s\n",
+	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s  [%s]\n",
 		res.sn.Shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
-		res.drifts, res.streams, res.balance)
+		res.drifts, res.streams, res.balance, wire)
 	if jsonPath != "" {
 		rec := runRecord{
 			Generated: time.Now().UTC().Format(time.RFC3339),
 			Config:    cfg,
 			Rows: []runRow{{
-				Shards: res.sn.Shards, Batch: batch, InstancesPerSec: res.rate,
+				Shards: res.sn.Shards, Batch: opts.batch, InstancesPerSec: res.rate,
 				WallMS: float64(res.wall.Microseconds()) / 1000,
 				Drifts: res.drifts, Streams: res.streams, Snapshot: &res.sn,
 			}},
@@ -295,11 +344,23 @@ func runRemoteMode(workload []workloadStream, producers, batch int, addr, jsonPa
 	}
 }
 
-// runRemote replays the workload against a driftserver, producers feeding
-// disjoint stream subsets over their own connections. Deltas against the
-// pre-run snapshot keep the numbers correct on a long-lived server.
-func runRemote(workload []workloadStream, producers, batch int, addr string) (remoteResult, error) {
-	ctl, err := rbmim.Dial(addr)
+// wireSender is the slice of the client API the load loop needs; both a
+// private *rbmim.Client and a shared *rbmim.ClientPool implement it.
+type wireSender interface {
+	Ingest(string, rbmim.Observation) error
+	IngestBatch(string, []rbmim.Observation) error
+	IngestAsync(string, rbmim.Observation) (rbmim.ClientPending, error)
+	IngestBatchAsync(string, []rbmim.Observation) (rbmim.ClientPending, error)
+}
+
+// runRemote replays the workload against a driftserver, clients feeding
+// disjoint stream subsets — each over a private connection, or all
+// multiplexed over a shared pool (opts.conns > 0). With opts.inflight > 1
+// each client keeps a ring of async requests pipelined instead of idling a
+// round trip per block. Deltas against the pre-run snapshot keep the
+// numbers correct on a long-lived server.
+func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error) {
+	ctl, err := rbmim.Dial(opts.addr)
 	if err != nil {
 		return remoteResult{}, err
 	}
@@ -308,12 +369,64 @@ func runRemote(workload []workloadStream, producers, batch int, addr string) (re
 	if err != nil {
 		return remoteResult{}, err
 	}
-	clients := make([]*rbmim.Client, producers)
-	for p := range clients {
-		if clients[p], err = rbmim.Dial(addr); err != nil {
+	producers := opts.clients
+	senders := make([]wireSender, producers)
+	if opts.conns > 0 {
+		pool, err := rbmim.DialPool(opts.addr, opts.conns, opts.inflight)
+		if err != nil {
 			return remoteResult{}, err
 		}
-		defer clients[p].Close()
+		defer pool.Close()
+		for p := range senders {
+			senders[p] = pool
+		}
+	} else {
+		for p := range senders {
+			c, err := rbmim.DialWindow(opts.addr, opts.inflight)
+			if err != nil {
+				return remoteResult{}, err
+			}
+			defer c.Close()
+			senders[p] = c
+		}
+	}
+
+	// Subscriber churners: connect, drain a handful of events (or time out),
+	// disconnect, repeat — the reconnect/eviction path exercised while the
+	// ingest path is under load.
+	churnDone := make(chan struct{})
+	var churnWG sync.WaitGroup
+	for s := 0; s < opts.churn; s++ {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for {
+				select {
+				case <-churnDone:
+					return
+				default:
+				}
+				sub, err := ctl.Subscribe(8)
+				if err != nil {
+					return // server shutting down; the load loop reports errors
+				}
+				timeout := time.After(5 * time.Millisecond)
+			drain:
+				for i := 0; i < 16; i++ {
+					select {
+					case _, ok := <-sub.Events():
+						if !ok {
+							break drain
+						}
+					case <-timeout:
+						break drain
+					case <-churnDone:
+						break drain
+					}
+				}
+				sub.Close()
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -323,27 +436,58 @@ func runRemote(workload []workloadStream, producers, batch int, addr string) (re
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			c := clients[p]
+			c := senders[p]
+			// ring bounds this client's outstanding async requests to the
+			// in-flight window; zero-valued entries are skipped on drain.
+			ring := make([]rbmim.ClientPending, opts.inflight)
+			n := 0
+			send := func(id string, block []rbmim.Observation) error {
+				if opts.inflight <= 1 {
+					if opts.batch > 0 {
+						return c.IngestBatch(id, block)
+					}
+					return c.Ingest(id, block[0])
+				}
+				if n >= len(ring) {
+					if err := ring[n%len(ring)].Wait(); err != nil {
+						return err
+					}
+				}
+				var pd rbmim.ClientPending
+				var err error
+				if opts.batch > 0 {
+					pd, err = c.IngestBatchAsync(id, block)
+				} else {
+					pd, err = c.IngestAsync(id, block[0])
+				}
+				if err != nil {
+					return err
+				}
+				ring[n%len(ring)] = pd
+				n++
+				return nil
+			}
+			step := opts.batch
+			if step <= 0 {
+				step = 1
+			}
 			for s := p; s < len(workload); s += producers {
 				ws := workload[s]
-				if batch > 0 {
-					for i := 0; i < len(ws.obs); i += batch {
-						end := i + batch
-						if end > len(ws.obs) {
-							end = len(ws.obs)
-						}
-						if err := c.IngestBatch(ws.id, ws.obs[i:end]); err != nil {
-							errs <- err
-							return
-						}
+				for i := 0; i < len(ws.obs); i += step {
+					end := i + step
+					if end > len(ws.obs) {
+						end = len(ws.obs)
 					}
-					continue
-				}
-				for i := range ws.obs {
-					if err := c.Ingest(ws.id, ws.obs[i]); err != nil {
+					if err := send(ws.id, ws.obs[i:end]); err != nil {
 						errs <- err
 						return
 					}
+				}
+			}
+			for i := 0; i < n && i < len(ring); i++ {
+				if err := ring[i].Wait(); err != nil {
+					errs <- err
+					return
 				}
 			}
 		}(p)
@@ -351,15 +495,22 @@ func runRemote(workload []workloadStream, producers, batch int, addr string) (re
 	wg.Wait()
 	select {
 	case err := <-errs:
+		close(churnDone)
+		churnWG.Wait()
 		return remoteResult{}, err
 	default:
 	}
-	// Barrier: every queued observation is applied (and checkpoints, if the
-	// server has a store, are durable) before the clock stops.
+	// Barrier: every acked observation is enqueued, so one monitor-wide
+	// flush makes all of it applied (and checkpoints, if the server has a
+	// store, durable) before the clock stops.
 	if err := ctl.FlushCheckpoints(); err != nil {
+		close(churnDone)
+		churnWG.Wait()
 		return remoteResult{}, err
 	}
 	wall := time.Since(start)
+	close(churnDone)
+	churnWG.Wait()
 	after, err := ctl.Snapshot()
 	if err != nil {
 		return remoteResult{}, err

@@ -162,6 +162,31 @@ func (w *Buffer) Ints(v []int) {
 	}
 }
 
+// BeginFrame appends a frame header (magic, version, kind) with a zero
+// payload length and returns a mark for EndFrame. Everything appended
+// between the two calls becomes the frame's payload, so hot paths build a
+// complete wire frame in one buffer — payload and framing together, no
+// second copy like AppendFrame's — and several frames appended back to back
+// form one contiguous region a single socket write (or writev batch entry)
+// can push out.
+func (w *Buffer) BeginFrame(kind uint8) int {
+	w.b = append(w.b, magic...)
+	w.b = append(w.b, Version, kind)
+	mark := len(w.b)
+	w.U32(0)
+	return mark
+}
+
+// EndFrame completes the frame begun at mark: it patches the payload length
+// and appends the CRC-32 over the header and payload, producing bytes
+// identical to AppendFrame over the same payload.
+func (w *Buffer) EndFrame(mark int) {
+	binary.LittleEndian.PutUint32(w.b[mark:mark+4], uint32(len(w.b)-mark-4))
+	start := mark - (headerSize - 4)
+	sum := crc32.ChecksumIEEE(w.b[start:])
+	w.U32(sum)
+}
+
 // Mark reserves a u32 slot at the current position (for a to-be-known
 // length) and returns its offset for PatchLen.
 func (w *Buffer) Mark() int {

@@ -197,6 +197,54 @@ func TestBufferReuseAndWriter(t *testing.T) {
 	_ = first
 }
 
+// TestBeginEndFrame: the in-place frame builder must produce bytes
+// identical to AppendFrame for the same payload, including back-to-back
+// frames in one buffer (the coalesced write path of the network server) and
+// interleaved with non-frame appends before the first BeginFrame.
+func TestBeginEndFrame(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first payload"),
+		{},
+		bytes.Repeat([]byte{0xCD}, 2000),
+	}
+	kinds := []uint8{KindWireIngest, KindWireOK, KindWireIngestBatch}
+	var want []byte
+	w := NewBuffer(nil)
+	for i, p := range payloads {
+		want = AppendFrame(want, kinds[i], p)
+		mark := w.BeginFrame(kinds[i])
+		w.Write(p)
+		w.EndFrame(mark)
+	}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Fatalf("BeginFrame/EndFrame bytes differ from AppendFrame:\n got %x\nwant %x", w.Bytes(), want)
+	}
+	// Every frame in the coalesced region parses back intact.
+	sc := NewFrameScanner(bytes.NewReader(w.Bytes()))
+	for i := range payloads {
+		kind, payload, err := sc.Next()
+		if err != nil || kind != kinds[i] || !bytes.Equal(payload, payloads[i]) {
+			t.Fatalf("frame %d: kind=%d err=%v payload=%q", i, kind, err, payload)
+		}
+	}
+	if _, _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after last frame, got %v", err)
+	}
+	// A frame built mid-buffer (after unrelated bytes) still checksums only
+	// its own region.
+	w.Reset()
+	w.U64(0xDEADBEEF) // unrelated prefix
+	pre := w.Len()
+	mark := w.BeginFrame(KindWireEvent)
+	w.Str("payload")
+	w.EndFrame(mark)
+	var ref Buffer
+	ref.Str("payload")
+	if !bytes.Equal(w.Bytes()[pre:], AppendFrame(nil, KindWireEvent, ref.Bytes())) {
+		t.Fatal("mid-buffer frame differs from AppendFrame over the same payload")
+	}
+}
+
 // chunkReader serves its input in fixed-size chunks, simulating a TCP stream
 // whose Read boundaries never align with frame boundaries.
 type chunkReader struct {

@@ -146,6 +146,77 @@ func TestSubscriberDropAccounting(t *testing.T) {
 	}
 }
 
+// TestSubscriberEviction: with SubscriberEvictDrops set, a subscriber that
+// keeps dropping must be evicted — channel closed, Evicted reported, counted
+// once in the snapshot — while a healthy subscriber is untouched, and a
+// user-initiated Close must never be counted as an eviction.
+func TestSubscriberEviction(t *testing.T) {
+	cfg := driftConfig(1, 1) // every observation drifts
+	cfg.SubscriberEvictDrops = 5
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Subscribe(1) // nobody drains it
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := m.Subscribe(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := detectors.Observation{X: make([]float64, 4)}
+	const obs = 50
+	for i := 0; i < obs; i++ {
+		if err := m.Ingest("s", o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The flush barrier means every publish — and therefore the eviction,
+	// which happens inside publish — has completed.
+	if err := m.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	// The evicted subscription's channel is closed without Monitor.Close:
+	// this range must terminate on its own (one buffered event, then close).
+	got := 0
+	for range slow.Events() {
+		got++
+	}
+	if got != 1 {
+		t.Fatalf("evicted subscriber saw %d events, want 1 (its buffer)", got)
+	}
+	if !slow.Evicted() {
+		t.Fatal("Evicted() = false on a monitor-evicted subscription")
+	}
+	if d := slow.Dropped(); d < 5 {
+		t.Fatalf("evicted subscriber dropped %d events, want >= 5", d)
+	}
+	sn := m.Snapshot()
+	if sn.SubscribersEvicted != 1 {
+		t.Fatalf("SubscribersEvicted = %d, want 1", sn.SubscribersEvicted)
+	}
+	if sn.Subscribers != 1 {
+		t.Fatalf("Subscribers = %d, want 1 (healthy only)", sn.Subscribers)
+	}
+	// A user Close is not an eviction, even on a monitor with the policy on.
+	healthy.Close()
+	if healthy.Evicted() {
+		t.Fatal("user-closed subscription reports Evicted")
+	}
+	m.Close()
+	if got := m.Snapshot().SubscribersEvicted; got != 1 {
+		t.Fatalf("SubscribersEvicted after Close = %d, want 1", got)
+	}
+	n := 0
+	for range healthy.Events() {
+		n++
+	}
+	if n != obs {
+		t.Fatalf("healthy subscriber saw %d events, want %d", n, obs)
+	}
+}
+
 // TestSubscriptionCloseDetaches verifies a closed subscription stops
 // receiving and that closing twice (or concurrently with Monitor.Close) is
 // safe.

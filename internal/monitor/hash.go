@@ -33,7 +33,13 @@ func jumpHash(key uint64, buckets int) int {
 	return int(b)
 }
 
-// shardFor returns the shard index for a stream ID.
-func shardFor(id string, shards int) int {
+// ShardFor returns the shard index for a stream ID: FNV-1a over the ID, jump
+// consistent hash over the shard count. It is exported because the placement
+// function doubles as the client-side connection-affinity function — a
+// pipelined client pool routing stream X over connection ShardFor(X, conns)
+// keeps every stream on one connection (preserving per-stream order) with the
+// same minimal-movement property under pool resizes that the monitor's shard
+// placement has.
+func ShardFor(id string, shards int) int {
 	return jumpHash(fnv1a(id), shards)
 }

@@ -83,6 +83,15 @@ type Config struct {
 	// Events are dropped (and counted) when the channel is full, so slow
 	// subscribers never stall detection.
 	EventBuffer int
+	// SubscriberEvictDrops, when > 0, evicts a Subscribe fan-out queue once
+	// it has dropped this many events: the subscription is closed (its Events
+	// channel terminates) and the eviction counted in
+	// Snapshot.SubscribersEvicted. Dropping protects the shards from a slow
+	// subscriber; eviction additionally reclaims the queue and tells the
+	// subscriber — rather than silently thinning its event stream forever —
+	// that it fell irrecoverably behind and should reconnect and resync.
+	// Zero keeps the drop-only policy.
+	SubscriberEvictDrops int
 	// IdleTTL evicts streams that have received no observations for this
 	// long; zero disables idle GC.
 	IdleTTL time.Duration
@@ -179,10 +188,11 @@ type Monitor struct {
 	// Event fan-out (Subscribe): every subscriber gets its own bounded
 	// queue, so one slow consumer drops its own events without stalling
 	// detection or starving the other subscribers.
-	subMu      sync.RWMutex
-	subs       map[*Subscription]struct{}
-	subsClosed bool
-	subDropped atomic.Uint64
+	subMu       sync.RWMutex
+	subs        map[*Subscription]struct{}
+	subsClosed  bool
+	subDropped  atomic.Uint64
+	subsEvicted atomic.Uint64
 
 	// Checkpoint plumbing (see checkpoint.go): shards serialize into pooled
 	// buffers and enqueue; the single writer goroutine performs the Store
@@ -242,7 +252,7 @@ func New(cfg Config) (*Monitor, error) {
 // Scores slices are copied; callers may reuse their backing arrays
 // immediately.
 func (m *Monitor) Ingest(streamID string, o detectors.Observation) error {
-	s := m.shards[shardFor(streamID, len(m.shards))]
+	s := m.shards[ShardFor(streamID, len(m.shards))]
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
@@ -260,7 +270,7 @@ func (m *Monitor) Ingest(streamID string, o detectors.Observation) error {
 // shard queue is full and returns ErrClosed after Close; callers may reuse
 // every backing array the moment it returns. An empty block is a no-op.
 func (m *Monitor) IngestBatch(streamID string, obs []detectors.Observation) error {
-	s := m.shards[shardFor(streamID, len(m.shards))]
+	s := m.shards[ShardFor(streamID, len(m.shards))]
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
@@ -276,7 +286,7 @@ func (m *Monitor) IngestBatch(streamID string, obs []detectors.Observation) erro
 // TryIngest is Ingest without backpressure: when the shard queue is full the
 // observation is dropped, counted, and false is returned.
 func (m *Monitor) TryIngest(streamID string, o detectors.Observation) (bool, error) {
-	s := m.shards[shardFor(streamID, len(m.shards))]
+	s := m.shards[ShardFor(streamID, len(m.shards))]
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
@@ -295,7 +305,7 @@ func (m *Monitor) TryIngest(streamID string, o detectors.Observation) (bool, err
 // is full the whole block is dropped, its observations counted as dropped,
 // and false is returned.
 func (m *Monitor) TryIngestBatch(streamID string, obs []detectors.Observation) (bool, error) {
-	s := m.shards[shardFor(streamID, len(m.shards))]
+	s := m.shards[ShardFor(streamID, len(m.shards))]
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
@@ -323,7 +333,7 @@ func (m *Monitor) TryIngestBatch(streamID string, obs []detectors.Observation) (
 // Snapshot.StreamErrors — the caller's view of the stream population has
 // drifted from the monitor's, which is worth surfacing.
 func (m *Monitor) Evict(streamID string) error {
-	s := m.shards[shardFor(streamID, len(m.shards))]
+	s := m.shards[ShardFor(streamID, len(m.shards))]
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
@@ -346,6 +356,7 @@ type Subscription struct {
 	m       *Monitor
 	ch      chan Event
 	dropped atomic.Uint64
+	evicted atomic.Bool
 	once    sync.Once
 }
 
@@ -359,8 +370,22 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
 // Close detaches the subscription from the monitor and closes its channel.
 // It is idempotent and safe to call concurrently with Monitor.Close.
-func (s *Subscription) Close() {
+func (s *Subscription) Close() { s.close(false) }
+
+// Evicted reports whether the monitor evicted this subscription for falling
+// behind (see Config.SubscriberEvictDrops). Meaningful once the Events
+// channel has closed.
+func (s *Subscription) Evicted() bool { return s.evicted.Load() }
+
+// close tears the subscription down; evicted marks a monitor-initiated
+// eviction. The once makes user Close and eviction race safely — whichever
+// runs first wins, and only a winning eviction is counted.
+func (s *Subscription) close(evicted bool) {
 	s.once.Do(func() {
+		if evicted {
+			s.evicted.Store(true)
+			s.m.subsEvicted.Add(1)
+		}
 		s.m.subMu.Lock()
 		delete(s.m.subs, s)
 		close(s.ch)
@@ -478,6 +503,8 @@ func (m *Monitor) publish(ev Event) {
 	default:
 		m.eventsDropped.Add(1)
 	}
+	limit := uint64(m.cfg.SubscriberEvictDrops)
+	var evict []*Subscription
 	m.subMu.RLock()
 	for sub := range m.subs {
 		select {
@@ -485,9 +512,16 @@ func (m *Monitor) publish(ev Event) {
 		default:
 			sub.dropped.Add(1)
 			m.subDropped.Add(1)
+			if limit > 0 && sub.dropped.Load() >= limit {
+				// Closing takes the write lock; collect now, evict below.
+				evict = append(evict, sub)
+			}
 		}
 	}
 	m.subMu.RUnlock()
+	for _, sub := range evict {
+		sub.close(true)
+	}
 }
 
 // Snapshot is a point-in-time aggregate view of the monitor.
@@ -530,9 +564,20 @@ type Snapshot struct {
 	Checkpoints, CheckpointErrors, Rehydrated uint64
 	// Subscribers is the number of live Subscribe fan-out queues;
 	// SubscriberDropped counts events dropped across all subscribers
-	// (including since-closed ones) on full per-subscriber queues.
-	Subscribers       int
-	SubscriberDropped uint64
+	// (including since-closed ones) on full per-subscriber queues;
+	// SubscribersEvicted counts subscriptions the monitor closed for
+	// exceeding Config.SubscriberEvictDrops.
+	Subscribers        int
+	SubscriberDropped  uint64
+	SubscribersEvicted uint64
+	// Wire-path counters, owned by the network server (internal/server) and
+	// overlaid onto its Snapshot reply and /metrics payload; always zero on
+	// an in-process monitor. InFlightHighWater is the largest number of
+	// pipelined requests any connection has had in flight at once;
+	// RepliesCoalesced counts reply frames that rode a previous frame's
+	// socket write (syscalls saved by the coalescing reply writer).
+	InFlightHighWater uint64
+	RepliesCoalesced  uint64
 	// ShardStreams / ShardIngested expose the per-shard balance.
 	ShardStreams  []int
 	ShardIngested []uint64
@@ -545,15 +590,16 @@ type Snapshot struct {
 // and safe to call at any time, including after Close.
 func (m *Monitor) Snapshot() Snapshot {
 	sn := Snapshot{
-		Shards:            len(m.shards),
-		EventsDropped:     m.eventsDropped.Load(),
-		Checkpoints:       m.checkpoints.Load(),
-		CheckpointErrors:  m.ckptErrors.Load(),
-		Rehydrated:        m.rehydrated.Load(),
-		SubscriberDropped: m.subDropped.Load(),
-		Uptime:            time.Since(m.start),
-		ShardStreams:      make([]int, len(m.shards)),
-		ShardIngested:     make([]uint64, len(m.shards)),
+		Shards:             len(m.shards),
+		EventsDropped:      m.eventsDropped.Load(),
+		Checkpoints:        m.checkpoints.Load(),
+		CheckpointErrors:   m.ckptErrors.Load(),
+		Rehydrated:         m.rehydrated.Load(),
+		SubscriberDropped:  m.subDropped.Load(),
+		SubscribersEvicted: m.subsEvicted.Load(),
+		Uptime:             time.Since(m.start),
+		ShardStreams:       make([]int, len(m.shards)),
+		ShardIngested:      make([]uint64, len(m.shards)),
 	}
 	m.subMu.RLock()
 	sn.Subscribers = len(m.subs)

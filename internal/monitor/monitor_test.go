@@ -25,8 +25,8 @@ func TestShardPlacementIsDeterministicAndBalanced(t *testing.T) {
 	counts := make([]int, shards)
 	for i := 0; i < streams; i++ {
 		id := fmt.Sprintf("stream-%d", i)
-		s1 := shardFor(id, shards)
-		s2 := shardFor(id, shards)
+		s1 := ShardFor(id, shards)
+		s2 := ShardFor(id, shards)
 		if s1 != s2 {
 			t.Fatalf("placement of %q not deterministic: %d vs %d", id, s1, s2)
 		}
@@ -47,7 +47,7 @@ func TestJumpHashStability(t *testing.T) {
 	moved := 0
 	for i := 0; i < streams; i++ {
 		id := fmt.Sprintf("s%d", i)
-		if shardFor(id, 8) != shardFor(id, 9) {
+		if ShardFor(id, 8) != ShardFor(id, 9) {
 			moved++
 		}
 	}

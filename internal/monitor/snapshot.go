@@ -75,6 +75,9 @@ func (s Snapshot) AppendJSON(b []byte) []byte {
 	unum("Rehydrated", s.Rehydrated)
 	num("Subscribers", int64(s.Subscribers))
 	unum("SubscriberDropped", s.SubscriberDropped)
+	unum("SubscribersEvicted", s.SubscribersEvicted)
+	unum("InFlightHighWater", s.InFlightHighWater)
+	unum("RepliesCoalesced", s.RepliesCoalesced)
 	field("ShardStreams")
 	if s.ShardStreams == nil {
 		b = append(b, "null"...)
@@ -141,6 +144,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	emit("rbmim_rehydrated_total", "Streams restored from the checkpoint store.", "counter", float64(s.Rehydrated))
 	emit("rbmim_subscribers", "Live event-fanout subscriptions.", "gauge", float64(s.Subscribers))
 	emit("rbmim_subscriber_dropped_total", "Events dropped on full per-subscriber queues.", "counter", float64(s.SubscriberDropped))
+	emit("rbmim_subscribers_evicted_total", "Subscriptions closed by the monitor for exceeding the drop eviction limit.", "counter", float64(s.SubscribersEvicted))
+	emit("rbmim_inflight_high_water", "Largest pipelined in-flight request count observed on any server connection.", "gauge", float64(s.InFlightHighWater))
+	emit("rbmim_replies_coalesced_total", "Reply frames coalesced into a preceding frame's socket write.", "counter", float64(s.RepliesCoalesced))
 	if len(s.ShardStreams) > 0 && err == nil {
 		_, err = fmt.Fprintf(w, "# HELP rbmim_shard_streams Live streams per shard.\n# TYPE rbmim_shard_streams gauge\n")
 		for i, v := range s.ShardStreams {

@@ -11,30 +11,33 @@ import (
 
 func testSnapshot() Snapshot {
 	return Snapshot{
-		Shards:            4,
-		Streams:           17,
-		Ingested:          123456,
-		Drifts:            42,
-		Warnings:          7,
-		DriftsByClass:     []uint64{3, 0, 39},
-		Dropped:           5,
-		EventsDropped:     2,
-		IdleEvicted:       1,
-		StreamErrors:      9,
-		Received:          123465,
-		Rejected:          9,
-		Queued:            0,
-		QueueCap:          1024,
-		QueueHighWater:    512,
-		Checkpoints:       88,
-		CheckpointErrors:  1,
-		Rehydrated:        6,
-		Subscribers:       3,
-		SubscriberDropped: 11,
-		ShardStreams:      []int{5, 4, 4, 4},
-		ShardIngested:     []uint64{31000, 30000, 31456, 31000},
-		Uptime:            90 * time.Second,
-		InstancesPerSec:   1371.7333333333333,
+		Shards:             4,
+		Streams:            17,
+		Ingested:           123456,
+		Drifts:             42,
+		Warnings:           7,
+		DriftsByClass:      []uint64{3, 0, 39},
+		Dropped:            5,
+		EventsDropped:      2,
+		IdleEvicted:        1,
+		StreamErrors:       9,
+		Received:           123465,
+		Rejected:           9,
+		Queued:             0,
+		QueueCap:           1024,
+		QueueHighWater:     512,
+		Checkpoints:        88,
+		CheckpointErrors:   1,
+		Rehydrated:         6,
+		Subscribers:        3,
+		SubscriberDropped:  11,
+		SubscribersEvicted: 1,
+		InFlightHighWater:  16,
+		RepliesCoalesced:   2048,
+		ShardStreams:       []int{5, 4, 4, 4},
+		ShardIngested:      []uint64{31000, 30000, 31456, 31000},
+		Uptime:             90 * time.Second,
+		InstancesPerSec:    1371.7333333333333,
 	}
 }
 
@@ -82,8 +85,9 @@ func TestSnapshotJSONStableFieldOrder(t *testing.T) {
 		"DriftsByClass", "Dropped", "EventsDropped", "IdleEvicted",
 		"StreamErrors", "Received", "Rejected", "Queued", "QueueCap",
 		"QueueHighWater", "Checkpoints", "CheckpointErrors", "Rehydrated",
-		"Subscribers", "SubscriberDropped", "ShardStreams", "ShardIngested",
-		"Uptime", "InstancesPerSec",
+		"Subscribers", "SubscriberDropped", "SubscribersEvicted",
+		"InFlightHighWater", "RepliesCoalesced", "ShardStreams",
+		"ShardIngested", "Uptime", "InstancesPerSec",
 	}
 	pos := -1
 	for _, key := range order {
@@ -119,6 +123,9 @@ func TestSnapshotPrometheus(t *testing.T) {
 		`rbmim_shard_ingested_total{shard="3"} 31000`,
 		"rbmim_subscribers 3",
 		"rbmim_subscriber_dropped_total 11",
+		"rbmim_subscribers_evicted_total 1",
+		"rbmim_inflight_high_water 16",
+		"rbmim_replies_coalesced_total 2048",
 		"rbmim_uptime_seconds 90",
 		"rbmim_checkpoints_total 88",
 	} {

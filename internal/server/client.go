@@ -15,138 +15,72 @@ import (
 	"rbmim/internal/monitor"
 )
 
-// ErrClientClosed is returned by Client methods after Close.
+// ErrClientClosed is returned by Client methods after Close. The error is
+// sticky: once Close (or a transport failure) kills the client, every later
+// call — including calls that were racing the Close — fails with the same
+// error instead of racing the connection teardown.
 var ErrClientClosed = errors.New("server: client closed")
 
-// Client speaks the driftserver wire protocol. One Client owns one TCP
-// connection plus connection-owned scratch buffers (encode payload, frame,
-// reply scanner), so steady-state Ingest/IngestBatch calls allocate
-// nothing: the 0 allocs/op hot path of the in-process Monitor survives the
-// network boundary. Requests on one Client are serialized (a mutex); use
-// one Client per producer goroutine for parallel ingestion, exactly like
-// the monitor's producers.
-type Client struct {
-	addr string
-
-	mu      sync.Mutex
-	nc      net.Conn
-	sc      *codec.FrameScanner
-	rd      codec.Reader
-	payload *codec.Buffer
-	frame   []byte
-	nextID  uint64
-	closed  bool
-}
-
-// Dial connects to a driftserver at addr ("host:port").
-func Dial(addr string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
-	}
-	return &Client{
-		addr:    addr,
-		nc:      nc,
-		sc:      codec.NewFrameScanner(nc),
-		payload: codec.NewBuffer(nil),
-	}, nil
-}
-
-// Close closes the connection. Subscriptions returned by Subscribe have
-// their own connections and are closed separately.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.nc.Close()
-}
-
-// begin starts a request payload (caller holds c.mu) and returns the buffer
-// to append operands to.
-func (c *Client) begin() *codec.Buffer {
-	c.nextID++
-	c.payload.Reset()
-	c.payload.U64(c.nextID)
-	return c.payload
-}
-
-// finish frames the pending request, writes it, and reads the matching
-// reply. On success the client's reader is positioned just after the echoed
-// request id, ready for reply operands.
-func (c *Client) finish(kind uint8) (replyKind uint8, err error) {
-	c.frame = codec.AppendFrame(c.frame[:0], kind, c.payload.Bytes())
-	if _, err := c.nc.Write(c.frame); err != nil {
-		return 0, fmt.Errorf("server: write: %w", err)
-	}
-	k, body, err := c.sc.Next()
-	if err != nil {
-		return 0, fmt.Errorf("server: reading reply: %w", err)
-	}
-	c.rd.Reset(body)
-	id := c.rd.U64()
-	if err := c.rd.Err(); err != nil {
-		return 0, err
-	}
-	if id != c.nextID {
-		return 0, fmt.Errorf("server: reply id %d does not match request %d", id, c.nextID)
-	}
-	return k, nil
-}
-
-// expectOK maps a reply kind to an error: OK is success, Error carries the
-// server's message, anything else is a protocol violation.
-func (c *Client) expectOK(kind uint8) error {
-	switch kind {
-	case codec.KindWireOK:
-		return nil
-	case codec.KindWireError:
-		msg := c.rd.Blob()
-		if c.rd.Err() != nil {
-			return c.rd.Err()
-		}
-		return fmt.Errorf("server: %s", msg)
-	default:
-		return fmt.Errorf("server: unexpected reply kind %d", kind)
-	}
-}
+// This file is the Client's request method set; the pipelined transport
+// underneath (slots, writer, reader, Pending) lives in pipeline.go and the
+// multi-connection ClientPool in mux.go. Every method is a thin shell over
+// the same four steps — acquire a window slot, build the request frame in
+// it, submit, await the matched reply — so the synchronous API and the
+// Async variants share one code path and the 0 allocs/op steady state.
 
 // Ingest sends one observation for one stream and waits for the ack. The
 // server applies the monitor's blocking backpressure, so a full shard queue
 // delays the reply rather than dropping data.
 func (c *Client) Ingest(streamID string, o detectors.Observation) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrClientClosed
-	}
-	b := c.begin()
-	b.Str(streamID)
-	encodeObs(b, o)
-	k, err := c.finish(codec.KindWireIngest)
+	p, err := c.IngestAsync(streamID, o)
 	if err != nil {
 		return err
 	}
-	return c.expectOK(k)
+	return p.Wait()
+}
+
+// IngestAsync sends one observation without waiting for its ack, returning a
+// Pending whose Wait delivers it. Up to Window() requests may be outstanding
+// before the call blocks on the in-flight window. Requests from one
+// goroutine reach the server in call order.
+func (c *Client) IngestAsync(streamID string, o detectors.Observation) (Pending, error) {
+	slot, err := c.acquire()
+	if err != nil {
+		return Pending{}, err
+	}
+	p := c.asyncAck(slot)
+	b := c.beginCall(slot, codec.KindWireIngest)
+	b.Str(streamID)
+	encodeObs(b, o)
+	c.submit(slot)
+	return p, nil
 }
 
 // IngestBatch sends a block of observations for one stream in a single
-// frame — one round trip, one server-side queue hop, one batched detector
-// update — and waits for the ack. Steady state allocates nothing on either
-// side. An empty block is a no-op.
+// frame — one server-side queue hop, one batched detector update — and
+// waits for the ack. Steady state allocates nothing on either side. An
+// empty block is a no-op.
 func (c *Client) IngestBatch(streamID string, obs []detectors.Observation) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrClientClosed
-	}
-	k, err := c.sendBatch(codec.KindWireIngestBatch, streamID, obs)
+	p, err := c.IngestBatchAsync(streamID, obs)
 	if err != nil {
 		return err
 	}
-	return c.expectOK(k)
+	return p.Wait()
+}
+
+// IngestBatchAsync is IngestBatch without waiting for the ack — the
+// pipelined bulk-load path: keep Window() batches in flight and the
+// connection streams frames back to back instead of idling a round trip
+// between blocks.
+func (c *Client) IngestBatchAsync(streamID string, obs []detectors.Observation) (Pending, error) {
+	slot, err := c.acquire()
+	if err != nil {
+		return Pending{}, err
+	}
+	p := c.asyncAck(slot)
+	c.encodeBatch(slot, codec.KindWireIngestBatch, streamID, obs)
+	c.submit(slot)
+	return p, nil
 }
 
 // TryIngestBatch is IngestBatch without blocking backpressure: a full shard
@@ -154,89 +88,100 @@ func (c *Client) IngestBatch(streamID string, obs []detectors.Observation) error
 // (false, nil) — the caller decides whether to retry, thin out, or drop,
 // exactly like Monitor.TryIngestBatch in process.
 func (c *Client) TryIngestBatch(streamID string, obs []detectors.Observation) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return false, ErrClientClosed
-	}
-	k, err := c.sendBatch(codec.KindWireTryIngestBatch, streamID, obs)
+	slot, err := c.acquire()
 	if err != nil {
 		return false, err
 	}
-	if k == codec.KindWireBusy {
+	c.encodeBatch(slot, codec.KindWireTryIngestBatch, streamID, obs)
+	c.submit(slot)
+	cl, err := c.await(slot)
+	if err != nil {
+		return false, err
+	}
+	if cl.replyKind == codec.KindWireBusy {
+		c.release(slot)
 		return false, nil
 	}
 	// Anything but OK (an Error reply, a protocol violation) means the batch
 	// was not accepted — mirror Monitor.TryIngestBatch's (false, err).
-	return k == codec.KindWireOK, c.expectOK(k)
+	err = c.ackErr(cl)
+	c.release(slot)
+	return err == nil, err
 }
 
-func (c *Client) sendBatch(kind uint8, streamID string, obs []detectors.Observation) (uint8, error) {
-	b := c.begin()
+func (c *Client) encodeBatch(slot uint32, kind uint8, streamID string, obs []detectors.Observation) {
+	b := c.beginCall(slot, kind)
 	b.Str(streamID)
 	b.U32(uint32(len(obs)))
 	for i := range obs {
 		encodeObs(b, obs[i])
 	}
-	return c.finish(kind)
 }
 
 // Evict asks the server to evict a stream (spilling its state to the
 // checkpoint store when one is configured). Like Monitor.Evict the removal
 // is asynchronous; FlushCheckpoints acts as the barrier.
 func (c *Client) Evict(streamID string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrClientClosed
-	}
-	c.begin().Str(streamID)
-	k, err := c.finish(codec.KindWireEvict)
+	slot, err := c.acquire()
 	if err != nil {
 		return err
 	}
-	return c.expectOK(k)
+	p := c.asyncAck(slot)
+	c.beginCall(slot, codec.KindWireEvict).Str(streamID)
+	c.submit(slot)
+	return p.Wait()
 }
 
 // FlushCheckpoints asks the server to process everything queued ahead of
 // the call and flush every dirty stream to the checkpoint store, returning
 // when the writes are durable (Monitor.FlushCheckpoints over the wire).
-// Without a configured store it is still a full processing barrier.
+// Without a configured store it is still a full processing barrier — and
+// because the server handles one connection's requests in order, it is also
+// a barrier for every request pipelined ahead of it on this connection.
 func (c *Client) FlushCheckpoints() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrClientClosed
-	}
-	c.begin()
-	k, err := c.finish(codec.KindWireFlush)
+	slot, err := c.acquire()
 	if err != nil {
 		return err
 	}
-	return c.expectOK(k)
+	p := c.asyncAck(slot)
+	c.beginCall(slot, codec.KindWireFlush)
+	c.submit(slot)
+	return p.Wait()
 }
 
-// Snapshot fetches the monitor's aggregate counters.
+// Snapshot fetches the monitor's aggregate counters, including the
+// server-side wire counters (InFlightHighWater, RepliesCoalesced) the
+// in-process monitor cannot know.
 func (c *Client) Snapshot() (monitor.Snapshot, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return monitor.Snapshot{}, ErrClientClosed
-	}
-	c.begin()
-	k, err := c.finish(codec.KindWireSnapshotReq)
+	slot, err := c.acquire()
 	if err != nil {
 		return monitor.Snapshot{}, err
 	}
-	if k != codec.KindWireSnapshot {
-		return monitor.Snapshot{}, c.expectOK(k)
-	}
-	data := c.rd.Blob()
-	if err := c.rd.Err(); err != nil {
+	c.beginCall(slot, codec.KindWireSnapshotReq)
+	c.submit(slot)
+	cl, err := c.await(slot)
+	if err != nil {
 		return monitor.Snapshot{}, err
 	}
+	if cl.replyKind != codec.KindWireSnapshot {
+		err := c.ackErr(cl)
+		c.release(slot)
+		if err == nil {
+			err = fmt.Errorf("server: unexpected snapshot reply kind %d", cl.replyKind)
+		}
+		return monitor.Snapshot{}, err
+	}
+	var rd codec.Reader
+	rd.Reset(cl.msg)
+	data := rd.Blob()
+	if rd.Err() != nil {
+		c.release(slot)
+		return monitor.Snapshot{}, rd.Err()
+	}
 	var sn monitor.Snapshot
-	if err := json.Unmarshal(data, &sn); err != nil {
+	err = json.Unmarshal(data, &sn)
+	c.release(slot)
+	if err != nil {
 		return monitor.Snapshot{}, fmt.Errorf("server: decoding snapshot: %w", err)
 	}
 	return sn, nil
@@ -257,8 +202,9 @@ type Subscription struct {
 }
 
 // Events returns the event channel. It is closed when the subscription is
-// closed, the server shuts down, or the connection fails; Err explains a
-// non-local close.
+// closed, the server shuts down, the server evicts this subscriber for
+// falling irrecoverably behind (monitor.Config.SubscriberEvictDrops), or
+// the connection fails; Err explains a non-local close.
 func (s *Subscription) Events() <-chan monitor.Event { return s.ch }
 
 // Err returns why the event channel closed: nil after a local Close or a
@@ -286,7 +232,9 @@ func (s *Subscription) Close() error {
 // monitor publishes. buffer sizes the server-side per-subscriber queue
 // (<= 0 selects the server's default): when this subscriber falls behind —
 // slow reader, slow link — events overflowing that queue are dropped for
-// this subscriber only and counted in Snapshot.SubscriberDropped.
+// this subscriber only and counted in Snapshot.SubscriberDropped (and, when
+// the server's monitor enables SubscriberEvictDrops, a subscriber that
+// keeps dropping is evicted: its event channel closes).
 func (c *Client) Subscribe(buffer int) (*Subscription, error) {
 	nc, err := net.Dial("tcp", c.addr)
 	if err != nil {

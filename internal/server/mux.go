@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+
+	"rbmim/internal/detectors"
+	"rbmim/internal/monitor"
+)
+
+// ClientPool fans many logical producers over a fixed set of pipelined
+// connections. Streams are routed to connections by the same consistent
+// hash the monitor uses for shard placement (monitor.ShardFor), which gives
+// the two properties that make a pool safe to put in front of the monitor:
+//
+//   - per-stream ordering: all of a stream's requests travel one connection,
+//     and the server handles one connection's requests in order, so a
+//     stream's observations reach its shard in send order — the pool is
+//     just another producer as far as the monitor's ordering-equivalence
+//     guarantee is concerned;
+//   - stable placement: growing or shrinking the pool moves only ~1/n of
+//     the streams to a different connection.
+//
+// N producer goroutines sharing one pool therefore look to the server like
+// K pipelined clients, multiplexing N ways of traffic into K×window
+// in-flight requests — connections stop being the unit of concurrency.
+// All methods are safe for concurrent use.
+type ClientPool struct {
+	clients []*Client
+}
+
+// DialPool opens conns pipelined connections to addr, each with the given
+// in-flight window (see DialWindow; conns < 1 and window < 1 select 1).
+func DialPool(addr string, conns, window int) (*ClientPool, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	p := &ClientPool{clients: make([]*Client, conns)}
+	for i := range p.clients {
+		c, err := DialWindow(addr, window)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("server: dialing pool connection %d: %w", i, err)
+		}
+		p.clients[i] = c
+	}
+	return p, nil
+}
+
+// Conns returns the pool's connection count.
+func (p *ClientPool) Conns() int { return len(p.clients) }
+
+// conn returns the connection that owns streamID.
+func (p *ClientPool) conn(streamID string) *Client {
+	return p.clients[monitor.ShardFor(streamID, len(p.clients))]
+}
+
+// Ingest routes one observation over the stream's connection and waits for
+// the ack (see Client.Ingest).
+func (p *ClientPool) Ingest(streamID string, o detectors.Observation) error {
+	return p.conn(streamID).Ingest(streamID, o)
+}
+
+// IngestAsync routes one observation over the stream's connection without
+// waiting (see Client.IngestAsync).
+func (p *ClientPool) IngestAsync(streamID string, o detectors.Observation) (Pending, error) {
+	return p.conn(streamID).IngestAsync(streamID, o)
+}
+
+// IngestBatch routes a block over the stream's connection and waits for the
+// ack (see Client.IngestBatch).
+func (p *ClientPool) IngestBatch(streamID string, obs []detectors.Observation) error {
+	return p.conn(streamID).IngestBatch(streamID, obs)
+}
+
+// IngestBatchAsync routes a block over the stream's connection without
+// waiting (see Client.IngestBatchAsync).
+func (p *ClientPool) IngestBatchAsync(streamID string, obs []detectors.Observation) (Pending, error) {
+	return p.conn(streamID).IngestBatchAsync(streamID, obs)
+}
+
+// TryIngestBatch routes a block over the stream's connection without
+// blocking backpressure (see Client.TryIngestBatch).
+func (p *ClientPool) TryIngestBatch(streamID string, obs []detectors.Observation) (bool, error) {
+	return p.conn(streamID).TryIngestBatch(streamID, obs)
+}
+
+// Evict routes the eviction over the stream's connection, behind any of the
+// stream's requests already pipelined there.
+func (p *ClientPool) Evict(streamID string) error {
+	return p.conn(streamID).Evict(streamID)
+}
+
+// FlushCheckpoints issues the flush on every connection, so it is a barrier
+// for requests pipelined ahead of it on all of them, then for the monitor
+// itself (Monitor.FlushCheckpoints semantics). It stops at the first error.
+func (p *ClientPool) FlushCheckpoints() error {
+	for _, c := range p.clients {
+		if err := c.FlushCheckpoints(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot fetches the monitor's aggregate counters over the pool's first
+// connection.
+func (p *ClientPool) Snapshot() (monitor.Snapshot, error) {
+	return p.clients[0].Snapshot()
+}
+
+// Subscribe opens a drift-event subscription (its own connection, outside
+// the pool's request pipelines) via the pool's first connection's dialer.
+func (p *ClientPool) Subscribe(buffer int) (*Subscription, error) {
+	return p.clients[0].Subscribe(buffer)
+}
+
+// Close closes every connection. In-flight requests on all of them receive
+// errors, never hangs; like Client.Close it is idempotent.
+func (p *ClientPool) Close() error {
+	for _, c := range p.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}

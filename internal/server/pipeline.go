@@ -1,0 +1,424 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"rbmim/internal/codec"
+)
+
+// Pipelined client core.
+//
+// The wire protocol already carries an echoed request id on every reply, so
+// nothing forces a client to stop-and-wait — it only did because the original
+// Client serialized begin/finish under a mutex. This file replaces that loop
+// with a window of W in-flight requests over one connection:
+//
+//	caller:  acquire slot -> build frame in the slot -> sendq
+//	writer:  drain sendq, register slots in flight, one writev per drain
+//	reader:  match each reply to the oldest in-flight slot, resolve the
+//	         ack and recycle the slot (ack-only requests) or park the
+//	         reply and signal the awaiting caller (payload requests)
+//
+// Slots are the unit of everything: each of the W slots owns its request
+// frame buffer, its reply scratch, and its completion channel, so a caller
+// holding a slot builds and consumes in place and the steady state allocates
+// nothing. The slot index travels through three uint32 channels — free,
+// sendq, inflight — whose combined capacity W makes every send non-blocking
+// and makes `free` double as the window semaphore: when W requests are
+// outstanding the next acquire parks until a reply releases a slot
+// (backpressure, not unbounded queueing).
+//
+// Request ids encode gen<<32|slot, where gen increments on every slot reuse:
+// the reader can therefore verify not just "some id I know" but "the id of
+// the exact call occupying this slot right now", catching a server that
+// echoes a stale or foreign id. Because the server replies strictly in
+// request order per connection and the writer registers a slot in `inflight`
+// before its bytes reach the socket, the oldest element of `inflight` is
+// always the reply's rightful owner — a reply with no registered slot is a
+// protocol violation, not a race.
+//
+// Failures are sticky and total: transport errors, protocol violations, and
+// Close all funnel through fail(), which records the first error, closes the
+// `dead` channel, and closes the socket. Every waiter — callers parked on
+// acquire or on a completion, the writer, the reader — selects on `dead`, so
+// a mid-window crash errors all pending calls instead of hanging any of
+// them, and every later method call returns the sticky error immediately.
+
+// DefaultWindow is the in-flight window Dial selects: deep enough that a
+// single producer saturates the server's request loop, small enough that a
+// stalled server applies backpressure within a few hundred KiB of frames.
+const DefaultWindow = 32
+
+// call is one slot of the pipeline window: the request frame under
+// construction, the identity check for its reply, and the reply itself.
+type call struct {
+	frame codec.Buffer  // complete framed request (BeginFrame/EndFrame)
+	mark  int           // EndFrame mark while the frame is being built
+	gen   uint32        // reuse generation; request id = gen<<32|slot
+	done  chan struct{} // cap 1; reader signals reply arrival
+
+	// ack, when non-nil, marks an ack-only request (the Async ingest paths,
+	// Evict, FlushCheckpoints): the reader resolves the ack itself and
+	// releases the slot immediately instead of parking the reply for await.
+	ack *pendingAck
+
+	// Reply, owned by the reader until done is signalled, then by the
+	// caller until release: the kind and the payload after the echoed id,
+	// copied out of the scanner's reused buffer.
+	replyKind uint8
+	msg       []byte
+}
+
+// pendingAck decouples an ack-only request's completion from its window
+// slot. The reader interprets the reply and releases the slot the moment it
+// lands, so a window slot is never held hostage by a caller that has not
+// called Wait yet. Without this, a producer blocked in acquire on one pool
+// connection while holding completed-but-unwaited Pendings on another could
+// deadlock the window (hold-and-wait across connections) — with it, slots
+// recycle as fast as the server replies, no matter when Wait runs. Cells
+// are pooled; Wait returns them.
+type pendingAck struct {
+	err chan error // cap 1; the reader delivers exactly one ack
+}
+
+var ackPool = sync.Pool{New: func() any { return &pendingAck{err: make(chan error, 1)} }}
+
+// Client speaks the driftserver wire protocol over one TCP connection with a
+// pipelined in-flight window (see the package comment above and Dial /
+// DialWindow). All methods are safe for concurrent use; calls from one
+// goroutine are delivered in order, and the synchronous methods still behave
+// exactly like the serial client's. After Close — or after any transport or
+// protocol failure — every method returns the same sticky error.
+type Client struct {
+	addr   string
+	nc     net.Conn
+	window int
+
+	calls    []call
+	free     chan uint32 // released slots; doubles as the window semaphore
+	sendq    chan uint32 // built frames awaiting the writer
+	inflight chan uint32 // written (or about to be) frames awaiting replies
+	dead     chan struct{}
+	deadOnce sync.Once
+
+	errMu sync.Mutex
+	err   error // first failure wins; ErrClientClosed after a clean Close
+
+	wg sync.WaitGroup
+}
+
+// Dial connects to a driftserver at addr ("host:port") with the default
+// in-flight window.
+func Dial(addr string) (*Client, error) { return DialWindow(addr, DefaultWindow) }
+
+// DialWindow connects with an explicit in-flight window: up to window
+// requests may be outstanding before the next call blocks. window 1
+// degenerates to the serial stop-and-wait client.
+func DialWindow(addr string, window int) (*Client, error) {
+	if window < 1 {
+		window = 1
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	c := newPipelined(addr, nc, window)
+	return c, nil
+}
+
+// newPipelined wires the pipeline core around an established connection
+// (split from DialWindow so tests can run the core over a net.Pipe).
+func newPipelined(addr string, nc net.Conn, window int) *Client {
+	c := &Client{
+		addr:     addr,
+		nc:       nc,
+		window:   window,
+		calls:    make([]call, window),
+		free:     make(chan uint32, window),
+		sendq:    make(chan uint32, window),
+		inflight: make(chan uint32, window),
+		dead:     make(chan struct{}),
+	}
+	for i := range c.calls {
+		c.calls[i].gen = 1 // ids start nonzero; 0 marks server pushes
+		c.calls[i].done = make(chan struct{}, 1)
+		c.free <- uint32(i)
+	}
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// Window returns the client's in-flight window.
+func (c *Client) Window() int { return c.window }
+
+// Close fails the pipeline with ErrClientClosed (first error wins: a client
+// that already died of a transport error keeps reporting that), closes the
+// connection, and waits for the writer and reader to exit. It is idempotent
+// and safe to call concurrently with in-flight requests — those requests'
+// callers all receive an error, never a hang. Subscriptions returned by
+// Subscribe have their own connections and are closed separately.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// fail records the first error, marks the client dead, and closes the socket
+// so goroutines parked in Read/Write error out.
+func (c *Client) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+	c.deadOnce.Do(func() { close(c.dead) })
+	c.nc.Close()
+}
+
+// sticky returns the error that killed the client.
+func (c *Client) sticky() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// acquire claims a free slot, parking when the full window is in flight.
+func (c *Client) acquire() (uint32, error) {
+	select {
+	case slot := <-c.free:
+		return slot, nil
+	case <-c.dead:
+		return 0, c.sticky()
+	}
+}
+
+// beginCall starts building the request frame in a claimed slot and returns
+// the buffer to append operands to.
+func (c *Client) beginCall(slot uint32, kind uint8) *codec.Buffer {
+	cl := &c.calls[slot]
+	cl.frame.Reset()
+	cl.mark = cl.frame.BeginFrame(kind)
+	cl.frame.U64(uint64(cl.gen)<<32 | uint64(slot))
+	return &cl.frame
+}
+
+// submit seals the slot's frame and hands it to the writer. The send never
+// blocks: sendq's capacity is the window and a slot is in at most one of
+// free/sendq/inflight at a time.
+func (c *Client) submit(slot uint32) {
+	cl := &c.calls[slot]
+	cl.frame.EndFrame(cl.mark)
+	c.sendq <- slot
+}
+
+// await parks until the slot's reply arrives or the client dies. On death a
+// reply that had already landed still wins — the call genuinely completed.
+func (c *Client) await(slot uint32) (*call, error) {
+	cl := &c.calls[slot]
+	select {
+	case <-cl.done:
+		return cl, nil
+	case <-c.dead:
+		select {
+		case <-cl.done:
+			return cl, nil
+		default:
+			// The slot is deliberately not recycled: the client is dead and
+			// the reader may still be about to write into it.
+			return nil, c.sticky()
+		}
+	}
+}
+
+// release returns a consumed slot to the free list, bumping its generation
+// so a stale reply addressed to the previous occupant can never match.
+func (c *Client) release(slot uint32) {
+	c.calls[slot].gen++
+	c.free <- slot
+}
+
+// writeLoop drains the send queue and writes frames to the socket, batching
+// whatever is queued into a single vector write (writev) so W pipelined
+// requests cost ~1 syscall instead of W. A slot is registered in `inflight`
+// before its bytes can reach the wire, so by the time the server's reply
+// arrives the reader is guaranteed to find the owner at the head of the
+// queue.
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	// bufs is the master backing array; wv (the net.Buffers WriteTo consumes
+	// and advances) is a copy of its header, so the master keeps its
+	// capacity across rounds. wv lives outside the loop because WriteTo's
+	// pointer receiver makes it escape — one heap cell for the goroutine's
+	// lifetime instead of one allocation per vector write.
+	bufs := make(net.Buffers, 0, c.window)
+	var wv net.Buffers
+	for {
+		var slot uint32
+		select {
+		case slot = <-c.sendq:
+		case <-c.dead:
+			return
+		}
+		c.inflight <- slot
+		bufs = append(bufs[:0], c.calls[slot].frame.Bytes())
+	coalesce:
+		for len(bufs) < c.window {
+			select {
+			case s := <-c.sendq:
+				c.inflight <- s
+				bufs = append(bufs, c.calls[s].frame.Bytes())
+			default:
+				break coalesce
+			}
+		}
+		var err error
+		if len(bufs) == 1 {
+			_, err = c.nc.Write(bufs[0])
+		} else {
+			wv = bufs
+			_, err = wv.WriteTo(c.nc)
+		}
+		if err != nil {
+			c.fail(fmt.Errorf("server: write: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop matches replies to in-flight slots. The server replies strictly
+// in request order per connection, so the oldest registered slot owns the
+// next reply; the echoed id (gen<<32|slot) is verified against the slot's
+// current occupant, making a mismatched, stale, or unsolicited reply a
+// connection-fatal protocol error rather than silent corruption.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	sc := codec.NewFrameScanner(c.nc)
+	var rd codec.Reader
+	for {
+		kind, body, err := sc.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("server: reading reply: %w", err))
+			return
+		}
+		var slot uint32
+		select {
+		case slot = <-c.inflight:
+		default:
+			c.fail(errors.New("server: unsolicited reply with no request in flight"))
+			return
+		}
+		cl := &c.calls[slot]
+		rd.Reset(body)
+		id := rd.U64()
+		if rd.Err() != nil {
+			c.fail(fmt.Errorf("server: bad reply frame: %v", rd.Err()))
+			return
+		}
+		if want := uint64(cl.gen)<<32 | uint64(slot); id != want {
+			c.fail(fmt.Errorf("server: reply id %#x does not match in-flight request %#x", id, want))
+			return
+		}
+		if ack := cl.ack; ack != nil {
+			// Ack-only request: interpret the reply here, recycle the slot
+			// now (eager window release — see pendingAck), then deliver.
+			cl.ack = nil
+			err := ackErrWire(kind, body[8:])
+			c.release(slot)
+			ack.err <- err
+			continue
+		}
+		// Copy the reply payload out of the scanner's reused buffer before
+		// the next Next() overwrites it. OK/Busy replies carry nothing, so
+		// the hot path copies zero bytes.
+		cl.replyKind = kind
+		cl.msg = append(cl.msg[:0], body[8:]...)
+		cl.done <- struct{}{}
+	}
+}
+
+// Pending is the handle of an asynchronous request (IngestAsync /
+// IngestBatchAsync): the request is on the wire (or queued behind the
+// window); Wait parks until its ack. The window slot is released by the
+// reader the moment the reply lands — a Pending that has not been waited
+// yet never blocks other requests. Wait must still be called exactly once
+// per Pending (it consumes the ack and recycles its cell). The zero
+// Pending is invalid.
+type Pending struct {
+	c   *Client
+	ack *pendingAck
+}
+
+// Wait blocks until the request's reply arrives and returns the ack error
+// (nil for OK, the server's message for Error, the sticky client error if
+// the connection died mid-window).
+func (p Pending) Wait() error {
+	if p.c == nil || p.ack == nil {
+		return errors.New("server: Wait on zero Pending")
+	}
+	select {
+	case err := <-p.ack.err:
+		ackPool.Put(p.ack)
+		return err
+	case <-p.c.dead:
+		// An ack that had already landed still wins — the call genuinely
+		// completed.
+		select {
+		case err := <-p.ack.err:
+			ackPool.Put(p.ack)
+			return err
+		default:
+			// The reader died before resolving this ack. The cell is
+			// abandoned rather than pooled: the reader may have been
+			// mid-delivery when it was killed.
+			return p.c.sticky()
+		}
+	}
+}
+
+// asyncAck attaches a pooled ack cell to a claimed slot (before submit, so
+// the reader cannot race it) and returns the caller's Pending handle.
+func (c *Client) asyncAck(slot uint32) Pending {
+	ack := ackPool.Get().(*pendingAck)
+	c.calls[slot].ack = ack
+	return Pending{c: c, ack: ack}
+}
+
+// ackErr interprets a parked reply for a request that expects a bare OK.
+func (c *Client) ackErr(cl *call) error {
+	return ackErrWire(cl.replyKind, cl.msg)
+}
+
+// ackErrWire interprets a bare-OK reply straight from the wire: nil for OK,
+// the server's message for Error. Allocates only on the error path.
+func ackErrWire(kind uint8, payload []byte) error {
+	switch kind {
+	case codec.KindWireOK:
+		return nil
+	case codec.KindWireError:
+		var rd codec.Reader
+		rd.Reset(payload)
+		msg := rd.Blob()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		return fmt.Errorf("server: %s", msg)
+	default:
+		return fmt.Errorf("server: unexpected reply kind %d", kind)
+	}
+}
+
+// maxUint64 raises a to at least v (atomic high-water mark).
+func maxUint64(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// allocation-count tests skip under it (the instrumentation itself
+// allocates).
+const raceEnabled = false

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rbmim/internal/codec"
@@ -73,6 +75,13 @@ type Server struct {
 	closed    bool
 	closeDone chan struct{}
 	wg        sync.WaitGroup
+
+	// Wire-path counters, overlaid onto Snapshot replies and /metrics (the
+	// in-process monitor cannot know them): the deepest per-connection
+	// pipeline observed, and frames (replies and event pushes) that rode a
+	// preceding frame's socket write instead of costing their own.
+	inflightHW       atomic.Uint64
+	repliesCoalesced atomic.Uint64
 }
 
 // New builds a Server and starts serving immediately (accept loop and, when
@@ -104,7 +113,7 @@ func New(cfg Config) (*Server, error) {
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			cfg.Monitor.Snapshot().WritePrometheus(w)
+			s.wireSnapshot().WritePrometheus(w)
 		})
 		s.httpLn = hln
 		s.httpSv = &http.Server{Handler: mux}
@@ -211,16 +220,26 @@ func (s *Server) forget(nc net.Conn) {
 	s.mu.Unlock()
 }
 
+// wireSnapshot is the monitor snapshot with the server-owned wire counters
+// overlaid — the view the Snapshot reply and /metrics expose.
+func (s *Server) wireSnapshot() monitor.Snapshot {
+	sn := s.cfg.Monitor.Snapshot()
+	sn.InFlightHighWater = s.inflightHW.Load()
+	sn.RepliesCoalesced = s.repliesCoalesced.Load()
+	return sn
+}
+
 // connHandler is one connection's state: the frame scanner and scratch
 // buffers are connection-owned and reused across requests, so the
 // steady-state request loop performs zero allocations.
 type connHandler struct {
-	s       *Server
-	nc      net.Conn
-	rd      codec.Reader
-	payload *codec.Buffer // reply payload scratch
-	frame   []byte        // framed reply scratch
-	json    []byte        // snapshot JSON scratch
+	s    *Server
+	nc   net.Conn
+	br   *bufio.Reader // buffered socket read side; Buffered() drives flush-on-idle
+	rd   codec.Reader
+	out  *codec.Buffer // coalesced reply frames awaiting one socket write
+	outN int           // reply frames currently buffered in out
+	json []byte        // snapshot JSON scratch
 
 	// Pooled batch-decode slabs: slabObs views slabF exactly like the
 	// monitor's internal batchBuf, and both are reusable the moment
@@ -241,19 +260,39 @@ type connHandler struct {
 
 const maxInternedNames = 4096
 
+// replyFlushBytes caps how many coalesced reply bytes may sit unwritten:
+// past it the buffer is flushed even with more requests pending, bounding
+// both reply latency under a saturating pipeline and the buffer's size.
+const replyFlushBytes = 16 << 10
+
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
 	defer s.forget(nc)
 	defer nc.Close()
-	sc := codec.NewFrameScanner(nc)
+	// Replies are coalesced and flushed on idle: while more requests are
+	// already buffered on the read side, their replies pile into h.out and
+	// go out in one write. A pipelined client's W-deep window then costs ~1
+	// reply syscall per drain instead of W, and the serial client is
+	// unaffected (its read side is always idle after one request, so every
+	// reply flushes immediately). This cannot deadlock: clients write whole
+	// frames before blocking on their window, so an empty read buffer means
+	// the peer is waiting on us, and that is exactly when we flush.
+	br := bufio.NewReaderSize(nc, 32<<10)
+	sc := codec.NewFrameScanner(br)
 	sc.LimitPayload(s.cfg.MaxFrame)
 	h := &connHandler{
-		s:       s,
-		nc:      nc,
-		payload: codec.NewBuffer(nil),
-		names:   make(map[string]string),
+		s:     s,
+		nc:    nc,
+		br:    br,
+		out:   codec.NewBuffer(nil),
+		names: make(map[string]string),
 	}
 	for {
+		if h.outN > 0 && br.Buffered() == 0 {
+			if !h.flushReplies() {
+				break
+			}
+		}
 		kind, payload, err := sc.Next()
 		if err != nil {
 			// Clean close, peer death, framing corruption, or our own
@@ -264,6 +303,9 @@ func (s *Server) handle(nc net.Conn) {
 			break
 		}
 	}
+	// Teardown flush: a buffered Error reply (bad request, unknown kind)
+	// must still reach the peer before the socket closes under it.
+	h.flushReplies()
 	if h.sub != nil {
 		h.sub.Close()
 		<-h.pumpDone
@@ -282,6 +324,8 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 	if h.rd.Err() != nil {
 		return false // no id to address an Error reply to
 	}
+	// In-flight accounting: the replies still buffered plus this request.
+	maxUint64(&h.s.inflightHW, uint64(h.outN)+1)
 	m := h.s.cfg.Monitor
 	switch kind {
 	case codec.KindWireIngest:
@@ -331,12 +375,14 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		if err != nil {
 			return h.replyErr(id, err.Error())
 		}
-		if !h.reply(id, codec.KindWireOK) {
+		// The pump goroutine owns the write side of the socket from here, so
+		// the OK — and any replies coalesced behind it — must be flushed
+		// before it starts; this goroutine then only watches for EOF (see
+		// handle).
+		if !h.reply(id, codec.KindWireOK) || !h.flushReplies() {
 			sub.Close()
 			return false
 		}
-		// From here the pump goroutine owns the write side of the socket;
-		// this goroutine only watches for EOF (see handle).
 		h.sub = sub
 		h.pumpDone = make(chan struct{})
 		go h.pump()
@@ -346,12 +392,12 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		if h.rd.Done() != nil {
 			return h.replyErr(id, "bad snapshot payload")
 		}
-		h.json = m.Snapshot().AppendJSON(h.json[:0])
-		h.payload.Reset()
-		h.payload.U64(id)
-		h.payload.U32(uint32(len(h.json)))
-		h.payload.Write(h.json)
-		return h.write(codec.KindWireSnapshot)
+		h.json = h.s.wireSnapshot().AppendJSON(h.json[:0])
+		mark := h.out.BeginFrame(codec.KindWireSnapshot)
+		h.out.U64(id)
+		h.out.U32(uint32(len(h.json)))
+		h.out.Write(h.json)
+		return h.endReply(mark)
 
 	case codec.KindWireEvict:
 		sid, ok := h.streamID()
@@ -434,47 +480,115 @@ func (h *connHandler) decodeBatch() (string, []detectors.Observation, bool) {
 	return sid, obs, true
 }
 
-// reply sends a payload-less reply (OK / Busy) carrying the request id.
+// reply buffers a payload-less reply (OK / Busy) carrying the request id.
 func (h *connHandler) reply(id uint64, kind uint8) bool {
-	h.payload.Reset()
-	h.payload.U64(id)
-	return h.write(kind)
+	mark := h.out.BeginFrame(kind)
+	h.out.U64(id)
+	return h.endReply(mark)
 }
 
-// replyErr sends an Error reply with a message; the connection stays open
+// replyErr buffers an Error reply with a message; the connection stays open
 // (the framing is intact, only the request was bad).
 func (h *connHandler) replyErr(id uint64, msg string) bool {
-	h.payload.Reset()
-	h.payload.U64(id)
-	h.payload.Str(msg)
-	return h.write(codec.KindWireError)
+	mark := h.out.BeginFrame(codec.KindWireError)
+	h.out.U64(id)
+	h.out.Str(msg)
+	return h.endReply(mark)
 }
 
-// write frames h.payload and writes it in one Write call.
-func (h *connHandler) write(kind uint8) bool {
-	h.frame = codec.AppendFrame(h.frame[:0], kind, h.payload.Bytes())
-	_, err := h.nc.Write(h.frame)
+// endReply seals a reply frame begun in h.out. Replies normally stay
+// buffered until the flush-on-idle point in handle; past replyFlushBytes
+// the buffer is flushed here to bound latency and memory.
+func (h *connHandler) endReply(mark int) bool {
+	h.out.EndFrame(mark)
+	h.outN++
+	if h.out.Len() >= replyFlushBytes {
+		return h.flushReplies()
+	}
+	return true
+}
+
+// flushReplies writes every buffered reply frame in one socket write,
+// crediting the frames beyond the first as coalesced (syscalls saved).
+func (h *connHandler) flushReplies() bool {
+	if h.outN == 0 {
+		return true
+	}
+	if h.outN > 1 {
+		h.s.repliesCoalesced.Add(uint64(h.outN - 1))
+	}
+	_, err := h.nc.Write(h.out.Bytes())
+	h.out.Reset()
+	h.outN = 0
 	return err == nil
 }
+
+// pumpBatch bounds how many queued events one pump iteration coalesces into
+// a single vector write.
+const pumpBatch = 64
 
 // pump streams the connection's subscription to the socket. It owns its own
 // scratch (the request loop no longer writes once a subscription exists)
 // and exits when the subscription channel closes — via Subscription.Close
-// on connection teardown, or via Monitor.Close.
+// on connection teardown, via monitor-side slow-subscriber eviction, or via
+// Monitor.Close. A drift burst that queues faster than one event per write
+// is drained in batches: the frames are encoded back to back in one buffer
+// and pushed with a single vector write (writev), so fan-out under load
+// costs ~1 syscall per drain instead of per event.
 func (h *connHandler) pump() {
 	defer close(h.pumpDone)
 	defer h.nc.Close() // wake the request loop if it outlives us
 	b := codec.NewBuffer(nil)
-	var frame []byte
-	for ev := range h.sub.Events() {
-		b.Reset()
+	// frames is the master net.Buffers backing; the header copy handed to
+	// WriteTo is consumed/advanced, the master keeps its capacity. wv lives
+	// out here because WriteTo's pointer receiver makes it escape — one heap
+	// cell per pump instead of one allocation per vector write.
+	frames := make(net.Buffers, 0, pumpBatch)
+	var wv net.Buffers
+	offs := make([]int, 0, pumpBatch+1)
+	encode := func(ev monitor.Event) {
+		mark := b.BeginFrame(codec.KindWireEvent)
 		b.U64(0) // events are pushes, not replies
 		b.Str(ev.StreamID)
 		b.U64(ev.Seq)
 		b.I64(ev.At.UnixNano())
 		b.Ints(ev.Classes)
-		frame = codec.AppendFrame(frame[:0], codec.KindWireEvent, b.Bytes())
-		if _, err := h.nc.Write(frame); err != nil {
+		b.EndFrame(mark)
+		offs = append(offs, b.Len())
+	}
+	for ev := range h.sub.Events() {
+		b.Reset()
+		offs = append(offs[:0], 0)
+		encode(ev)
+	coalesce:
+		for len(offs) <= pumpBatch {
+			select {
+			case next, ok := <-h.sub.Events():
+				if !ok {
+					break coalesce // flush what we have; the outer range ends too
+				}
+				encode(next)
+			default:
+				break coalesce
+			}
+		}
+		n := len(offs) - 1
+		var err error
+		if n == 1 {
+			_, err = h.nc.Write(b.Bytes())
+		} else {
+			all := b.Bytes()
+			frames = frames[:0]
+			for i := 0; i < n; i++ {
+				frames = append(frames, all[offs[i]:offs[i+1]])
+			}
+			wv = frames
+			_, err = wv.WriteTo(h.nc)
+			if err == nil {
+				h.s.repliesCoalesced.Add(uint64(n - 1))
+			}
+		}
+		if err != nil {
 			// Peer gone: detach so the monitor stops queueing for us, and
 			// drain what it already queued so the channel close can proceed.
 			h.sub.Close()

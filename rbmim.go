@@ -281,7 +281,18 @@ type (
 	// ClientSubscription is a server-pushed drift-event stream on its own
 	// connection (Client.Subscribe).
 	ClientSubscription = server.Subscription
+	// ClientPending is the handle of an asynchronous pipelined request
+	// (Client.IngestAsync / Client.IngestBatchAsync); Wait must be called
+	// exactly once.
+	ClientPending = server.Pending
+	// ClientPool fans many logical streams over a fixed set of pipelined
+	// connections with consistent-hash stream-to-connection affinity, so
+	// per-stream ordering survives the multiplexing.
+	ClientPool = server.ClientPool
 )
+
+// DefaultClientWindow is the in-flight request window Dial selects.
+const DefaultClientWindow = server.DefaultWindow
 
 // NewServer builds a Server and starts serving immediately. The server
 // borrows the Monitor: Server.Close tears down only the network side, and
@@ -291,6 +302,19 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Dial connects a Client to a driftserver at addr ("host:port").
 func Dial(addr string) (*Client, error) { return server.Dial(addr) }
+
+// DialWindow connects a Client with an explicit in-flight request window: up
+// to window requests may be outstanding (Client.IngestAsync /
+// Client.IngestBatchAsync) before the next call blocks. Window 1 degenerates
+// to a serial stop-and-wait client.
+func DialWindow(addr string, window int) (*Client, error) { return server.DialWindow(addr, window) }
+
+// DialPool opens conns pipelined connections to addr, each with the given
+// in-flight window, and multiplexes streams across them by consistent
+// hashing of the stream ID.
+func DialPool(addr string, conns, window int) (*ClientPool, error) {
+	return server.DialPool(addr, conns, window)
+}
 
 // ErrClientClosed is returned by Client methods after Client.Close.
 var ErrClientClosed = server.ErrClientClosed
