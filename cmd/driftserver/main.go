@@ -11,7 +11,7 @@
 //	            [-addr 127.0.0.1:7365] [-http 127.0.0.1:7366]
 //	            [-shards N] [-queue 4096] [-seed 7]
 //	            [-checkpoint mem|DIR] [-ckptint 30s] [-idlettl 0]
-//	            [-subevict 0]
+//	            [-subevict 0] [-shed 0.9] [-dedupwindow 1024] [-sessions 1024]
 //
 // With -checkpoint DIR the per-stream detector states live in a filesystem
 // store: a killed server restarted against the same directory rehydrates
@@ -46,6 +46,9 @@ func main() {
 	idleTTL := flag.Duration("idlettl", 0, "evict streams idle for this long (0 disables; evicted state spills to the store)")
 	maxFrame := flag.Int("maxframe", 0, "maximum request frame payload in bytes (default 16 MiB)")
 	subEvict := flag.Int("subevict", 0, "evict a subscriber after this many dropped events (0 = drop-only, never evict)")
+	shed := flag.Float64("shed", 0, "overload shedding high water as a fraction of shard queue capacity (0 disables; e.g. 0.9)")
+	dedupWindow := flag.Int("dedupwindow", 0, "exactly-once dedup window per (session, stream) in sequence numbers (default 1024; negative disables)")
+	sessions := flag.Int("sessions", 0, "maximum client sessions tracked for dedup before LRU eviction (default 1024)")
 	flag.Parse()
 
 	var ckpt rbmim.CheckpointConfig
@@ -72,10 +75,13 @@ func main() {
 		fail(err)
 	}
 	srv, err := rbmim.NewServer(rbmim.ServerConfig{
-		Monitor:  m,
-		Addr:     *addr,
-		HTTPAddr: *httpAddr,
-		MaxFrame: *maxFrame,
+		Monitor:       m,
+		Addr:          *addr,
+		HTTPAddr:      *httpAddr,
+		MaxFrame:      *maxFrame,
+		ShedHighWater: *shed,
+		DedupWindow:   *dedupWindow,
+		MaxSessions:   *sessions,
 	})
 	if err != nil {
 		fail(err)

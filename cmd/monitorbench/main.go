@@ -13,6 +13,8 @@
 //	             [-batch 256] [-json BENCH_monitor.json]
 //	             [-checkpoint mem|DIR] [-ckptint 500ms]
 //	             [-remote ADDR] [-clients N] [-conns K] [-inflight W] [-churn S]
+//	             [-retry] [-chaosreset N] [-chaosdelay D] [-chaosdup P]
+//	             [-chaosdrop P] [-chaosseed S]
 //
 // With -drift every stream undergoes a sudden concept change halfway
 // through, so the drift-event column should be non-zero for most streams.
@@ -58,6 +60,19 @@
 // Sweeping -clients x -inflight is the saturation experiment in
 // EXPERIMENTS.md: obs/s as a function of offered concurrency and window
 // depth.
+//
+// The degraded-network knobs: -retry dials every sender with the default
+// retry policy (reconnect with backoff, busy retries, stall watchdog), and
+// any non-zero -chaos* flag interposes the internal/chaos fault proxy
+// between the senders and the server — -chaosreset N hard-resets each
+// connection after ~N frames, -chaosdelay adds a per-frame forwarding
+// delay, -chaosdup and -chaosdrop duplicate/drop frames with the given
+// probability, -chaosseed fixes the fault schedule. A chaos run forces the
+// retry policy on, prints the proxy's injection tally alongside the
+// client's reconnect count and the server's dedup/shed deltas, and still
+// enforces the exact-conservation exit check — plus, under -chaosreset, a
+// ≥ 1 reconnect check so the resilience claim is never vacuously green.
+// The control connection (snapshots, flush barrier) bypasses the proxy.
 package main
 
 import (
@@ -73,6 +88,7 @@ import (
 	"time"
 
 	"rbmim"
+	"rbmim/internal/chaos"
 	"rbmim/internal/synth"
 )
 
@@ -94,6 +110,12 @@ func main() {
 	conns := flag.Int("conns", 0, "remote mode: multiplex all clients over a pool of this many pipelined connections (0 = one connection per client)")
 	inflight := flag.Int("inflight", 1, "remote mode: pipelined in-flight requests per connection (1 = serial)")
 	churn := flag.Int("churn", 0, "remote mode: subscriber churners connecting/draining/disconnecting for the whole run")
+	retry := flag.Bool("retry", false, "remote mode: dial with the default retry policy (reconnect, backoff, busy retries)")
+	chaosReset := flag.Int("chaosreset", 0, "remote mode: fault proxy hard-resets each connection after ~this many frames (0 disables)")
+	chaosDelay := flag.Duration("chaosdelay", 0, "remote mode: fault-proxy per-frame forwarding delay")
+	chaosDup := flag.Float64("chaosdup", 0, "remote mode: fault-proxy frame duplication probability")
+	chaosDrop := flag.Float64("chaosdrop", 0, "remote mode: fault-proxy frame drop probability")
+	chaosSeed := flag.Int64("chaosseed", 1, "remote mode: fault-proxy schedule seed")
 	procsList := flag.String("procs", "", "comma-separated GOMAXPROCS values to sweep (multi-core scaling mode; default: current setting only)")
 	flag.Parse()
 
@@ -116,7 +138,9 @@ func main() {
 	if *remote != "" {
 		opts := remoteOpts{
 			clients: *clients, conns: *conns, inflight: *inflight,
-			batch: *batch, churn: *churn, addr: *remote,
+			batch: *batch, churn: *churn, addr: *remote, retry: *retry,
+			chaosReset: *chaosReset, chaosDelay: *chaosDelay,
+			chaosDup: *chaosDup, chaosDrop: *chaosDrop, chaosSeed: *chaosSeed,
 		}
 		if opts.clients <= 0 {
 			opts.clients = *producers
@@ -129,6 +153,9 @@ func main() {
 			Classes: *classes, Producers: opts.clients, Drift: *drift,
 			GOMAXPROCS: runtime.GOMAXPROCS(0), Remote: *remote,
 			Conns: opts.conns, Inflight: opts.inflight, Churn: opts.churn,
+			Retry: opts.retry || opts.chaosEnabled(), ChaosReset: opts.chaosReset,
+			ChaosDelayMS: float64(opts.chaosDelay.Microseconds()) / 1000,
+			ChaosDup:     opts.chaosDup, ChaosDrop: opts.chaosDrop,
 		})
 		return
 	}
@@ -244,6 +271,14 @@ type runConfig struct {
 	Conns    int `json:"conns,omitempty"`
 	Inflight int `json:"inflight,omitempty"`
 	Churn    int `json:"churn,omitempty"`
+	// Retry and the Chaos* fields record degraded-network runs: the client's
+	// retry policy and the fault-proxy schedule (see internal/chaos), so
+	// clean and degraded rows in the trajectory stay distinguishable.
+	Retry        bool    `json:"retry,omitempty"`
+	ChaosReset   int     `json:"chaos_reset,omitempty"`
+	ChaosDelayMS float64 `json:"chaos_delay_ms,omitempty"`
+	ChaosDup     float64 `json:"chaos_dup,omitempty"`
+	ChaosDrop    float64 `json:"chaos_drop,omitempty"`
 }
 
 type runRow struct {
@@ -298,6 +333,20 @@ type remoteOpts struct {
 	batch    int
 	churn    int // subscriber churners
 	addr     string
+	retry    bool // dial with the default retry policy
+
+	// The -chaos* fault-proxy knobs; any non-zero fault interposes the
+	// proxy and forces the retry policy on (a faulted run without retries
+	// just fails).
+	chaosReset int
+	chaosDelay time.Duration
+	chaosDup   float64
+	chaosDrop  float64
+	chaosSeed  int64
+}
+
+func (o remoteOpts) chaosEnabled() bool {
+	return o.chaosReset > 0 || o.chaosDelay > 0 || o.chaosDup > 0 || o.chaosDrop > 0
 }
 
 // runRemoteMode is the -remote loadgen path: it drives a running
@@ -318,6 +367,12 @@ func runRemoteMode(workload []workloadStream, opts remoteOpts, jsonPath string, 
 	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s  [%s]\n",
 		res.sn.Shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
 		res.drifts, res.streams, res.balance, wire)
+	if res.faults != nil {
+		f := res.faults
+		fmt.Printf("chaos: conns=%d frames=%d dropped=%d duplicated=%d resets=%d blackholed=%d  reconnects=%d dedup_hits=%d shedded=%d\n",
+			f.Conns, f.Frames, f.Dropped, f.Duplicated, f.Resets, f.Blackholed,
+			res.reconnects, res.dedupHits, res.shedded)
+	}
 	if jsonPath != "" {
 		rec := runRecord{
 			Generated: time.Now().UTC().Format(time.RFC3339),
@@ -342,6 +397,12 @@ func runRemoteMode(workload []workloadStream, opts remoteOpts, jsonPath string, 
 	if got := res.sn.Ingested - res.before; got != want {
 		fail(fmt.Errorf("server ingested %d observations, sent %d", got, want))
 	}
+	// With -chaosreset the run must actually have exercised the reconnect
+	// path — a zero count means the proxy never fired and the "survived a
+	// degraded network" claim is vacuous.
+	if opts.chaosReset > 0 && res.reconnects == 0 {
+		fail(fmt.Errorf("chaos run with -chaosreset %d recorded zero reconnects", opts.chaosReset))
+	}
 }
 
 // wireSender is the slice of the client API the load loop needs; both a
@@ -360,6 +421,9 @@ type wireSender interface {
 // round trip per block. Deltas against the pre-run snapshot keep the
 // numbers correct on a long-lived server.
 func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error) {
+	// The control connection (snapshots, flush barrier, churner subscribes)
+	// always dials the server directly: the proxy degrades the load path,
+	// not the measurement.
 	ctl, err := rbmim.Dial(opts.addr)
 	if err != nil {
 		return remoteResult{}, err
@@ -369,10 +433,39 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 	if err != nil {
 		return remoteResult{}, err
 	}
+
+	// With any -chaos* fault set, senders dial through an in-process fault
+	// proxy and the retry policy is forced on (a degraded run without
+	// retries just fails).
+	sendAddr := opts.addr
+	var px *chaos.Proxy
+	if opts.chaosEnabled() {
+		px, err = chaos.New(chaos.Config{
+			Target:        opts.addr,
+			Seed:          opts.chaosSeed,
+			Delay:         opts.chaosDelay,
+			DropRate:      opts.chaosDrop,
+			DuplicateRate: opts.chaosDup,
+			ResetEvery:    opts.chaosReset,
+		})
+		if err != nil {
+			return remoteResult{}, err
+		}
+		defer px.Close()
+		sendAddr = px.Addr()
+	}
+	policy := rbmim.RetryPolicy{}
+	if opts.retry || px != nil {
+		policy = rbmim.DefaultRetryPolicy()
+		policy.BackoffBase = 5 * time.Millisecond
+		policy.StallTimeout = time.Second
+	}
+
 	producers := opts.clients
 	senders := make([]wireSender, producers)
+	reconnects := func() uint64 { return 0 }
 	if opts.conns > 0 {
-		pool, err := rbmim.DialPool(opts.addr, opts.conns, opts.inflight)
+		pool, err := rbmim.DialPoolRetry(sendAddr, opts.conns, opts.inflight, policy)
 		if err != nil {
 			return remoteResult{}, err
 		}
@@ -380,14 +473,24 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 		for p := range senders {
 			senders[p] = pool
 		}
+		reconnects = pool.Reconnects
 	} else {
+		conns := make([]*rbmim.Client, producers)
 		for p := range senders {
-			c, err := rbmim.DialWindow(opts.addr, opts.inflight)
+			c, err := rbmim.DialRetry(sendAddr, opts.inflight, policy)
 			if err != nil {
 				return remoteResult{}, err
 			}
 			defer c.Close()
 			senders[p] = c
+			conns[p] = c
+		}
+		reconnects = func() uint64 {
+			var n uint64
+			for _, c := range conns {
+				n += c.Reconnects()
+			}
+			return n
 		}
 	}
 
@@ -523,7 +626,7 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 			perShard[i] -= before.ShardIngested[i]
 		}
 	}
-	return remoteResult{
+	res := remoteResult{
 		sweepResult: sweepResult{
 			rate:    float64(delta) / wall.Seconds(),
 			wall:    wall,
@@ -532,15 +635,29 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 			balance: balanceString(perShard),
 			sn:      after,
 		},
-		before: before.Ingested,
-	}, nil
+		before:     before.Ingested,
+		reconnects: reconnects(),
+		dedupHits:  after.DedupHits - before.DedupHits,
+		shedded:    after.Shedded - before.Shedded,
+	}
+	if px != nil {
+		faults := px.Stats()
+		res.faults = &faults
+	}
+	return res, nil
 }
 
 // remoteResult is a sweepResult plus the pre-run ingest counter, so the
-// verification can compute the delta a long-lived server accumulates.
+// verification can compute the delta a long-lived server accumulates, and —
+// on degraded runs — the client-side reconnect count, the server's
+// dedup/shed deltas, and the fault proxy's injection tally.
 type remoteResult struct {
 	sweepResult
-	before uint64
+	before     uint64
+	reconnects uint64
+	dedupHits  uint64
+	shedded    uint64
+	faults     *chaos.Stats
 }
 
 // buildWorkload pre-generates every stream's observation sequence.

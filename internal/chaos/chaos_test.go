@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"rbmim/internal/codec"
+)
+
+// echoBackend accepts connections and echoes every codec frame back
+// verbatim — enough of a server to observe exactly what the proxy
+// delivered upstream.
+func echoBackend(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				sc := codec.NewFrameScanner(nc)
+				var buf []byte
+				for {
+					kind, payload, err := sc.Next()
+					if err != nil {
+						return
+					}
+					buf = codec.AppendFrame(buf[:0], kind, payload)
+					if _, err := nc.Write(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func newProxy(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func frame(payload string) []byte {
+	return codec.AppendFrame(nil, 42, []byte(payload))
+}
+
+func TestProxyTransparent(t *testing.T) {
+	ln := echoBackend(t)
+	p := newProxy(t, Config{Target: ln.Addr().String(), Seed: 1})
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	sc := codec.NewFrameScanner(nc)
+	for i := 0; i < 10; i++ {
+		if _, err := nc.Write(frame("hello")); err != nil {
+			t.Fatal(err)
+		}
+		kind, payload, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != 42 || !bytes.Equal(payload, []byte("hello")) {
+			t.Fatalf("echo %d: kind=%d payload=%q", i, kind, payload)
+		}
+	}
+	st := p.Stats()
+	if st.Frames != 10 || st.Dropped != 0 || st.Conns != 1 {
+		t.Fatalf("stats %+v, want 10 frames, 0 dropped, 1 conn", st)
+	}
+}
+
+func TestProxyFragmented(t *testing.T) {
+	ln := echoBackend(t)
+	p := newProxy(t, Config{Target: ln.Addr().String(), Seed: 1, FragmentSize: 3})
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	sc := codec.NewFrameScanner(nc)
+	if _, err := nc.Write(frame("fragmented payload")); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte("fragmented payload")) {
+		t.Fatalf("payload %q corrupted by fragmentation", payload)
+	}
+}
+
+func TestProxyDropAndDuplicate(t *testing.T) {
+	ln := echoBackend(t)
+	p := newProxy(t, Config{Target: ln.Addr().String(), Seed: 1, DuplicateRate: 1})
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	sc := codec.NewFrameScanner(nc)
+	if _, err := nc.Write(frame("dup")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, payload, err := sc.Next(); err != nil || !bytes.Equal(payload, []byte("dup")) {
+			t.Fatalf("duplicate echo %d: payload=%q err=%v", i, payload, err)
+		}
+	}
+	if st := p.Stats(); st.Duplicated != 1 || st.Frames != 2 {
+		t.Fatalf("stats %+v, want 1 duplicated / 2 frames", st)
+	}
+
+	pd := newProxy(t, Config{Target: ln.Addr().String(), Seed: 1, DropRate: 1})
+	nc2, err := net.Dial("tcp", pd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	if _, err := nc2.Write(frame("gone")); err != nil {
+		t.Fatal(err)
+	}
+	nc2.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, _, err := codec.NewFrameScanner(nc2).Next(); err == nil {
+		t.Fatal("frame survived DropRate=1")
+	}
+	if st := pd.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats %+v, want 1 dropped", st)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	ln := echoBackend(t)
+	p := newProxy(t, Config{Target: ln.Addr().String(), Seed: 7, ResetEvery: 2})
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	sc := codec.NewFrameScanner(nc)
+	// The reset point is drawn from [1, 4); at most 3 frames survive before
+	// the connection dies with an error (RST or a cut mid-read).
+	var readErr error
+	for i := 0; i < 10; i++ {
+		if _, err := nc.Write(frame("tick")); err != nil {
+			readErr = err
+			break
+		}
+		if _, _, err := sc.Next(); err != nil {
+			readErr = err
+			break
+		}
+	}
+	if readErr == nil {
+		t.Fatal("connection survived 10 frames with ResetEvery=2")
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats %+v, want 1 reset", st)
+	}
+}
+
+func TestProxyBlackhole(t *testing.T) {
+	ln := echoBackend(t)
+	p := newProxy(t, Config{Target: ln.Addr().String(), Seed: 1, BlackholeRate: 1})
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Writes succeed (the proxy consumes them) but nothing ever comes back
+	// and no error surfaces — the stall-watchdog scenario.
+	if _, err := nc.Write(frame("void")); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("blackholed connection delivered bytes")
+	} else if !isTimeout(err) {
+		t.Fatalf("blackholed read failed with %v, want timeout", err)
+	}
+	if st := p.Stats(); st.Blackholed != 1 {
+		t.Fatalf("stats %+v, want 1 blackholed", st)
+	}
+}
+
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+func TestProxyDeterministicSchedule(t *testing.T) {
+	ln := echoBackend(t)
+	counts := make([]uint64, 2)
+	for run := 0; run < 2; run++ {
+		p := newProxy(t, Config{Target: ln.Addr().String(), Seed: 99, DropRate: 0.5})
+		nc, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if _, err := nc.Write(frame("coin")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain whatever survived so the writes are fully processed before
+		// reading the counters.
+		nc.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		io.Copy(io.Discard, nc)
+		nc.Close()
+		counts[run] = p.Stats().Dropped
+		p.Close()
+	}
+	if counts[0] != counts[1] || counts[0] == 0 || counts[0] == 64 {
+		t.Fatalf("drop schedule not deterministic or degenerate: %v", counts)
+	}
+}

@@ -507,6 +507,9 @@ func (s *FrameScanner) LimitPayload(n int) {
 // Next reads and validates the next frame. A clean end of stream at a frame
 // boundary returns io.EOF untouched (the signal a server loop exits on);
 // every other failure — truncation mid-frame included — wraps ErrInvalid.
+// The underlying read error is wrapped too, so a caller can distinguish a
+// connection cut mid-frame (errors.Is(err, io.ErrUnexpectedEOF)) from other
+// corruption.
 func (s *FrameScanner) Next() (kind uint8, payload []byte, err error) {
 	if cap(s.buf) < headerSize {
 		s.buf = make([]byte, headerSize, 4096)
@@ -516,7 +519,7 @@ func (s *FrameScanner) Next() (kind uint8, payload []byte, err error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: reading frame header: %v", ErrInvalid, err)
+		return 0, nil, fmt.Errorf("%w: reading frame header: %w", ErrInvalid, err)
 	}
 	if string(head[:4]) != magic {
 		return 0, nil, fmt.Errorf("%w: bad magic", ErrInvalid)
@@ -536,7 +539,7 @@ func (s *FrameScanner) Next() (kind uint8, payload []byte, err error) {
 	}
 	frame := s.buf[:total]
 	if _, err := io.ReadFull(s.r, frame[headerSize:]); err != nil {
-		return 0, nil, fmt.Errorf("%w: reading frame body: %v", ErrInvalid, err)
+		return 0, nil, fmt.Errorf("%w: reading frame body: %w", ErrInvalid, err)
 	}
 	return ParseFrame(frame)
 }

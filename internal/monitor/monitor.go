@@ -575,9 +575,14 @@ type Snapshot struct {
 	// an in-process monitor. InFlightHighWater is the largest number of
 	// pipelined requests any connection has had in flight at once;
 	// RepliesCoalesced counts reply frames that rode a previous frame's
-	// socket write (syscalls saved by the coalescing reply writer).
+	// socket write (syscalls saved by the coalescing reply writer); Shedded
+	// counts blocking ingests refused with Busy by overload shedding
+	// (server.Config.ShedHighWater); DedupHits counts retried ingests
+	// acknowledged without re-ingesting by the exactly-once dedup window.
 	InFlightHighWater uint64
 	RepliesCoalesced  uint64
+	Shedded           uint64
+	DedupHits         uint64
 	// ShardStreams / ShardIngested expose the per-shard balance.
 	ShardStreams  []int
 	ShardIngested []uint64
@@ -636,6 +641,20 @@ func (m *Monitor) Snapshot() Snapshot {
 		sn.InstancesPerSec = float64(sn.Ingested) / secs
 	}
 	return sn
+}
+
+// QueuePressure reports the current ring occupancy and capacity of the
+// shard that owns streamID — the saturation signal the network server's
+// overload shedding reads before accepting more blocking work for that
+// stream. Occupancy is in envelopes (an IngestBatch block is one envelope),
+// sampled from the same conservation counter Snapshot.Queued aggregates; it
+// is exact at quiescence and monotonically consistent under concurrency.
+func (m *Monitor) QueuePressure(streamID string) (queued uint64, capacity int) {
+	s := m.shards[ShardFor(streamID, len(m.shards))]
+	if q := s.queued.Load(); q > 0 {
+		queued = uint64(q)
+	}
+	return queued, s.in.cap()
 }
 
 // Streams returns the number of live streams across all shards.

@@ -78,6 +78,8 @@ func (s Snapshot) AppendJSON(b []byte) []byte {
 	unum("SubscribersEvicted", s.SubscribersEvicted)
 	unum("InFlightHighWater", s.InFlightHighWater)
 	unum("RepliesCoalesced", s.RepliesCoalesced)
+	unum("Shedded", s.Shedded)
+	unum("DedupHits", s.DedupHits)
 	field("ShardStreams")
 	if s.ShardStreams == nil {
 		b = append(b, "null"...)
@@ -147,6 +149,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	emit("rbmim_subscribers_evicted_total", "Subscriptions closed by the monitor for exceeding the drop eviction limit.", "counter", float64(s.SubscribersEvicted))
 	emit("rbmim_inflight_high_water", "Largest pipelined in-flight request count observed on any server connection.", "gauge", float64(s.InFlightHighWater))
 	emit("rbmim_replies_coalesced_total", "Reply frames coalesced into a preceding frame's socket write.", "counter", float64(s.RepliesCoalesced))
+	emit("rbmim_shedded_total", "Blocking ingests refused with Busy by overload shedding.", "counter", float64(s.Shedded))
+	emit("rbmim_dedup_hits_total", "Retried ingests acknowledged without re-ingesting (exactly-once dedup window).", "counter", float64(s.DedupHits))
 	if len(s.ShardStreams) > 0 && err == nil {
 		_, err = fmt.Fprintf(w, "# HELP rbmim_shard_streams Live streams per shard.\n# TYPE rbmim_shard_streams gauge\n")
 		for i, v := range s.ShardStreams {

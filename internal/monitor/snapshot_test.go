@@ -34,6 +34,8 @@ func testSnapshot() Snapshot {
 		SubscribersEvicted: 1,
 		InFlightHighWater:  16,
 		RepliesCoalesced:   2048,
+		Shedded:            13,
+		DedupHits:          21,
 		ShardStreams:       []int{5, 4, 4, 4},
 		ShardIngested:      []uint64{31000, 30000, 31456, 31000},
 		Uptime:             90 * time.Second,
@@ -86,8 +88,8 @@ func TestSnapshotJSONStableFieldOrder(t *testing.T) {
 		"StreamErrors", "Received", "Rejected", "Queued", "QueueCap",
 		"QueueHighWater", "Checkpoints", "CheckpointErrors", "Rehydrated",
 		"Subscribers", "SubscriberDropped", "SubscribersEvicted",
-		"InFlightHighWater", "RepliesCoalesced", "ShardStreams",
-		"ShardIngested", "Uptime", "InstancesPerSec",
+		"InFlightHighWater", "RepliesCoalesced", "Shedded", "DedupHits",
+		"ShardStreams", "ShardIngested", "Uptime", "InstancesPerSec",
 	}
 	pos := -1
 	for _, key := range order {
@@ -126,6 +128,8 @@ func TestSnapshotPrometheus(t *testing.T) {
 		"rbmim_subscribers_evicted_total 1",
 		"rbmim_inflight_high_water 16",
 		"rbmim_replies_coalesced_total 2048",
+		"rbmim_shedded_total 13",
+		"rbmim_dedup_hits_total 21",
 		"rbmim_uptime_seconds 90",
 		"rbmim_checkpoints_total 88",
 	} {

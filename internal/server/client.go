@@ -30,26 +30,53 @@ var ErrClientClosed = errors.New("server: client closed")
 
 // Ingest sends one observation for one stream and waits for the ack. The
 // server applies the monitor's blocking backpressure, so a full shard queue
-// delays the reply rather than dropping data.
+// delays the reply rather than dropping data. A Busy reply (overload shed)
+// is retried with backoff up to RetryPolicy.BusyAttempts — with the same
+// sequence number, so the eventual commit is exactly once.
 func (c *Client) Ingest(streamID string, o detectors.Observation) error {
-	p, err := c.IngestAsync(streamID, o)
-	if err != nil {
-		return err
+	return c.ingestSeq(streamID, o, c.seqs.next(streamID))
+}
+
+// ingestSeq is Ingest at a fixed sequence number: the Busy-retry loop, and
+// ClientPool's failover resend (same seq on a different connection).
+func (c *Client) ingestSeq(streamID string, o detectors.Observation, seq uint64) error {
+	backoff := c.policy.BusyBackoff
+	for attempt := 0; ; attempt++ {
+		p, err := c.ingestAsyncSeq(streamID, o, seq)
+		if err != nil {
+			return err
+		}
+		err = p.Wait()
+		if err == nil || Classify(err) != ClassBusy || attempt >= c.policy.BusyAttempts {
+			return err
+		}
+		if !c.pause(jitter(backoff)) {
+			return c.sticky()
+		}
+		if backoff *= 2; backoff > c.policy.BackoffMax {
+			backoff = c.policy.BackoffMax
+		}
 	}
-	return p.Wait()
 }
 
 // IngestAsync sends one observation without waiting for its ack, returning a
 // Pending whose Wait delivers it. Up to Window() requests may be outstanding
 // before the call blocks on the in-flight window. Requests from one
-// goroutine reach the server in call order.
+// goroutine reach the server in call order. Busy replies are not retried on
+// the async path — Wait surfaces ErrBusy and the caller decides.
 func (c *Client) IngestAsync(streamID string, o detectors.Observation) (Pending, error) {
+	return c.ingestAsyncSeq(streamID, o, c.seqs.next(streamID))
+}
+
+func (c *Client) ingestAsyncSeq(streamID string, o detectors.Observation, seq uint64) (Pending, error) {
 	slot, err := c.acquire()
 	if err != nil {
 		return Pending{}, err
 	}
 	p := c.asyncAck(slot)
 	b := c.beginCall(slot, codec.KindWireIngest)
+	b.U64(c.session)
+	b.U64(seq)
 	b.Str(streamID)
 	encodeObs(b, o)
 	c.submit(slot)
@@ -59,13 +86,29 @@ func (c *Client) IngestAsync(streamID string, o detectors.Observation) (Pending,
 // IngestBatch sends a block of observations for one stream in a single
 // frame — one server-side queue hop, one batched detector update — and
 // waits for the ack. Steady state allocates nothing on either side. An
-// empty block is a no-op.
+// empty block is a no-op. Busy replies retry like Ingest's.
 func (c *Client) IngestBatch(streamID string, obs []detectors.Observation) error {
-	p, err := c.IngestBatchAsync(streamID, obs)
-	if err != nil {
-		return err
+	return c.ingestBatchSeq(streamID, obs, c.seqs.next(streamID))
+}
+
+func (c *Client) ingestBatchSeq(streamID string, obs []detectors.Observation, seq uint64) error {
+	backoff := c.policy.BusyBackoff
+	for attempt := 0; ; attempt++ {
+		p, err := c.ingestBatchAsyncSeq(streamID, obs, seq)
+		if err != nil {
+			return err
+		}
+		err = p.Wait()
+		if err == nil || Classify(err) != ClassBusy || attempt >= c.policy.BusyAttempts {
+			return err
+		}
+		if !c.pause(jitter(backoff)) {
+			return c.sticky()
+		}
+		if backoff *= 2; backoff > c.policy.BackoffMax {
+			backoff = c.policy.BackoffMax
+		}
 	}
-	return p.Wait()
 }
 
 // IngestBatchAsync is IngestBatch without waiting for the ack — the
@@ -73,12 +116,16 @@ func (c *Client) IngestBatch(streamID string, obs []detectors.Observation) error
 // connection streams frames back to back instead of idling a round trip
 // between blocks.
 func (c *Client) IngestBatchAsync(streamID string, obs []detectors.Observation) (Pending, error) {
+	return c.ingestBatchAsyncSeq(streamID, obs, c.seqs.next(streamID))
+}
+
+func (c *Client) ingestBatchAsyncSeq(streamID string, obs []detectors.Observation, seq uint64) (Pending, error) {
 	slot, err := c.acquire()
 	if err != nil {
 		return Pending{}, err
 	}
 	p := c.asyncAck(slot)
-	c.encodeBatch(slot, codec.KindWireIngestBatch, streamID, obs)
+	c.encodeBatch(slot, codec.KindWireIngestBatch, streamID, obs, seq)
 	c.submit(slot)
 	return p, nil
 }
@@ -86,13 +133,15 @@ func (c *Client) IngestBatchAsync(streamID string, obs []detectors.Observation) 
 // TryIngestBatch is IngestBatch without blocking backpressure: a full shard
 // queue on the server surfaces as a Busy reply, returned here as
 // (false, nil) — the caller decides whether to retry, thin out, or drop,
-// exactly like Monitor.TryIngestBatch in process.
+// exactly like Monitor.TryIngestBatch in process. A refused batch's
+// sequence number is simply never committed; a later attempt gets a fresh
+// one.
 func (c *Client) TryIngestBatch(streamID string, obs []detectors.Observation) (bool, error) {
 	slot, err := c.acquire()
 	if err != nil {
 		return false, err
 	}
-	c.encodeBatch(slot, codec.KindWireTryIngestBatch, streamID, obs)
+	c.encodeBatch(slot, codec.KindWireTryIngestBatch, streamID, obs, c.seqs.next(streamID))
 	c.submit(slot)
 	cl, err := c.await(slot)
 	if err != nil {
@@ -109,8 +158,10 @@ func (c *Client) TryIngestBatch(streamID string, obs []detectors.Observation) (b
 	return err == nil, err
 }
 
-func (c *Client) encodeBatch(slot uint32, kind uint8, streamID string, obs []detectors.Observation) {
+func (c *Client) encodeBatch(slot uint32, kind uint8, streamID string, obs []detectors.Observation, seq uint64) {
 	b := c.beginCall(slot, kind)
+	b.U64(c.session)
+	b.U64(seq)
 	b.Str(streamID)
 	b.U32(uint32(len(obs)))
 	for i := range obs {

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Exactly-once ingest under retry.
+//
+// A reconnecting client cannot know whether a request that was in flight
+// when its connection died was applied before the ack was lost — so it must
+// resend, and a resend of an already-applied batch would double-count
+// observations, silently corrupting the prequential drift statistics the
+// whole system exists to compute. Every Ingest / IngestBatch /
+// TryIngestBatch frame therefore carries the client's session id (a random
+// nonzero uint64 minted per Client or shared per ClientPool) and a
+// per-stream sequence number; the server remembers, per (session, stream),
+// which of the last DedupWindow sequence numbers it has committed and acks a
+// duplicate with OK without re-ingesting.
+//
+// The window is an exact-set bitmap, not a high-water mark: with W requests
+// pipelined, a Busy-shed batch's retry can race batches with newer sequence
+// numbers that were accepted, so "seq <= max applied" does not imply
+// "applied". A seq that has fallen out of the window entirely is treated as
+// applied (ack, don't re-ingest): sequence numbers are assigned in send
+// order per stream, so a seq can only age out of the window after the
+// window's worth of newer seqs for the same stream were committed — which,
+// as long as DedupWindow comfortably exceeds the client's total in-flight
+// requests per stream (default 1024 vs a default window of 32), means its
+// own fate was decided long ago and the conservative answer is the one that
+// cannot double-ingest.
+//
+// Sessions are capped: past maxSessions the least-recently-active session's
+// state is dropped (a client that comes back after eviction retries into an
+// empty window, which at worst re-ingests — bounded memory is the better
+// failure mode for a server facing session churn).
+
+// dedupStream is one (session, stream)'s committed-seq window: a bitmap
+// over the window-aligned positions of the last `window` sequence numbers,
+// plus the highest committed seq that anchors it.
+type dedupStream struct {
+	maxSeq uint64
+	bits   []uint64
+}
+
+type dedupSession struct {
+	streams    map[string]*dedupStream
+	lastActive uint64 // dedupTable.tick at last touch; eviction order
+}
+
+// dedupTable is the server's (session, stream) → committed-seq-window map.
+// One mutex guards it: the critical sections are a map probe and a bitmap
+// test or set, far cheaper than the decode and ring push on either side.
+type dedupTable struct {
+	window      uint64 // power of two, >= 64
+	maxSessions int
+	hits        atomic.Uint64
+
+	mu       sync.Mutex
+	sessions map[uint64]*dedupSession
+	tick     uint64
+}
+
+func newDedupTable(window, maxSessions int) *dedupTable {
+	w := uint64(64)
+	for w < uint64(window) {
+		w <<= 1
+	}
+	return &dedupTable{
+		window:      w,
+		maxSessions: maxSessions,
+		sessions:    make(map[uint64]*dedupSession),
+	}
+}
+
+func (st *dedupStream) bit(seq, window uint64) (idx int, mask uint64) {
+	return int((seq & (window - 1)) >> 6), 1 << (seq & 63)
+}
+
+// applied reports whether (session, stream, seq) was already committed,
+// counting a hit. Sessions and streams never seen are trivially fresh.
+func (d *dedupTable) applied(session uint64, stream string, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tick++
+	ds := d.sessions[session]
+	if ds == nil {
+		return false
+	}
+	ds.lastActive = d.tick
+	st := ds.streams[stream]
+	if st == nil || seq > st.maxSeq {
+		return false
+	}
+	dup := true
+	if st.maxSeq-seq < d.window {
+		idx, mask := st.bit(seq, d.window)
+		dup = st.bits[idx]&mask != 0
+	}
+	if dup {
+		d.hits.Add(1)
+	}
+	return dup
+}
+
+// commit records (session, stream, seq) as applied. Advancing past maxSeq
+// clears the bitmap positions the new range reuses, so a gap's seqs (never
+// committed: a Busy shed, a bad payload) stay reported fresh while they
+// remain inside the window.
+func (d *dedupTable) commit(session uint64, stream string, seq uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tick++
+	ds := d.sessions[session]
+	if ds == nil {
+		d.evictOldest()
+		ds = &dedupSession{streams: make(map[string]*dedupStream)}
+		d.sessions[session] = ds
+	}
+	ds.lastActive = d.tick
+	st := ds.streams[stream]
+	if st == nil {
+		st = &dedupStream{bits: make([]uint64, d.window/64)}
+		ds.streams[stream] = st
+	}
+	if seq > st.maxSeq {
+		if seq-st.maxSeq >= d.window {
+			clear(st.bits)
+		} else {
+			for s := st.maxSeq + 1; s <= seq; s++ {
+				idx, mask := st.bit(s, d.window)
+				st.bits[idx] &^= mask
+			}
+		}
+		st.maxSeq = seq
+	}
+	idx, mask := st.bit(seq, d.window)
+	st.bits[idx] |= mask
+}
+
+// evictOldest drops the least-recently-active session when the table is at
+// its cap. Called with d.mu held, before inserting a new session.
+func (d *dedupTable) evictOldest() {
+	if d.maxSessions <= 0 || len(d.sessions) < d.maxSessions {
+		return
+	}
+	var victim uint64
+	oldest := uint64(math.MaxUint64)
+	for id, s := range d.sessions {
+		if s.lastActive < oldest {
+			oldest = s.lastActive
+			victim = id
+		}
+	}
+	delete(d.sessions, victim)
+}

@@ -23,24 +23,50 @@ import (
 // N producer goroutines sharing one pool therefore look to the server like
 // K pipelined clients, multiplexing N ways of traffic into K×window
 // in-flight requests — connections stop being the unit of concurrency.
-// All methods are safe for concurrent use.
+//
+// The pool's connections share one session id and one per-stream sequence
+// table, so the server sees the pool as a single exactly-once producer.
+// That makes failover safe: when a connection dies permanently (its own
+// RetryPolicy exhausted, or no policy at all), routing deterministically
+// probes forward to the next live connection — every pool member re-homes
+// the same streams to the same survivor — and a synchronous ingest whose
+// connection died mid-call is resent there with its original sequence
+// number, so a request the dead connection did manage to deliver is acked,
+// not re-applied. All methods are safe for concurrent use.
 type ClientPool struct {
 	clients []*Client
+	session uint64
+	seqs    *seqTable
 }
 
 // DialPool opens conns pipelined connections to addr, each with the given
-// in-flight window (see DialWindow; conns < 1 and window < 1 select 1).
+// in-flight window and no retry policy (see DialWindow; conns < 1 and
+// window < 1 select 1).
 func DialPool(addr string, conns, window int) (*ClientPool, error) {
+	return DialPoolRetry(addr, conns, window, RetryPolicy{})
+}
+
+// DialPoolRetry is DialPool with a retry policy applied to every
+// connection (see DialRetry).
+func DialPoolRetry(addr string, conns, window int, policy RetryPolicy) (*ClientPool, error) {
 	if conns < 1 {
 		conns = 1
 	}
-	p := &ClientPool{clients: make([]*Client, conns)}
+	p := &ClientPool{
+		clients: make([]*Client, conns),
+		session: newSessionID(),
+		seqs:    newSeqTable(),
+	}
 	for i := range p.clients {
-		c, err := DialWindow(addr, window)
+		c, err := DialRetry(addr, window, policy)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("server: dialing pool connection %d: %w", i, err)
 		}
+		// Re-home the fresh client onto the pool's shared exactly-once
+		// identity before any request can be issued on it.
+		c.session = p.session
+		c.seqs = p.seqs
 		p.clients[i] = c
 	}
 	return p, nil
@@ -49,27 +75,86 @@ func DialPool(addr string, conns, window int) (*ClientPool, error) {
 // Conns returns the pool's connection count.
 func (p *ClientPool) Conns() int { return len(p.clients) }
 
-// conn returns the connection that owns streamID.
+// Reconnects sums the reconnect counts across the pool's connections.
+func (p *ClientPool) Reconnects() uint64 {
+	var n uint64
+	for _, c := range p.clients {
+		n += c.Reconnects()
+	}
+	return n
+}
+
+// conn returns the connection that owns streamID: its home connection by
+// consistent hash, or — when the home is permanently dead — the first live
+// connection probing forward from it. The probe order is a pure function of
+// (stream, set of dead connections), so every goroutine re-homes a stream
+// identically and its requests keep traveling one connection, preserving
+// per-stream ordering. With every connection dead, the home is returned and
+// the call surfaces its sticky error.
 func (p *ClientPool) conn(streamID string) *Client {
-	return p.clients[monitor.ShardFor(streamID, len(p.clients))]
+	n := len(p.clients)
+	home := monitor.ShardFor(streamID, n)
+	for i := 0; i < n; i++ {
+		if c := p.clients[(home+i)%n]; !c.Dead() {
+			return c
+		}
+	}
+	return p.clients[home]
+}
+
+// failedOver reports whether a synchronous call that failed on c should be
+// resent (same seq) on a re-homed connection: c is permanently dead, the
+// failure is the death rather than the request's own doing, and the pool
+// has somewhere else to send it.
+func (p *ClientPool) failedOver(c *Client, streamID string, err error) (*Client, bool) {
+	if err == nil || !c.Dead() {
+		return nil, false
+	}
+	switch Classify(err) {
+	case ClassTransport, ClassProtocol, ClassClosed:
+		// ClassClosed from a dead-but-not-pool-closed client is its sticky
+		// error surfacing; a pool-wide Close leaves no live conn to probe.
+	default:
+		return nil, false
+	}
+	next := p.conn(streamID)
+	if next == c || next.Dead() {
+		return nil, false
+	}
+	return next, true
 }
 
 // Ingest routes one observation over the stream's connection and waits for
-// the ack (see Client.Ingest).
+// the ack (see Client.Ingest). If the connection dies permanently mid-call,
+// the request is resent on the stream's re-homed connection with its
+// original sequence number — exactly once either way.
 func (p *ClientPool) Ingest(streamID string, o detectors.Observation) error {
-	return p.conn(streamID).Ingest(streamID, o)
+	seq := p.seqs.next(streamID)
+	c := p.conn(streamID)
+	err := c.ingestSeq(streamID, o, seq)
+	if next, ok := p.failedOver(c, streamID, err); ok {
+		err = next.ingestSeq(streamID, o, seq)
+	}
+	return err
 }
 
 // IngestAsync routes one observation over the stream's connection without
-// waiting (see Client.IngestAsync).
+// waiting (see Client.IngestAsync). Async requests do not fail over — the
+// Pending surfaces the dead connection's error and the caller decides.
 func (p *ClientPool) IngestAsync(streamID string, o detectors.Observation) (Pending, error) {
 	return p.conn(streamID).IngestAsync(streamID, o)
 }
 
 // IngestBatch routes a block over the stream's connection and waits for the
-// ack (see Client.IngestBatch).
+// ack (see Client.IngestBatch), failing over like Ingest.
 func (p *ClientPool) IngestBatch(streamID string, obs []detectors.Observation) error {
-	return p.conn(streamID).IngestBatch(streamID, obs)
+	seq := p.seqs.next(streamID)
+	c := p.conn(streamID)
+	err := c.ingestBatchSeq(streamID, obs, seq)
+	if next, ok := p.failedOver(c, streamID, err); ok {
+		err = next.ingestBatchSeq(streamID, obs, seq)
+	}
+	return err
 }
 
 // IngestBatchAsync routes a block over the stream's connection without
@@ -90,21 +175,36 @@ func (p *ClientPool) Evict(streamID string) error {
 	return p.conn(streamID).Evict(streamID)
 }
 
-// FlushCheckpoints issues the flush on every connection, so it is a barrier
-// for requests pipelined ahead of it on all of them, then for the monitor
-// itself (Monitor.FlushCheckpoints semantics). It stops at the first error.
+// FlushCheckpoints issues the flush on every live connection, so it is a
+// barrier for requests pipelined ahead of it on all of them, then for the
+// monitor itself (Monitor.FlushCheckpoints semantics). It stops at the
+// first error; dead connections are skipped unless every connection is
+// dead, in which case the first sticky error surfaces.
 func (p *ClientPool) FlushCheckpoints() error {
+	live := 0
 	for _, c := range p.clients {
+		if c.Dead() {
+			continue
+		}
+		live++
 		if err := c.FlushCheckpoints(); err != nil {
 			return err
 		}
 	}
+	if live == 0 {
+		return p.clients[0].sticky()
+	}
 	return nil
 }
 
-// Snapshot fetches the monitor's aggregate counters over the pool's first
+// Snapshot fetches the monitor's aggregate counters over the first live
 // connection.
 func (p *ClientPool) Snapshot() (monitor.Snapshot, error) {
+	for _, c := range p.clients {
+		if !c.Dead() {
+			return c.Snapshot()
+		}
+	}
 	return p.clients[0].Snapshot()
 }
 

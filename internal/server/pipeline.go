@@ -3,9 +3,11 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rbmim/internal/codec"
 )
@@ -41,17 +43,45 @@ import (
 // always the reply's rightful owner — a reply with no registered slot is a
 // protocol violation, not a race.
 //
-// Failures are sticky and total: transport errors, protocol violations, and
-// Close all funnel through fail(), which records the first error, closes the
-// `dead` channel, and closes the socket. Every waiter — callers parked on
-// acquire or on a completion, the writer, the reader — selects on `dead`, so
-// a mid-window crash errors all pending calls instead of hanging any of
-// them, and every later method call returns the sticky error immediately.
+// # Epochs and reconnection
+//
+// The connection-bound state — socket, inflight queue, writer, reader, and
+// stall watchdog — lives in an epoch; the slots, free list, and sendq are
+// Client-level and outlive it. A supervisor goroutine watches the current
+// epoch: when it dies (transport error, protocol violation, stall), the
+// supervisor waits for its loops to exit, reclaims every slot the epoch
+// still owed a reply (oldest first) plus everything the writer never picked
+// up, and — when RetryPolicy.Reconnect is set and the failure class is
+// retryable — redials with capped jittered exponential backoff and hands
+// the reclaimed slots to the new epoch, whose writer resubmits them before
+// consuming new work from sendq. Per-stream order is preserved (anything
+// submitted during the outage sits in sendq, strictly newer), callers never
+// notice beyond latency, and the server's session/seq dedup window makes
+// the resend of possibly-already-applied requests exactly-once. Without
+// Reconnect (the Dial/DialWindow default), the first epoch death
+// permanently fails the client.
+//
+// Permanent failures are sticky and total: they funnel through fail(),
+// which records the first error, closes the `dead` channel, and kills the
+// current epoch. Every waiter — callers parked on acquire or on a
+// completion, the epoch loops, the supervisor's backoff sleep — selects on
+// `dead`, so Close (or a non-retryable failure) errors all pending calls
+// promptly instead of hanging any of them, and every later method call
+// returns the sticky error immediately.
 
 // DefaultWindow is the in-flight window Dial selects: deep enough that a
 // single producer saturates the server's request loop, small enough that a
 // stalled server applies backpressure within a few hundred KiB of frames.
 const DefaultWindow = 32
+
+// A call's fate arbitrates the race between its awaiting caller's deadline
+// and the reader delivering its reply: exactly one side wins the CAS from
+// fatePending and becomes responsible for the slot.
+const (
+	fatePending   uint32 = iota // reply outstanding, caller waiting
+	fateReplied                 // reader won; caller consumes and releases
+	fateAbandoned               // deadline won; reader releases on delivery
+)
 
 // call is one slot of the pipeline window: the request frame under
 // construction, the identity check for its reply, and the reply itself.
@@ -60,6 +90,7 @@ type call struct {
 	mark  int           // EndFrame mark while the frame is being built
 	gen   uint32        // reuse generation; request id = gen<<32|slot
 	done  chan struct{} // cap 1; reader signals reply arrival
+	fate  atomic.Uint32 // await-path deadline arbitration (see above)
 
 	// ack, when non-nil, marks an ack-only request (the Async ingest paths,
 	// Evict, FlushCheckpoints): the reader resolves the ack itself and
@@ -87,90 +118,288 @@ type pendingAck struct {
 
 var ackPool = sync.Pool{New: func() any { return &pendingAck{err: make(chan error, 1)} }}
 
-// Client speaks the driftserver wire protocol over one TCP connection with a
-// pipelined in-flight window (see the package comment above and Dial /
-// DialWindow). All methods are safe for concurrent use; calls from one
-// goroutine are delivered in order, and the synchronous methods still behave
-// exactly like the serial client's. After Close — or after any transport or
-// protocol failure — every method returns the same sticky error.
+// Client speaks the driftserver wire protocol over one TCP connection at a
+// time with a pipelined in-flight window (see the package comment above and
+// Dial / DialWindow / DialRetry). All methods are safe for concurrent use;
+// calls from one goroutine are delivered in order, and the synchronous
+// methods still behave exactly like the serial client's. After Close — or
+// after any failure the RetryPolicy does not absorb — every method returns
+// the same sticky error.
 type Client struct {
-	addr   string
-	nc     net.Conn
-	window int
+	addr    string
+	window  int
+	policy  RetryPolicy
+	session uint64    // exactly-once identity (see dedup.go); pool-shared
+	seqs    *seqTable // per-stream seq assignment; pool-shared
 
 	calls    []call
 	free     chan uint32 // released slots; doubles as the window semaphore
 	sendq    chan uint32 // built frames awaiting the writer
-	inflight chan uint32 // written (or about to be) frames awaiting replies
 	dead     chan struct{}
 	deadOnce sync.Once
 
 	errMu sync.Mutex
-	err   error // first failure wins; ErrClientClosed after a clean Close
+	err   error // first permanent failure wins; ErrClientClosed after Close
 
-	wg sync.WaitGroup
+	epMu sync.Mutex
+	ep   *epoch // current connection epoch; protected so fail() can kill it
+
+	acked      atomic.Uint64 // replies matched, across epochs (stall progress)
+	reconnects atomic.Uint64
+
+	wg sync.WaitGroup // the supervisor (which in turn waits epoch loops)
+}
+
+// epoch is one connection's lifetime: the socket, the in-flight queue, and
+// the goroutines bound to them. Slots travel between epochs; an epoch's
+// death hands its outstanding slots to the supervisor for the next one.
+type epoch struct {
+	c        *Client
+	nc       net.Conn
+	inflight chan uint32 // written (or about to be) frames awaiting replies
+	resub    []uint32    // prior epoch's outstanding slots, oldest first
+	dead     chan struct{}
+	once     sync.Once
+	errMu    sync.Mutex
+	err      error
+	wg       sync.WaitGroup
+	// orphan is the slot the reader had already dequeued from inflight when
+	// it killed the epoch (a mismatched or corrupt reply — e.g. the second
+	// reply to a frame a middlebox duplicated). It is still owed a reply, and
+	// it is older than everything left in inflight, so collect resubmits it
+	// first. Written only by the dead reader, read only after ep.wg.Wait.
+	orphan int64 // -1 = none
 }
 
 // Dial connects to a driftserver at addr ("host:port") with the default
-// in-flight window.
+// in-flight window and no retry policy (a dead connection permanently
+// fails the client; see DialRetry).
 func Dial(addr string) (*Client, error) { return DialWindow(addr, DefaultWindow) }
 
 // DialWindow connects with an explicit in-flight window: up to window
 // requests may be outstanding before the next call blocks. window 1
 // degenerates to the serial stop-and-wait client.
 func DialWindow(addr string, window int) (*Client, error) {
+	return DialRetry(addr, window, RetryPolicy{})
+}
+
+// DialRetry connects with an explicit in-flight window and retry policy —
+// the entry point for clients that must survive real networks (see
+// RetryPolicy and DefaultRetryPolicy). The initial dial is not retried;
+// the caller decides whether an unreachable server at startup is fatal.
+func DialRetry(addr string, window int, policy RetryPolicy) (*Client, error) {
 	if window < 1 {
 		window = 1
 	}
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+		return nil, classed(ClassTransport, fmt.Errorf("server: dial %s: %w", addr, err))
 	}
-	c := newPipelined(addr, nc, window)
-	return c, nil
+	return newPipelinedPolicy(addr, nc, window, policy), nil
 }
 
 // newPipelined wires the pipeline core around an established connection
-// (split from DialWindow so tests can run the core over a net.Pipe).
+// with no retry policy (split from DialWindow so tests can run the core
+// over a net.Pipe).
 func newPipelined(addr string, nc net.Conn, window int) *Client {
+	return newPipelinedPolicy(addr, nc, window, RetryPolicy{})
+}
+
+func newPipelinedPolicy(addr string, nc net.Conn, window int, policy RetryPolicy) *Client {
 	c := &Client{
-		addr:     addr,
-		nc:       nc,
-		window:   window,
-		calls:    make([]call, window),
-		free:     make(chan uint32, window),
-		sendq:    make(chan uint32, window),
-		inflight: make(chan uint32, window),
-		dead:     make(chan struct{}),
+		addr:    addr,
+		window:  window,
+		policy:  policy.withDefaults(),
+		session: newSessionID(),
+		seqs:    newSeqTable(),
+		calls:   make([]call, window),
+		free:    make(chan uint32, window),
+		sendq:   make(chan uint32, window),
+		dead:    make(chan struct{}),
 	}
 	for i := range c.calls {
 		c.calls[i].gen = 1 // ids start nonzero; 0 marks server pushes
 		c.calls[i].done = make(chan struct{}, 1)
 		c.free <- uint32(i)
 	}
-	c.wg.Add(2)
-	go c.writeLoop()
-	go c.readLoop()
+	ep := c.newEpoch(nc, nil)
+	c.wg.Add(1)
+	go c.supervise(ep)
 	return c
+}
+
+// newEpoch registers a fresh connection as the current epoch and starts its
+// loops. Registration and the died-while-dialing check share the epoch
+// lock, so a Close racing the redial cannot leave the new socket open.
+func (c *Client) newEpoch(nc net.Conn, resub []uint32) *epoch {
+	ep := &epoch{
+		c:        c,
+		nc:       nc,
+		inflight: make(chan uint32, c.window),
+		resub:    resub,
+		dead:     make(chan struct{}),
+		orphan:   -1,
+	}
+	c.epMu.Lock()
+	c.ep = ep
+	if c.isDead() {
+		ep.fail(c.sticky())
+	}
+	c.epMu.Unlock()
+	// All Adds before any goroutine starts: an epoch that dies instantly
+	// must not race the supervisor's Wait against a late Add.
+	watch := c.policy.StallTimeout > 0
+	if watch {
+		ep.wg.Add(3)
+	} else {
+		ep.wg.Add(2)
+	}
+	go ep.writeLoop()
+	go ep.readLoop()
+	if watch {
+		go ep.stallWatch()
+	}
+	return ep
+}
+
+// supervise owns the epoch lifecycle: wait for the current epoch to die,
+// reclaim its outstanding work, and either reconnect (policy allowing) or
+// fail the client permanently.
+func (c *Client) supervise(ep *epoch) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-ep.dead:
+		case <-c.dead:
+			ep.fail(c.sticky())
+		}
+		ep.wg.Wait()
+		if c.isDead() {
+			return
+		}
+		err := ep.error()
+		if !c.policy.Reconnect || !retryable(err) {
+			c.fail(err)
+			return
+		}
+		resub := ep.collect()
+		nc, derr := c.redial()
+		if derr != nil {
+			c.fail(derr)
+			return
+		}
+		c.reconnects.Add(1)
+		ep = c.newEpoch(nc, resub)
+	}
+}
+
+// collect reclaims every slot the dead epoch owed a reply (oldest first —
+// its loops have exited, so the queue is quiescent), then everything the
+// writer never picked up from sendq. The order is the submission order:
+// the reader's orphan (if any) predates all of inflight, inflight is FIFO,
+// sendq is FIFO, and nothing in sendq can predate anything in inflight.
+func (ep *epoch) collect() []uint32 {
+	out := make([]uint32, 0, ep.c.window)
+	if ep.orphan >= 0 {
+		out = append(out, uint32(ep.orphan))
+	}
+	for {
+		select {
+		case s := <-ep.inflight:
+			out = append(out, s)
+			continue
+		default:
+		}
+		break
+	}
+	for {
+		select {
+		case s := <-ep.c.sendq:
+			out = append(out, s)
+			continue
+		default:
+		}
+		break
+	}
+	return out
+}
+
+// redial dials the server with capped jittered exponential backoff. The
+// sleep aborts promptly when the client dies (Close during backoff).
+func (c *Client) redial() (net.Conn, error) {
+	backoff := c.policy.BackoffBase
+	var lastErr error
+	for attempt := 1; attempt <= c.policy.MaxDialAttempts; attempt++ {
+		if !c.pause(jitter(backoff)) {
+			return nil, c.sticky()
+		}
+		nc, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			return nc, nil
+		}
+		lastErr = err
+		if backoff *= 2; backoff > c.policy.BackoffMax {
+			backoff = c.policy.BackoffMax
+		}
+	}
+	return nil, classed(ClassTransport, fmt.Errorf(
+		"server: reconnect to %s failed after %d attempts: %w",
+		c.addr, c.policy.MaxDialAttempts, lastErr))
+}
+
+// pause sleeps d, returning false the moment the client dies instead —
+// Close during a backoff sleep must not wait the sleep out.
+func (c *Client) pause(d time.Duration) bool {
+	if d <= 0 {
+		return !c.isDead()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.dead:
+		return false
+	}
 }
 
 // Window returns the client's in-flight window.
 func (c *Client) Window() int { return c.window }
 
+// Reconnects returns how many times the client has replaced a dead
+// connection with a fresh one.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// Dead reports whether the client has permanently failed (Close, or a
+// failure its RetryPolicy does not absorb). A client mid-reconnect is not
+// dead — callers park and their requests resume on the next connection.
+func (c *Client) Dead() bool { return c.isDead() }
+
+func (c *Client) isDead() bool {
+	select {
+	case <-c.dead:
+		return true
+	default:
+		return false
+	}
+}
+
 // Close fails the pipeline with ErrClientClosed (first error wins: a client
-// that already died of a transport error keeps reporting that), closes the
-// connection, and waits for the writer and reader to exit. It is idempotent
-// and safe to call concurrently with in-flight requests — those requests'
-// callers all receive an error, never a hang. Subscriptions returned by
-// Subscribe have their own connections and are closed separately.
+// that already died permanently keeps reporting that), closes the
+// connection, aborts any reconnect backoff in progress, and waits for the
+// supervisor and epoch loops to exit. It is idempotent and safe to call
+// concurrently with in-flight requests — those requests' callers all
+// receive an error, never a hang. Subscriptions returned by Subscribe have
+// their own connections and are closed separately.
 func (c *Client) Close() error {
-	c.fail(ErrClientClosed)
+	c.fail(errClosedClassed)
 	c.wg.Wait()
 	return nil
 }
 
-// fail records the first error, marks the client dead, and closes the socket
-// so goroutines parked in Read/Write error out.
+// fail records the first permanent error, marks the client dead, and kills
+// the current epoch (closing its socket) so goroutines parked in Read/Write
+// error out.
 func (c *Client) fail(err error) {
 	c.errMu.Lock()
 	if c.err == nil {
@@ -178,7 +407,11 @@ func (c *Client) fail(err error) {
 	}
 	c.errMu.Unlock()
 	c.deadOnce.Do(func() { close(c.dead) })
-	c.nc.Close()
+	c.epMu.Lock()
+	if c.ep != nil {
+		c.ep.fail(err)
+	}
+	c.epMu.Unlock()
 }
 
 // sticky returns the error that killed the client.
@@ -186,6 +419,25 @@ func (c *Client) sticky() error {
 	c.errMu.Lock()
 	defer c.errMu.Unlock()
 	return c.err
+}
+
+// fail records the epoch's first error, marks it dead, and closes its
+// socket so its loops error out of blocking reads and writes. The
+// supervisor decides what the death means for the client.
+func (ep *epoch) fail(err error) {
+	ep.errMu.Lock()
+	if ep.err == nil {
+		ep.err = err
+	}
+	ep.errMu.Unlock()
+	ep.once.Do(func() { close(ep.dead) })
+	ep.nc.Close()
+}
+
+func (ep *epoch) error() error {
+	ep.errMu.Lock()
+	defer ep.errMu.Unlock()
+	return ep.err
 }
 
 // acquire claims a free slot, parking when the full window is in flight.
@@ -203,6 +455,7 @@ func (c *Client) acquire() (uint32, error) {
 func (c *Client) beginCall(slot uint32, kind uint8) *codec.Buffer {
 	cl := &c.calls[slot]
 	cl.frame.Reset()
+	cl.fate.Store(fatePending)
 	cl.mark = cl.frame.BeginFrame(kind)
 	cl.frame.U64(uint64(cl.gen)<<32 | uint64(slot))
 	return &cl.frame
@@ -217,10 +470,21 @@ func (c *Client) submit(slot uint32) {
 	c.sendq <- slot
 }
 
-// await parks until the slot's reply arrives or the client dies. On death a
-// reply that had already landed still wins — the call genuinely completed.
+// await parks until the slot's reply arrives or the client dies, bounded by
+// the policy's RequestTimeout. On death a reply that had already landed
+// still wins — the call genuinely completed.
 func (c *Client) await(slot uint32) (*call, error) {
+	return c.awaitTimeout(slot, c.policy.RequestTimeout)
+}
+
+func (c *Client) awaitTimeout(slot uint32, timeout time.Duration) (*call, error) {
 	cl := &c.calls[slot]
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
 	select {
 	case <-cl.done:
 		return cl, nil
@@ -233,6 +497,15 @@ func (c *Client) await(slot uint32) (*call, error) {
 			// the reader may still be about to write into it.
 			return nil, c.sticky()
 		}
+	case <-expire:
+		// Abandon the call: whichever side wins the fate CAS owns the slot.
+		// The request is not cancelled — its reply, whenever it lands (this
+		// connection or a reconnect's resend), recycles the slot.
+		if cl.fate.CompareAndSwap(fatePending, fateAbandoned) {
+			return nil, errDeadlineClassed
+		}
+		<-cl.done // reply raced the timer and won; consume it
+		return cl, nil
 	}
 }
 
@@ -248,9 +521,11 @@ func (c *Client) release(slot uint32) {
 // requests cost ~1 syscall instead of W. A slot is registered in `inflight`
 // before its bytes can reach the wire, so by the time the server's reply
 // arrives the reader is guaranteed to find the owner at the head of the
-// queue.
-func (c *Client) writeLoop() {
-	defer c.wg.Done()
+// queue. A reconnect epoch resubmits the previous epoch's outstanding
+// slots before consuming anything new.
+func (ep *epoch) writeLoop() {
+	defer ep.wg.Done()
+	c := ep.c
 	// bufs is the master backing array; wv (the net.Buffers WriteTo consumes
 	// and advances) is a copy of its header, so the master keeps its
 	// capacity across rounds. wv lives outside the loop because WriteTo's
@@ -258,72 +533,97 @@ func (c *Client) writeLoop() {
 	// lifetime instead of one allocation per vector write.
 	bufs := make(net.Buffers, 0, c.window)
 	var wv net.Buffers
+	if len(ep.resub) > 0 {
+		for _, slot := range ep.resub {
+			ep.inflight <- slot
+			bufs = append(bufs, c.calls[slot].frame.Bytes())
+		}
+		if !ep.writeVec(&wv, bufs) {
+			return
+		}
+	}
 	for {
 		var slot uint32
 		select {
 		case slot = <-c.sendq:
-		case <-c.dead:
+		case <-ep.dead:
 			return
 		}
-		c.inflight <- slot
+		ep.inflight <- slot
 		bufs = append(bufs[:0], c.calls[slot].frame.Bytes())
 	coalesce:
 		for len(bufs) < c.window {
 			select {
 			case s := <-c.sendq:
-				c.inflight <- s
+				ep.inflight <- s
 				bufs = append(bufs, c.calls[s].frame.Bytes())
 			default:
 				break coalesce
 			}
 		}
-		var err error
-		if len(bufs) == 1 {
-			_, err = c.nc.Write(bufs[0])
-		} else {
-			wv = bufs
-			_, err = wv.WriteTo(c.nc)
-		}
-		if err != nil {
-			c.fail(fmt.Errorf("server: write: %w", err))
+		if !ep.writeVec(&wv, bufs) {
 			return
 		}
 	}
+}
+
+func (ep *epoch) writeVec(wv *net.Buffers, bufs net.Buffers) bool {
+	var err error
+	if len(bufs) == 1 {
+		_, err = ep.nc.Write(bufs[0])
+	} else {
+		*wv = bufs
+		_, err = wv.WriteTo(ep.nc)
+	}
+	if err != nil {
+		ep.fail(classed(ClassTransport, fmt.Errorf("server: write: %w", err)))
+		return false
+	}
+	return true
 }
 
 // readLoop matches replies to in-flight slots. The server replies strictly
 // in request order per connection, so the oldest registered slot owns the
 // next reply; the echoed id (gen<<32|slot) is verified against the slot's
 // current occupant, making a mismatched, stale, or unsolicited reply a
-// connection-fatal protocol error rather than silent corruption.
-func (c *Client) readLoop() {
-	defer c.wg.Done()
-	sc := codec.NewFrameScanner(c.nc)
+// connection-fatal protocol error rather than silent corruption. (With
+// Reconnect set, "connection-fatal" means a reconnect: a poisoned stream —
+// e.g. the second reply to a frame a middlebox duplicated — is abandoned
+// with the socket, and the resent requests dedup server-side.)
+func (ep *epoch) readLoop() {
+	defer ep.wg.Done()
+	c := ep.c
+	sc := codec.NewFrameScanner(ep.nc)
 	var rd codec.Reader
 	for {
 		kind, body, err := sc.Next()
 		if err != nil {
-			c.fail(fmt.Errorf("server: reading reply: %w", err))
+			ep.fail(classifyRead(err))
 			return
 		}
 		var slot uint32
 		select {
-		case slot = <-c.inflight:
+		case slot = <-ep.inflight:
 		default:
-			c.fail(errors.New("server: unsolicited reply with no request in flight"))
+			ep.fail(classed(ClassProtocol, errors.New("server: unsolicited reply with no request in flight")))
 			return
 		}
 		cl := &c.calls[slot]
 		rd.Reset(body)
 		id := rd.U64()
 		if rd.Err() != nil {
-			c.fail(fmt.Errorf("server: bad reply frame: %v", rd.Err()))
+			// The dequeued slot is still owed a reply — park it as the
+			// epoch's orphan so collect resubmits it ahead of inflight.
+			ep.orphan = int64(slot)
+			ep.fail(classed(ClassProtocol, fmt.Errorf("server: bad reply frame: %v", rd.Err())))
 			return
 		}
 		if want := uint64(cl.gen)<<32 | uint64(slot); id != want {
-			c.fail(fmt.Errorf("server: reply id %#x does not match in-flight request %#x", id, want))
+			ep.orphan = int64(slot)
+			ep.fail(classed(ClassProtocol, fmt.Errorf("server: reply id %#x does not match in-flight request %#x", id, want)))
 			return
 		}
+		c.acked.Add(1)
 		if ack := cl.ack; ack != nil {
 			// Ack-only request: interpret the reply here, recycle the slot
 			// now (eager window release — see pendingAck), then deliver.
@@ -338,7 +638,65 @@ func (c *Client) readLoop() {
 		// the hot path copies zero bytes.
 		cl.replyKind = kind
 		cl.msg = append(cl.msg[:0], body[8:]...)
-		cl.done <- struct{}{}
+		if cl.fate.CompareAndSwap(fatePending, fateReplied) {
+			cl.done <- struct{}{}
+		} else {
+			// The awaiting caller abandoned the call at its deadline; the
+			// reply is consumed here and the slot recycled.
+			c.release(slot)
+		}
+	}
+}
+
+// classifyRead maps a reader failure to its class: a clean EOF at a frame
+// boundary is the server draining gracefully; a mid-frame cut is a crashed
+// transport (callers can test errors.Is(err, io.ErrUnexpectedEOF)); other
+// corruption is a protocol failure — also cleared by a reconnect, since a
+// fresh connection abandons the poisoned stream.
+func classifyRead(err error) error {
+	if err == io.EOF {
+		return classed(ClassTransport, ErrServerDrain)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return classed(ClassTransport, fmt.Errorf("server: reading reply: %w", err))
+	}
+	return classed(ClassProtocol, fmt.Errorf("server: reading reply: %w", err))
+}
+
+// stallWatch kills an epoch whose connection stopped making progress with
+// requests outstanding — the black-holed connection, which neither read nor
+// write errors ever surface. Progress is replies matched (c.acked); an
+// empty pipeline never stalls. The kill is an ordinary transport failure,
+// so a Reconnect policy redials and resends.
+func (ep *epoch) stallWatch() {
+	defer ep.wg.Done()
+	c := ep.c
+	interval := c.policy.StallTimeout / 8
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	last := c.acked.Load()
+	var stalled time.Duration
+	for {
+		select {
+		case <-ep.dead:
+			return
+		case <-t.C:
+		}
+		if a := c.acked.Load(); a != last || len(ep.inflight) == 0 {
+			last = a
+			stalled = 0
+			continue
+		}
+		stalled += interval
+		if stalled >= c.policy.StallTimeout {
+			ep.fail(classed(ClassTransport, fmt.Errorf(
+				"server: connection stalled: no reply in %v with requests in flight",
+				c.policy.StallTimeout)))
+			return
+		}
 	}
 }
 
@@ -355,11 +713,54 @@ type Pending struct {
 }
 
 // Wait blocks until the request's reply arrives and returns the ack error
-// (nil for OK, the server's message for Error, the sticky client error if
-// the connection died mid-window).
+// (nil for OK, ErrBusy for an overload shed, the server's message for
+// Error, the sticky client error if the client died permanently). When the
+// client's RetryPolicy sets RequestTimeout, Wait is bounded by it.
 func (p Pending) Wait() error {
+	var timeout time.Duration
+	if p.c != nil {
+		timeout = p.c.policy.RequestTimeout
+	}
+	return p.waitTimeout(timeout)
+}
+
+// WaitTimeout is Wait bounded by d (overriding the policy's
+// RequestTimeout); d <= 0 waits indefinitely. Past the bound it returns
+// ErrDeadlineExceeded and abandons the ack — the request is NOT cancelled:
+// the server may still apply it, and a reconnect may still resend it, with
+// the session/seq window keeping the eventual commit exactly-once. An
+// abandoned Pending must not be waited again.
+func (p Pending) WaitTimeout(d time.Duration) error { return p.waitTimeout(d) }
+
+// WaitDeadline is WaitTimeout against an absolute deadline. A deadline
+// already in the past still wins an ack that has landed; otherwise it
+// returns ErrDeadlineExceeded without parking.
+func (p Pending) WaitDeadline(t time.Time) error {
 	if p.c == nil || p.ack == nil {
 		return errors.New("server: Wait on zero Pending")
+	}
+	d := time.Until(t)
+	if d <= 0 {
+		select {
+		case err := <-p.ack.err:
+			ackPool.Put(p.ack)
+			return err
+		default:
+			return errDeadlineClassed
+		}
+	}
+	return p.waitTimeout(d)
+}
+
+func (p Pending) waitTimeout(timeout time.Duration) error {
+	if p.c == nil || p.ack == nil {
+		return errors.New("server: Wait on zero Pending")
+	}
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
 	}
 	select {
 	case err := <-p.ack.err:
@@ -378,6 +779,16 @@ func (p Pending) Wait() error {
 			// mid-delivery when it was killed.
 			return p.c.sticky()
 		}
+	case <-expire:
+		select {
+		case err := <-p.ack.err:
+			ackPool.Put(p.ack)
+			return err
+		default:
+			// Abandoned, not pooled: the reader will still deliver into the
+			// cell when the reply lands; nobody collects it.
+			return errDeadlineClassed
+		}
 	}
 }
 
@@ -395,11 +806,14 @@ func (c *Client) ackErr(cl *call) error {
 }
 
 // ackErrWire interprets a bare-OK reply straight from the wire: nil for OK,
-// the server's message for Error. Allocates only on the error path.
+// ErrBusy for an overload shed, the server's message for Error. Allocates
+// only on the Error path.
 func ackErrWire(kind uint8, payload []byte) error {
 	switch kind {
 	case codec.KindWireOK:
 		return nil
+	case codec.KindWireBusy:
+		return errBusyClassed
 	case codec.KindWireError:
 		var rd codec.Reader
 		rd.Reset(payload)

@@ -25,6 +25,17 @@
 // stream ID once and the observation count up front, so the server can
 // decode straight into pooled slabs sized from the payload length.
 //
+// Ingest, IngestBatch, and TryIngestBatch payloads carry, between the
+// request id and the stream ID, the client's session id and a per-stream
+// sequence number (both uint64) — the exactly-once identity under retry: a
+// reconnecting client resends requests whose acks were lost, and the server
+// acks a (session, stream, seq) it already committed without re-ingesting
+// (see dedup.go). Session 0 opts out of deduplication. When overload
+// shedding is enabled (Config.ShedHighWater) a blocking ingest for a
+// saturated shard is refused with Busy, which a retrying client backs off
+// and resends — with the same seq, so the eventual commit is still exactly
+// once.
+//
 // # Parallel fan-in
 //
 // Each connection is served by its own goroutine, so N clients are N

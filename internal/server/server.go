@@ -41,6 +41,27 @@ type Config struct {
 	// leaving the server parked in a socket write) are force-closed so
 	// shutdown always terminates. Default 5s.
 	DrainTimeout time.Duration
+	// DedupWindow sizes the per-(session, stream) exactly-once window, in
+	// sequence numbers (see dedup.go): a retried ingest whose seq was
+	// already committed inside the window is acked without re-ingesting.
+	// Rounded up to a power of two, minimum 64; default 1024 (it must
+	// comfortably exceed a client's total in-flight requests per stream).
+	// Negative disables deduplication entirely — retries may then
+	// double-ingest.
+	DedupWindow int
+	// MaxSessions bounds the distinct client sessions the dedup table
+	// tracks; past it the least-recently-active session's window is
+	// dropped. Default 1024.
+	MaxSessions int
+	// ShedHighWater, in (0, 1], enables overload shedding: a blocking
+	// Ingest/IngestBatch whose target shard's queue occupancy is at or
+	// above this fraction of capacity is refused with a Busy reply instead
+	// of queueing (counted in Snapshot.Shedded), keeping the server
+	// responsive — and its sheds observable — instead of silently pushing
+	// the stall into TCP. TryIngestBatch already has Busy semantics and is
+	// shed at the same threshold. 0 disables shedding (blocking ingests
+	// apply the monitor's backpressure as before).
+	ShedHighWater float64
 }
 
 func (c *Config) withDefaults() error {
@@ -58,6 +79,12 @@ func (c *Config) withDefaults() error {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 1024
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
 	}
 	return nil
 }
@@ -78,10 +105,15 @@ type Server struct {
 
 	// Wire-path counters, overlaid onto Snapshot replies and /metrics (the
 	// in-process monitor cannot know them): the deepest per-connection
-	// pipeline observed, and frames (replies and event pushes) that rode a
-	// preceding frame's socket write instead of costing their own.
+	// pipeline observed, frames (replies and event pushes) that rode a
+	// preceding frame's socket write instead of costing their own, and
+	// blocking ingests refused with Busy by overload shedding.
 	inflightHW       atomic.Uint64
 	repliesCoalesced atomic.Uint64
+	shedded          atomic.Uint64
+
+	// dedup is the exactly-once window (nil when Config.DedupWindow < 0).
+	dedup *dedupTable
 }
 
 // New builds a Server and starts serving immediately (accept loop and, when
@@ -99,6 +131,9 @@ func New(cfg Config) (*Server, error) {
 		ln:        ln,
 		conns:     make(map[net.Conn]struct{}),
 		closeDone: make(chan struct{}),
+	}
+	if cfg.DedupWindow > 0 {
+		s.dedup = newDedupTable(cfg.DedupWindow, cfg.MaxSessions)
 	}
 	if cfg.HTTPAddr != "" {
 		hln, err := net.Listen("tcp", cfg.HTTPAddr)
@@ -226,6 +261,10 @@ func (s *Server) wireSnapshot() monitor.Snapshot {
 	sn := s.cfg.Monitor.Snapshot()
 	sn.InFlightHighWater = s.inflightHW.Load()
 	sn.RepliesCoalesced = s.repliesCoalesced.Load()
+	sn.Shedded = s.shedded.Load()
+	if s.dedup != nil {
+		sn.DedupHits = s.dedup.hits.Load()
+	}
 	return sn
 }
 
@@ -329,6 +368,7 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 	m := h.s.cfg.Monitor
 	switch kind {
 	case codec.KindWireIngest:
+		session, seq := h.rd.U64(), h.rd.U64()
 		sid, ok := h.streamID()
 		if !ok {
 			return h.replyErr(id, "bad ingest payload")
@@ -338,17 +378,33 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		if h.rd.Done() != nil {
 			return h.replyErr(id, "bad ingest payload")
 		}
+		// Dedup before shed: a duplicate of an already-committed request
+		// must ack OK even under overload — the work is already done.
+		if h.applied(session, sid, seq) {
+			return h.reply(id, codec.KindWireOK)
+		}
+		if h.shed(sid) {
+			return h.reply(id, codec.KindWireBusy)
+		}
 		if err := m.Ingest(sid, o); err != nil {
 			return h.replyErr(id, err.Error())
 		}
+		h.commit(session, sid, seq)
 		return h.reply(id, codec.KindWireOK)
 
 	case codec.KindWireIngestBatch, codec.KindWireTryIngestBatch:
+		session, seq := h.rd.U64(), h.rd.U64()
 		sid, obs, ok := h.decodeBatch()
 		if !ok {
 			return h.replyErr(id, "bad batch payload")
 		}
+		if h.applied(session, sid, seq) {
+			return h.reply(id, codec.KindWireOK)
+		}
 		if kind == codec.KindWireTryIngestBatch {
+			if h.shed(sid) {
+				return h.reply(id, codec.KindWireBusy)
+			}
 			accepted, err := m.TryIngestBatch(sid, obs)
 			if err != nil {
 				return h.replyErr(id, err.Error())
@@ -356,11 +412,16 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 			if !accepted {
 				return h.reply(id, codec.KindWireBusy)
 			}
+			h.commit(session, sid, seq)
 			return h.reply(id, codec.KindWireOK)
+		}
+		if h.shed(sid) {
+			return h.reply(id, codec.KindWireBusy)
 		}
 		if err := m.IngestBatch(sid, obs); err != nil {
 			return h.replyErr(id, err.Error())
 		}
+		h.commit(session, sid, seq)
 		return h.reply(id, codec.KindWireOK)
 
 	case codec.KindWireSubscribe:
@@ -424,6 +485,37 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		h.replyErr(id, "unknown request kind")
 		return false
 	}
+}
+
+// applied reports whether (session, stream, seq) was already committed in
+// the exactly-once window. Session 0 marks a client without retry identity
+// (or a pre-session peer) and bypasses deduplication.
+func (h *connHandler) applied(session uint64, sid string, seq uint64) bool {
+	d := h.s.dedup
+	return d != nil && session != 0 && d.applied(session, sid, seq)
+}
+
+// commit records a successfully enqueued ingest in the exactly-once window.
+func (h *connHandler) commit(session uint64, sid string, seq uint64) {
+	if d := h.s.dedup; d != nil && session != 0 {
+		d.commit(session, sid, seq)
+	}
+}
+
+// shed reports whether overload shedding refuses work for sid's shard right
+// now (queue occupancy at or above Config.ShedHighWater of capacity),
+// counting the refusal.
+func (h *connHandler) shed(sid string) bool {
+	hw := h.s.cfg.ShedHighWater
+	if hw <= 0 {
+		return false
+	}
+	q, capacity := h.s.cfg.Monitor.QueuePressure(sid)
+	if float64(q) < hw*float64(capacity) {
+		return false
+	}
+	h.s.shedded.Add(1)
+	return true
 }
 
 // streamID reads a length-prefixed stream ID, interning it so steady-state

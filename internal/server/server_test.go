@@ -282,9 +282,12 @@ func TestServerBadRequest(t *testing.T) {
 		t.Fatal("error reply carries no message")
 	}
 	// The connection survives a payload error: a valid request still works.
+	// Session 0 opts out of exactly-once dedup, so seq can be anything.
 	obs := testObs(8, 1)
 	b.Reset()
 	b.U64(2)
+	b.U64(0)
+	b.U64(0)
 	b.Str("s")
 	encodeObs(b, obs[0])
 	if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireIngest, b.Bytes())); err != nil {

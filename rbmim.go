@@ -316,8 +316,65 @@ func DialPool(addr string, conns, window int) (*ClientPool, error) {
 	return server.DialPool(addr, conns, window)
 }
 
+// RetryPolicy configures how a Client survives failure: reconnect with
+// capped jittered exponential backoff, Busy retries, request deadlines, and
+// a stall watchdog. The zero value disables every mechanism (what Dial,
+// DialWindow, and DialPool use).
+type RetryPolicy = server.RetryPolicy
+
+// ErrorClass is the retry-relevant classification of a client error; see
+// Classify.
+type ErrorClass = server.ErrorClass
+
+// The client error classes; see Classify.
+const (
+	ErrorClassApp       = server.ClassApp
+	ErrorClassTransport = server.ClassTransport
+	ErrorClassProtocol  = server.ClassProtocol
+	ErrorClassBusy      = server.ClassBusy
+	ErrorClassClosed    = server.ClassClosed
+	ErrorClassDeadline  = server.ClassDeadline
+)
+
+// DefaultRetryPolicy returns the production retry shape: reconnect,
+// backoff, Busy retries, stall watchdog; request timeouts stay opt-in.
+func DefaultRetryPolicy() RetryPolicy { return server.DefaultRetryPolicy() }
+
+// DialRetry connects a Client with an explicit in-flight window and retry
+// policy — the entry point for clients that must survive real networks.
+// Requests that were in flight when a connection died are resent on the
+// replacement connection, exactly once server-side (session/seq dedup).
+func DialRetry(addr string, window int, policy RetryPolicy) (*Client, error) {
+	return server.DialRetry(addr, window, policy)
+}
+
+// DialPoolRetry is DialPool with a retry policy applied to every
+// connection; the pool's connections share one exactly-once identity, and
+// streams fail over deterministically off permanently dead connections.
+func DialPoolRetry(addr string, conns, window int, policy RetryPolicy) (*ClientPool, error) {
+	return server.DialPoolRetry(addr, conns, window, policy)
+}
+
+// Classify returns the retry-relevant class of an error returned by Client,
+// ClientPool, or ClientPending methods.
+func Classify(err error) ErrorClass { return server.Classify(err) }
+
 // ErrClientClosed is returned by Client methods after Client.Close.
 var ErrClientClosed = server.ErrClientClosed
+
+// ErrBusy is returned when the server sheds load (ServerConfig.
+// ShedHighWater) and the client's Busy retries are exhausted or disabled.
+var ErrBusy = server.ErrBusy
+
+// ErrDeadlineExceeded is returned when a request deadline
+// (RetryPolicy.RequestTimeout, ClientPending.WaitTimeout/WaitDeadline)
+// expires before the reply arrives.
+var ErrDeadlineExceeded = server.ErrDeadlineExceeded
+
+// ErrServerDrain marks a connection the server closed cleanly at a frame
+// boundary (graceful shutdown), as opposed to a mid-frame cut, which
+// surfaces as an error wrapping io.ErrUnexpectedEOF.
+var ErrServerDrain = server.ErrServerDrain
 
 // Evaluation harness re-exports.
 type (
