@@ -50,23 +50,34 @@ const (
 // length, CRC — so the server reuses this package's framing and corruption
 // handling verbatim, but live in a disjoint numeric range so a checkpoint
 // file fed to a server socket (or vice versa) fails cleanly on kind.
+//
+// The numeric block doubles as the wire protocol revision: the frame-level
+// Version byte is shared with the checkpoint format and cannot be bumped
+// for wire-only changes without orphaning saved checkpoints, so any
+// incompatible change to a wire payload moves the whole kind block to a
+// fresh range instead. A version-skewed peer then fails fast and loudly —
+// the server answers "unknown request kind" and hangs up, the client
+// surfaces an unexpected reply kind — rather than misparsing the payload
+// bytes into garbage requests. Revision 1 occupied 16–28; revision 2
+// (current) moved to 32–44 when the ingest payloads gained the exactly-once
+// session id + sequence number between the request id and the stream ID.
 const (
 	// Requests (client -> server). Every request payload starts with a u64
 	// request id echoed by the matching reply.
-	KindWireIngest         uint8 = 16 // one observation for one stream
-	KindWireIngestBatch    uint8 = 17 // a block of observations (blocking backpressure)
-	KindWireTryIngestBatch uint8 = 18 // a block of observations (Busy instead of blocking)
-	KindWireSubscribe      uint8 = 19 // turn the connection into a drift-event stream
-	KindWireSnapshotReq    uint8 = 20 // request an aggregate monitor snapshot
-	KindWireEvict          uint8 = 21 // evict one stream (spills with checkpointing on)
-	KindWireFlush          uint8 = 22 // process everything queued + flush checkpoints
+	KindWireIngest         uint8 = 32 // one observation for one stream
+	KindWireIngestBatch    uint8 = 33 // a block of observations (blocking backpressure)
+	KindWireTryIngestBatch uint8 = 34 // a block of observations (Busy instead of blocking)
+	KindWireSubscribe      uint8 = 35 // turn the connection into a drift-event stream
+	KindWireSnapshotReq    uint8 = 36 // request an aggregate monitor snapshot
+	KindWireEvict          uint8 = 37 // evict one stream (spills with checkpointing on)
+	KindWireFlush          uint8 = 38 // process everything queued + flush checkpoints
 
 	// Replies (server -> client).
-	KindWireOK       uint8 = 24 // request succeeded, no payload beyond the id
-	KindWireBusy     uint8 = 25 // TryIngestBatch dropped the block (queue full)
-	KindWireError    uint8 = 26 // request failed; payload carries a message
-	KindWireSnapshot uint8 = 27 // snapshot reply; payload is canonical JSON
-	KindWireEvent    uint8 = 28 // pushed drift event (request id 0)
+	KindWireOK       uint8 = 40 // request succeeded, no payload beyond the id
+	KindWireBusy     uint8 = 41 // TryIngestBatch dropped the block (queue full)
+	KindWireError    uint8 = 42 // request failed; payload carries a message
+	KindWireSnapshot uint8 = 43 // snapshot reply; payload is canonical JSON
+	KindWireEvent    uint8 = 44 // pushed drift event (request id 0)
 )
 
 // ErrInvalid is wrapped by every decode failure, so callers can test

@@ -30,11 +30,23 @@
 // sequence number (both uint64) — the exactly-once identity under retry: a
 // reconnecting client resends requests whose acks were lost, and the server
 // acks a (session, stream, seq) it already committed without re-ingesting
-// (see dedup.go). Session 0 opts out of deduplication. When overload
-// shedding is enabled (Config.ShedHighWater) a blocking ingest for a
-// saturated shard is refused with Busy, which a retrying client backs off
-// and resends — with the same seq, so the eventual commit is still exactly
-// once.
+// (see dedup.go). The commit check is an atomic claim, not a lookup: a
+// resend arriving on a new connection while the original request is still
+// blocked inside the monitor's enqueue on the old one waits for that
+// outcome instead of double-ingesting. A seq that fell out of the dedup
+// window without ever committing is rejected with an Error reply — its fate
+// is undecidable, and a false OK would be silent data loss. Session 0 opts
+// out of deduplication. When overload shedding is enabled
+// (Config.ShedHighWater) a blocking ingest for a saturated shard is refused
+// with Busy, which a retrying client backs off and resends — with the same
+// seq, so the eventual commit is still exactly once.
+//
+// The protocol has no handshake; version negotiation is by frame kind. The
+// wire kind ids live in a numeric block that moves wholesale on any
+// incompatible payload change (internal/codec documents the revisions), so
+// a version-skewed peer draws one "unknown request kind" Error and a
+// hangup — a clean incompatibility failure — instead of having its payload
+// bytes misparsed under the new layout.
 //
 // # Parallel fan-in
 //

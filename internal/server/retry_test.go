@@ -748,44 +748,148 @@ func TestClientCleanEOFVsMidFrame(t *testing.T) {
 }
 
 // TestDedupTable exercises the exact-set window directly: duplicates inside
-// the window, gaps staying fresh, aging out, and session eviction.
+// the window, gaps staying fresh, aged-out rejection, and session eviction.
 func TestDedupTable(t *testing.T) {
 	d := newDedupTable(64, 2)
-	if d.applied(1, "s", 5) {
-		t.Fatal("fresh seq reported applied")
+	// commit claims a seq (which must be fresh) and settles it committed.
+	commit := func(session uint64, stream string, seq uint64) {
+		t.Helper()
+		state, token := d.claim(session, stream, seq)
+		if state != claimOwned {
+			t.Fatalf("claim(%d,%q,%d) = %d, want owned", session, stream, seq, state)
+		}
+		d.settle(session, stream, seq, token, true)
 	}
-	d.commit(1, "s", 5)
-	if !d.applied(1, "s", 5) {
+	// fate probes a seq's state without leaving an in-flight marker behind.
+	fate := func(session uint64, stream string, seq uint64) claimState {
+		t.Helper()
+		state, token := d.claim(session, stream, seq)
+		if state == claimOwned {
+			d.settle(session, stream, seq, token, false)
+		}
+		return state
+	}
+
+	if fate(1, "s", 5) != claimOwned {
+		t.Fatal("fresh seq not claimable")
+	}
+	commit(1, "s", 5)
+	if fate(1, "s", 5) != claimApplied {
 		t.Fatal("committed seq reported fresh")
 	}
 	// A gap (seq 6 skipped, e.g. a shed) stays fresh after newer commits.
-	d.commit(1, "s", 7)
-	if d.applied(1, "s", 6) {
+	commit(1, "s", 7)
+	if fate(1, "s", 6) != claimOwned {
 		t.Fatal("gap seq reported applied")
 	}
-	if !d.applied(1, "s", 5) || !d.applied(1, "s", 7) {
+	if fate(1, "s", 5) != claimApplied || fate(1, "s", 7) != claimApplied {
 		t.Fatal("committed seqs lost after advance")
 	}
-	// Aging past the window: a seq far below maxSeq is conservatively
-	// applied, even if it was never committed.
-	d.commit(1, "s", 500)
-	if !d.applied(1, "s", 6) {
-		t.Fatal("aged-out seq must report applied (cannot risk double-ingest)")
+	// A released seq (shed, ingest error) stays fresh for the retry.
+	state, token := d.claim(1, "s", 8)
+	if state != claimOwned {
+		t.Fatalf("claim(8) = %d, want owned", state)
+	}
+	d.settle(1, "s", 8, token, false)
+	if fate(1, "s", 8) != claimOwned {
+		t.Fatal("released seq not claimable again")
+	}
+	// Aging past the window: a never-committed seq far below maxSeq is
+	// undecidable — it must be rejected, never acked as applied (a false OK
+	// would report silent data loss as success).
+	commit(1, "s", 500)
+	if fate(1, "s", 6) != claimAged {
+		t.Fatal("aged-out seq must be rejected, not acked")
 	}
 	// Other streams and sessions are independent.
-	if d.applied(1, "other", 5) || d.applied(2, "s", 5) {
+	if fate(1, "other", 5) != claimOwned || fate(2, "s", 5) != claimOwned {
 		t.Fatal("dedup leaked across stream or session")
 	}
-	// Session eviction: capacity 2, a third session evicts the oldest.
-	d.commit(2, "s", 1)
-	d.commit(3, "s", 1)
-	if d.applied(1, "s", 5) {
+	// Session eviction: capacity 2, a new session evicts the oldest.
+	commit(2, "s", 1)
+	commit(3, "s", 1)
+	if fate(1, "s", 5) != claimOwned {
 		t.Fatal("evicted session's state survived")
 	}
-	if !d.applied(3, "s", 1) {
+	if fate(3, "s", 1) != claimApplied {
 		t.Fatal("newest session evicted instead of oldest")
 	}
 	if d.hits.Load() == 0 {
 		t.Fatal("dedup hits not counted")
+	}
+}
+
+// TestDedupClaimInFlight pins the reconnect-resend race the claim API
+// exists for: a duplicate of a seq that is still being ingested (the old
+// connection's handler blocked inside the monitor's enqueue) must wait for
+// the owner's outcome — ack if it committed, take ownership if it was
+// released — never ingest concurrently.
+func TestDedupClaimInFlight(t *testing.T) {
+	d := newDedupTable(64, 4)
+	dup := func(dt *dedupTable, session uint64, stream string, seq uint64) chan claimState {
+		got := make(chan claimState, 1)
+		go func() {
+			state, _ := dt.claim(session, stream, seq)
+			got <- state
+		}()
+		return got
+	}
+
+	// Owner commits: the waiting duplicate resolves to applied.
+	state, token := d.claim(1, "s", 9)
+	if state != claimOwned {
+		t.Fatalf("first claim = %d, want owned", state)
+	}
+	got := dup(d, 1, "s", 9)
+	select {
+	case st := <-got:
+		t.Fatalf("duplicate resolved to %d while its seq was in flight", st)
+	case <-time.After(50 * time.Millisecond):
+	}
+	d.settle(1, "s", 9, token, true)
+	select {
+	case st := <-got:
+		if st != claimApplied {
+			t.Fatalf("duplicate after commit = %d, want applied", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate still blocked after the owner committed")
+	}
+
+	// Owner releases (shed / error): the duplicate inherits ownership.
+	state, token = d.claim(1, "s", 10)
+	if state != claimOwned {
+		t.Fatalf("claim(10) = %d, want owned", state)
+	}
+	got = dup(d, 1, "s", 10)
+	d.settle(1, "s", 10, token, false)
+	select {
+	case st := <-got:
+		if st != claimOwned {
+			t.Fatalf("duplicate after release = %d, want owned", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate still blocked after the owner released")
+	}
+
+	// Eviction wakes waiters instead of stranding them: session 1 holds an
+	// in-flight seq with a duplicate parked on it; sessions 2 and 3 push the
+	// cap-2 table over, evicting 1 and releasing its marker.
+	d2 := newDedupTable(64, 2)
+	if state, _ := d2.claim(1, "s", 1); state != claimOwned {
+		t.Fatalf("claim on fresh table = %d, want owned", state)
+	}
+	got = dup(d2, 1, "s", 1)
+	select {
+	case st := <-got:
+		t.Fatalf("duplicate resolved to %d before eviction", st)
+	case <-time.After(20 * time.Millisecond):
+	}
+	d2.claim(2, "s", 1)
+	d2.claim(3, "s", 1) // evicts session 1, waking its waiter
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("eviction stranded an in-flight waiter")
 	}
 }

@@ -378,18 +378,24 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		if h.rd.Done() != nil {
 			return h.replyErr(id, "bad ingest payload")
 		}
-		// Dedup before shed: a duplicate of an already-committed request
+		// Claim before shed: a duplicate of an already-committed request
 		// must ack OK even under overload — the work is already done.
-		if h.applied(session, sid, seq) {
+		state, token := h.claim(session, sid, seq)
+		switch state {
+		case claimApplied:
 			return h.reply(id, codec.KindWireOK)
+		case claimAged:
+			return h.replyErr(id, errSeqAged)
 		}
 		if h.shed(sid) {
+			h.settle(session, sid, seq, token, false)
 			return h.reply(id, codec.KindWireBusy)
 		}
 		if err := m.Ingest(sid, o); err != nil {
+			h.settle(session, sid, seq, token, false)
 			return h.replyErr(id, err.Error())
 		}
-		h.commit(session, sid, seq)
+		h.settle(session, sid, seq, token, true)
 		return h.reply(id, codec.KindWireOK)
 
 	case codec.KindWireIngestBatch, codec.KindWireTryIngestBatch:
@@ -398,30 +404,39 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		if !ok {
 			return h.replyErr(id, "bad batch payload")
 		}
-		if h.applied(session, sid, seq) {
+		state, token := h.claim(session, sid, seq)
+		switch state {
+		case claimApplied:
 			return h.reply(id, codec.KindWireOK)
+		case claimAged:
+			return h.replyErr(id, errSeqAged)
 		}
 		if kind == codec.KindWireTryIngestBatch {
 			if h.shed(sid) {
+				h.settle(session, sid, seq, token, false)
 				return h.reply(id, codec.KindWireBusy)
 			}
 			accepted, err := m.TryIngestBatch(sid, obs)
 			if err != nil {
+				h.settle(session, sid, seq, token, false)
 				return h.replyErr(id, err.Error())
 			}
 			if !accepted {
+				h.settle(session, sid, seq, token, false)
 				return h.reply(id, codec.KindWireBusy)
 			}
-			h.commit(session, sid, seq)
+			h.settle(session, sid, seq, token, true)
 			return h.reply(id, codec.KindWireOK)
 		}
 		if h.shed(sid) {
+			h.settle(session, sid, seq, token, false)
 			return h.reply(id, codec.KindWireBusy)
 		}
 		if err := m.IngestBatch(sid, obs); err != nil {
+			h.settle(session, sid, seq, token, false)
 			return h.replyErr(id, err.Error())
 		}
-		h.commit(session, sid, seq)
+		h.settle(session, sid, seq, token, true)
 		return h.reply(id, codec.KindWireOK)
 
 	case codec.KindWireSubscribe:
@@ -480,25 +495,40 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 		return h.reply(id, codec.KindWireOK)
 
 	default:
-		// Unknown kind: the peer speaks a different protocol (or a newer
-		// one); answer once and hang up.
-		h.replyErr(id, "unknown request kind")
+		// Unknown kind: the peer speaks a different protocol revision (the
+		// wire kinds move to a new numeric block on incompatible payload
+		// changes — see internal/codec) or is corrupt; answer once and hang
+		// up rather than misparse.
+		h.replyErr(id, fmt.Sprintf("unknown request kind %d (wire protocol version skew?)", kind))
 		return false
 	}
 }
 
-// applied reports whether (session, stream, seq) was already committed in
-// the exactly-once window. Session 0 marks a client without retry identity
-// (or a pre-session peer) and bypasses deduplication.
-func (h *connHandler) applied(session uint64, sid string, seq uint64) bool {
+// errSeqAged is the Error-reply message for a seq that fell out of the
+// exactly-once window undecided (see dedup.go): acking it could report
+// silent data loss as success, so the client must surface the failure.
+const errSeqAged = "ingest seq aged out of the exactly-once window undecided; not applied"
+
+// claim atomically resolves (session, stream, seq) against the exactly-once
+// window, waiting out a concurrent ingest of the same seq on another
+// connection (the reconnect-resend race: the old connection's handler may
+// still be blocked inside the monitor's enqueue when the resend arrives).
+// A claimOwned result obliges the caller to settle the returned token on
+// every outcome path. Session 0 marks a client without retry identity and
+// bypasses deduplication (claimOwned with token 0; settle no-ops).
+func (h *connHandler) claim(session uint64, sid string, seq uint64) (claimState, uint64) {
 	d := h.s.dedup
-	return d != nil && session != 0 && d.applied(session, sid, seq)
+	if d == nil || session == 0 {
+		return claimOwned, 0
+	}
+	return d.claim(session, sid, seq)
 }
 
-// commit records a successfully enqueued ingest in the exactly-once window.
-func (h *connHandler) commit(session uint64, sid string, seq uint64) {
-	if d := h.s.dedup; d != nil && session != 0 {
-		d.commit(session, sid, seq)
+// settle resolves a claimOwned ingest: committed on success, released (the
+// seq stays fresh for a retry) on shed or error.
+func (h *connHandler) settle(session uint64, sid string, seq uint64, token uint64, committed bool) {
+	if token != 0 {
+		h.s.dedup.settle(session, sid, seq, token, committed)
 	}
 }
 

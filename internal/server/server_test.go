@@ -682,6 +682,178 @@ func TestClientSubscriptionCloseUnblocks(t *testing.T) {
 	}
 }
 
+// TestServerConcurrentDuplicateExactlyOnce pins the reconnect-resend race:
+// a request blocked inside the monitor's enqueue on one connection and its
+// duplicate (same session/stream/seq) arriving on another must commit
+// exactly once — the duplicate waits for the first's outcome instead of
+// passing the committed-check while the first has not committed yet.
+func TestServerConcurrentDuplicateExactlyOnce(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv, _, c := newTestServer(t, monitor.Config{
+		Shards:    1,
+		QueueSize: 1, // rounds up to the 2-slot ring minimum
+		NewDetector: func(string) (detectors.Detector, error) {
+			return &blockingDetector{entered: entered, release: release}, nil
+		},
+	}, Config{})
+	obs := testObs(4, 4)
+	// Wedge the shard: one observation inside Update, two filling the ring.
+	if err := c.Ingest("s", obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := c.Ingest("s", obs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest("s", obs[2]); err != nil {
+		t.Fatal(err)
+	}
+	// Two raw connections send the same (session, stream, seq). The first
+	// handler blocks inside Monitor.Ingest (full ring) before it can commit;
+	// the duplicate must not ingest concurrently.
+	ingestFrame := func() []byte {
+		b := codec.NewBuffer(nil)
+		b.U64(1)
+		b.U64(7) // session
+		b.U64(1) // seq
+		b.Str("s")
+		encodeObs(b, obs[3])
+		return codec.AppendFrame(nil, codec.KindWireIngest, b.Bytes())
+	}
+	var conns [2]net.Conn
+	for i := range conns {
+		nc, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		conns[i] = nc
+		if _, err := nc.Write(ingestFrame()); err != nil {
+			t.Fatal(err)
+		}
+		// Let the first handler park inside the enqueue before the duplicate
+		// arrives, maximizing the overlap the claim must serialize.
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(release)
+	for i, nc := range conns {
+		kind, _, err := codec.NewFrameScanner(nc).Next()
+		if err != nil {
+			t.Fatalf("conn %d reply: %v", i, err)
+		}
+		if kind != codec.KindWireOK {
+			t.Fatalf("conn %d reply kind %d, want OK", i, kind)
+		}
+	}
+	if err := c.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Ingested != 4 {
+		t.Fatalf("Ingested = %d after a concurrent duplicate, want exactly 4", sn.Ingested)
+	}
+	if sn.DedupHits != 1 {
+		t.Fatalf("DedupHits = %d, want 1 (the duplicate acked without re-ingesting)", sn.DedupHits)
+	}
+}
+
+// TestServerSeqAgedRejected: a seq that fell out of the dedup window without
+// ever committing is undecidable and must draw an Error reply — acking OK
+// would report silent data loss (a Busy-shed retry deferred past the window)
+// as success.
+func TestServerSeqAgedRejected(t *testing.T) {
+	srv, _, _ := newTestServer(t, monitor.Config{
+		Shards: 1,
+		NewDetector: func(string) (detectors.Detector, error) {
+			return nullDetector{}, nil
+		},
+	}, Config{}) // default DedupWindow 1024
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	obs := testObs(4, 1)
+	send := func(id, seq uint64) {
+		t.Helper()
+		b := codec.NewBuffer(nil)
+		b.U64(id)
+		b.U64(9) // session
+		b.U64(seq)
+		b.Str("s")
+		encodeObs(b, obs[0])
+		if _, err := nc.Write(codec.AppendFrame(nil, codec.KindWireIngest, b.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := codec.NewFrameScanner(nc)
+	send(1, 2000)
+	if kind, _, err := sc.Next(); err != nil || kind != codec.KindWireOK {
+		t.Fatalf("seq 2000 reply (%d, %v), want OK", kind, err)
+	}
+	// seq 1 is now 1999 behind maxSeq — beyond the 1024 window, never
+	// committed: rejected, and nothing ingested for it.
+	send(2, 1)
+	kind, body, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != codec.KindWireError {
+		t.Fatalf("aged seq reply kind %d, want Error", kind)
+	}
+	rd := codec.NewReader(body)
+	rd.U64()
+	if msg := string(rd.Blob()); !strings.Contains(msg, "aged") {
+		t.Fatalf("aged seq error %q does not explain the aging", msg)
+	}
+}
+
+// TestServerWireRevisionSkew: a frame kind from wire protocol revision 1
+// (16, the pre-session/seq Ingest) must fail fast with an "unknown request
+// kind" Error and a hangup — never be misparsed under the revision-2 payload
+// layout, where its first 16 payload bytes would be consumed as session/seq.
+func TestServerWireRevisionSkew(t *testing.T) {
+	srv, _, _ := newTestServer(t, monitor.Config{
+		Detector: core.Config{Features: 8, Classes: 3, Seed: 7},
+		Shards:   1,
+	}, Config{})
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A well-formed revision-1 Ingest: id, stream ID, observation — no
+	// session or seq.
+	b := codec.NewBuffer(nil)
+	b.U64(1)
+	b.Str("s")
+	encodeObs(b, testObs(8, 1)[0])
+	const kindWireIngestRev1 = 16
+	if _, err := nc.Write(codec.AppendFrame(nil, kindWireIngestRev1, b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	sc := codec.NewFrameScanner(nc)
+	kind, body, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != codec.KindWireError {
+		t.Fatalf("revision-1 frame reply kind %d, want Error", kind)
+	}
+	rd := codec.NewReader(body)
+	rd.U64()
+	if msg := string(rd.Blob()); !strings.Contains(msg, "unknown request kind") {
+		t.Fatalf("revision skew error %q does not name the unknown kind", msg)
+	}
+	if _, _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("connection after revision skew: %v, want EOF", err)
+	}
+}
+
 // TestClientTryIngestBatchErrorNotAccepted pins the reply mapping: an Error
 // reply must come back as (false, err), mirroring Monitor.TryIngestBatch.
 func TestClientTryIngestBatchErrorNotAccepted(t *testing.T) {
