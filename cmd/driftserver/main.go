@@ -8,7 +8,7 @@
 // Usage:
 //
 //	driftserver -features 20 -classes 5
-//	            [-addr 127.0.0.1:7365] [-http 127.0.0.1:7366]
+//	            [-addr 127.0.0.1:7365] [-http 127.0.0.1:7366] [-pprof]
 //	            [-shards N] [-queue 4096] [-seed 7]
 //	            [-checkpoint mem|DIR] [-ckptint 30s] [-idlettl 0]
 //	            [-subevict 0] [-shed 0.9] [-dedupwindow 1024] [-sessions 1024]
@@ -35,6 +35,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7365", "TCP listen address (use :0 for a kernel-chosen port)")
 	httpAddr := flag.String("http", "", "HTTP sidecar address for /healthz and /metrics (empty disables)")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof handlers on the HTTP sidecar (requires -http)")
 	features := flag.Int("features", 0, "features per observation (required)")
 	classes := flag.Int("classes", 0, "classes per stream (required)")
 	shards := flag.Int("shards", 0, "worker shards (default NumCPU)")
@@ -79,6 +80,7 @@ func main() {
 		Addr:          *addr,
 		HTTPAddr:      *httpAddr,
 		MaxFrame:      *maxFrame,
+		Pprof:         *pprof,
 		ShedHighWater: *shed,
 		DedupWindow:   *dedupWindow,
 		MaxSessions:   *sessions,

@@ -15,6 +15,7 @@
 //	             [-remote ADDR] [-clients N] [-conns K] [-inflight W] [-churn S]
 //	             [-retry] [-chaosreset N] [-chaosdelay D] [-chaosdup P]
 //	             [-chaosdrop P] [-chaosseed S]
+//	             [-cluster ADDR1,ADDR2,...] [-migrate M]
 //
 // With -drift every stream undergoes a sudden concept change halfway
 // through, so the drift-event column should be non-zero for most streams.
@@ -73,6 +74,18 @@
 // enforces the exact-conservation exit check — plus, under -chaosreset, a
 // ≥ 1 reconnect check so the resilience claim is never vacuously green.
 // The control connection (snapshots, flush barrier) bypasses the proxy.
+//
+// With -cluster ADDR1,ADDR2,... monitorbench drives a driftserver fleet
+// through the consistent-hash cluster client (rbmim.DialCluster): streams
+// route to members by the ring, -conns/-inflight shape each member's pool,
+// and the run ends with a fleet-wide flush barrier and an exact
+// conservation check against the merged snapshot. With -migrate M the run
+// pauses halfway and live-migrates M streams to their next ring neighbor
+// via checkpoint handoff, then finishes the second half of the workload on
+// the new placement — the merged counters must still account for every
+// observation, and every migrated stream must have rehydrated on its
+// target. The chaos and churn knobs are single-server-mode only and are
+// rejected with -cluster.
 package main
 
 import (
@@ -116,6 +129,8 @@ func main() {
 	chaosDup := flag.Float64("chaosdup", 0, "remote mode: fault-proxy frame duplication probability")
 	chaosDrop := flag.Float64("chaosdrop", 0, "remote mode: fault-proxy frame drop probability")
 	chaosSeed := flag.Int64("chaosseed", 1, "remote mode: fault-proxy schedule seed")
+	cluster := flag.String("cluster", "", "drive a driftserver fleet at these comma-separated addresses via the consistent-hash cluster client")
+	migrateN := flag.Int("migrate", 0, "cluster mode: live-migrate this many streams to their next ring neighbor halfway through the run")
 	procsList := flag.String("procs", "", "comma-separated GOMAXPROCS values to sweep (multi-core scaling mode; default: current setting only)")
 	flag.Parse()
 
@@ -133,6 +148,33 @@ func main() {
 	workload, err := buildWorkload(*streams, *instances, *features, *classes, *drift)
 	if err != nil {
 		fail(err)
+	}
+
+	if *cluster != "" {
+		opts := remoteOpts{
+			clients: *clients, conns: *conns, inflight: *inflight,
+			batch: *batch, retry: *retry,
+			chaosReset: *chaosReset, chaosDelay: *chaosDelay,
+			chaosDup: *chaosDup, chaosDrop: *chaosDrop,
+		}
+		if opts.chaosEnabled() || *churn > 0 {
+			fail(fmt.Errorf("-chaos* and -churn are single-server knobs; they cannot be combined with -cluster"))
+		}
+		if opts.clients <= 0 {
+			opts.clients = *producers
+		}
+		if opts.inflight < 1 {
+			opts.inflight = 1
+		}
+		addrs := splitAddrs(*cluster)
+		runClusterMode(workload, opts, addrs, *migrateN, *jsonPath, runConfig{
+			Streams: *streams, Instances: *instances, Features: *features,
+			Classes: *classes, Producers: opts.clients, Drift: *drift,
+			GOMAXPROCS: runtime.GOMAXPROCS(0), Cluster: *cluster,
+			Conns: opts.conns, Inflight: opts.inflight,
+			Retry: opts.retry, Migrate: *migrateN,
+		})
+		return
 	}
 
 	if *remote != "" {
@@ -265,6 +307,10 @@ type runConfig struct {
 	// Remote records the driftserver address of a -remote loadgen run
 	// ("" = in-process monitor).
 	Remote string `json:"remote,omitempty"`
+	// Cluster records the comma-separated fleet addresses of a -cluster run,
+	// and Migrate how many streams were live-migrated mid-run.
+	Cluster string `json:"cluster,omitempty"`
+	Migrate int    `json:"migrate,omitempty"`
 	// Conns/Inflight/Churn record the remote saturation knobs: pooled
 	// connections (0 = one per client), in-flight window per connection,
 	// and subscriber churners running alongside the load.
@@ -403,6 +449,256 @@ func runRemoteMode(workload []workloadStream, opts remoteOpts, jsonPath string, 
 	if opts.chaosReset > 0 && res.reconnects == 0 {
 		fail(fmt.Errorf("chaos run with -chaosreset %d recorded zero reconnects", opts.chaosReset))
 	}
+}
+
+// splitAddrs expands the -cluster flag into its member addresses.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		fail(fmt.Errorf("-cluster needs at least one address"))
+	}
+	return out
+}
+
+// runClusterMode is the -cluster loadgen path: it drives a driftserver
+// fleet through the consistent-hash cluster client, optionally live-
+// migrating streams mid-run, prints one result row with the per-member
+// balance, and fails the process unless the merged fleet counters account
+// for every observation sent — and, with -migrate, unless every migrated
+// stream actually rehydrated on its target.
+func runClusterMode(workload []workloadStream, opts remoteOpts, addrs []string, migrate int, jsonPath string, cfg runConfig) {
+	res, err := runCluster(workload, opts, addrs, migrate)
+	if err != nil {
+		fail(err)
+	}
+	mode := "single"
+	if opts.batch > 0 {
+		mode = fmt.Sprintf("batch%d", opts.batch)
+	}
+	wire := fmt.Sprintf("members=%d clients=%d conns=%d inflight=%d migrated=%d", len(addrs), opts.clients, opts.conns, opts.inflight, res.migrated)
+	fmt.Printf("%-8s %-10s %-14s %-12s %-10s %-10s %s\n", "shards", "mode", "instances/s", "wall", "drifts", "streams", "member balance (ingested)")
+	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s  [%s]\n",
+		res.sn.Shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
+		res.drifts, res.streams, res.balance, wire)
+	if jsonPath != "" {
+		rec := runRecord{
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Config:    cfg,
+			Rows: []runRow{{
+				Shards: res.sn.Shards, Batch: opts.batch, InstancesPerSec: res.rate,
+				WallMS: float64(res.wall.Microseconds()) / 1000,
+				Drifts: res.drifts, Streams: res.streams, Snapshot: &res.sn,
+			}},
+		}
+		if err := appendRecord(jsonPath, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nappended run record to %s\n", jsonPath)
+	}
+	// Fleet-wide conservation: the merged counters must account for every
+	// observation sent, regardless of which member each stream (or half of
+	// its life, when migrated) landed on.
+	want := uint64(0)
+	for _, ws := range workload {
+		want += uint64(len(ws.obs))
+	}
+	if got := res.sn.Ingested - res.before; got != want {
+		fail(fmt.Errorf("cluster ingested %d observations, sent %d", got, want))
+	}
+	// Every handoff installs via the rehydration path on its target, so a
+	// migrating run must show at least as many rehydrations as migrations —
+	// otherwise the handoff silently degenerated to fresh detectors.
+	if migrate > 0 && res.rehydrated < res.migrated {
+		fail(fmt.Errorf("migrated %d streams but the fleet rehydrated only %d", res.migrated, res.rehydrated))
+	}
+}
+
+// runCluster replays the workload against the fleet. With migrate > 0 the
+// run is two-phase: the first half of every stream, then migrate streams
+// hop to their next ring neighbor via checkpoint handoff, then the second
+// half lands on the new placement.
+func runCluster(workload []workloadStream, opts remoteOpts, addrs []string, migrate int) (clusterResult, error) {
+	policy := rbmim.RetryPolicy{}
+	if opts.retry {
+		policy = rbmim.DefaultRetryPolicy()
+		policy.BackoffBase = 5 * time.Millisecond
+		policy.StallTimeout = time.Second
+	}
+	cc, err := rbmim.DialCluster(rbmim.ClusterConfig{
+		Addrs: addrs, Conns: opts.conns, Window: opts.inflight, Policy: policy,
+	})
+	if err != nil {
+		return clusterResult{}, err
+	}
+	defer cc.Close()
+	// Per-member pre-run snapshots keep both the merged deltas and the
+	// balance column correct against a long-lived fleet.
+	beforeMembers, err := cc.MemberSnapshots()
+	if err != nil {
+		return clusterResult{}, err
+	}
+	beforeByAddr := map[string]rbmim.MonitorSnapshot{}
+	merged := make([]rbmim.MonitorSnapshot, 0, len(beforeMembers))
+	for _, m := range beforeMembers {
+		beforeByAddr[m.Addr] = m.Snapshot
+		merged = append(merged, m.Snapshot)
+	}
+	before := rbmim.MergeSnapshots(merged...)
+
+	// sendRange replays obs[lo:hi) of every stream, clients feeding disjoint
+	// stream subsets through the shared cluster client (the per-member pools
+	// do the multiplexing), with the same pipelined async ring as -remote.
+	sendRange := func(frac2 bool) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, opts.clients)
+		for p := 0; p < opts.clients; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				ring := make([]rbmim.ClientPending, opts.inflight)
+				n := 0
+				send := func(id string, block []rbmim.Observation) error {
+					if opts.inflight <= 1 {
+						if opts.batch > 0 {
+							return cc.IngestBatch(id, block)
+						}
+						return cc.Ingest(id, block[0])
+					}
+					if n >= len(ring) {
+						if err := ring[n%len(ring)].Wait(); err != nil {
+							return err
+						}
+					}
+					var pd rbmim.ClientPending
+					var err error
+					if opts.batch > 0 {
+						pd, err = cc.IngestBatchAsync(id, block)
+					} else {
+						pd, err = cc.IngestAsync(id, block[0])
+					}
+					if err != nil {
+						return err
+					}
+					ring[n%len(ring)] = pd
+					n++
+					return nil
+				}
+				step := opts.batch
+				if step <= 0 {
+					step = 1
+				}
+				for s := p; s < len(workload); s += opts.clients {
+					ws := workload[s]
+					lo, hi := 0, len(ws.obs)/2
+					if frac2 {
+						lo, hi = len(ws.obs)/2, len(ws.obs)
+					}
+					for i := lo; i < hi; i += step {
+						end := i + step
+						if end > hi {
+							end = hi
+						}
+						if err := send(ws.id, ws.obs[i:end]); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				for i := 0; i < n && i < len(ring); i++ {
+					if err := ring[i].Wait(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	start := time.Now()
+	if err := sendRange(false); err != nil {
+		return clusterResult{}, err
+	}
+	// Live migration between the halves: each chosen stream hops to the
+	// member after its current owner in sorted order, concurrently with
+	// nothing (the producers are joined) but with its first-half state
+	// trained — the handoff carries it.
+	members := cc.Members()
+	migrated := uint64(0)
+	for s := 0; s < migrate && s < len(workload); s++ {
+		id := workload[s].id
+		owner, err := cc.Owner(id)
+		if err != nil {
+			return clusterResult{}, err
+		}
+		next := members[0]
+		for i, m := range members {
+			if m == owner {
+				next = members[(i+1)%len(members)]
+				break
+			}
+		}
+		if next == owner {
+			continue // single-member fleet: nowhere to go
+		}
+		if err := cc.Migrate(id, next); err != nil {
+			return clusterResult{}, fmt.Errorf("migrating %s to %s: %w", id, next, err)
+		}
+		migrated++
+	}
+	if err := sendRange(true); err != nil {
+		return clusterResult{}, err
+	}
+	if err := cc.FlushCheckpoints(); err != nil {
+		return clusterResult{}, err
+	}
+	wall := time.Since(start)
+
+	after, err := cc.Snapshot()
+	if err != nil {
+		return clusterResult{}, err
+	}
+	perMember, err := cc.MemberSnapshots()
+	if err != nil {
+		return clusterResult{}, err
+	}
+	loads := make([]uint64, 0, len(perMember))
+	for _, m := range perMember {
+		loads = append(loads, m.Ingested-beforeByAddr[m.Addr].Ingested)
+	}
+	return clusterResult{
+		sweepResult: sweepResult{
+			rate:    float64(after.Ingested-before.Ingested) / wall.Seconds(),
+			wall:    wall,
+			drifts:  after.Drifts - before.Drifts,
+			streams: after.Streams,
+			balance: balanceString(loads),
+			sn:      after,
+		},
+		before:     before.Ingested,
+		migrated:   migrated,
+		rehydrated: after.Rehydrated - before.Rehydrated,
+	}, nil
+}
+
+// clusterResult is a sweepResult over the merged fleet snapshot, plus the
+// migration tally the -migrate assertions need.
+type clusterResult struct {
+	sweepResult
+	before     uint64
+	migrated   uint64
+	rehydrated uint64
 }
 
 // wireSender is the slice of the client API the load loop needs; both a

@@ -288,3 +288,82 @@ func ExampleNewMemStore() {
 	// Output:
 	// streams rehydrated from the store: 1
 }
+
+// ExampleDialCluster drives a two-member driftserver fleet through the
+// consistent-hash cluster client: streams route to members by the ring,
+// and a live stream hops between members via checkpoint handoff without
+// losing its trained detector — the migrated stream continues exactly
+// where it left off, counted by the target's rehydration counter.
+func ExampleDialCluster() {
+	// Two fleet members, identically configured (same detector template,
+	// each with a checkpoint store — migration serializes through it).
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		m, err := rbmim.NewMonitor(rbmim.MonitorConfig{
+			Detector:   rbmim.DetectorConfig{Features: 8, Classes: 3, Seed: 7},
+			Shards:     2,
+			Checkpoint: rbmim.CheckpointConfig{Store: rbmim.NewMemStore()},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := rbmim.NewServer(rbmim.ServerConfig{Monitor: m, Addr: "127.0.0.1:0"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+
+	cc, err := rbmim.DialCluster(rbmim.ClusterConfig{Addrs: addrs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cc.Close()
+
+	gen, err := rbmim.NewRBF(rbmim.GeneratorConfig{Features: 8, Classes: 3, Seed: 5}, 3, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			for _, id := range []string{"sensor-a", "sensor-b"} {
+				in := gen.Next()
+				if err := cc.Ingest(id, rbmim.Observation{X: in.X, TrueClass: in.Y, Predicted: in.Y}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	feed(10)
+
+	// Live-migrate sensor-a to the other member; its trained state travels
+	// as a checkpoint frame and later observations follow it there.
+	owner, err := cc.Owner("sensor-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := addrs[0]
+	if target == owner {
+		target = addrs[1]
+	}
+	if err := cc.Migrate("sensor-a", target); err != nil {
+		log.Fatal(err)
+	}
+	feed(10)
+
+	// The fleet-merged snapshot accounts for every observation, and the
+	// migrated stream shows up as one rehydration on its target.
+	if err := cc.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+	sn, err := cc.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streams=%d ingested=%d migrations=%d rehydrated=%d\n",
+		sn.Streams, sn.Ingested, cc.Migrations(), sn.Rehydrated)
+	// Output:
+	// streams=2 ingested=40 migrations=1 rehydrated=1
+}

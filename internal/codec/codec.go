@@ -78,6 +78,16 @@ const (
 	KindWireError    uint8 = 42 // request failed; payload carries a message
 	KindWireSnapshot uint8 = 43 // snapshot reply; payload is canonical JSON
 	KindWireEvent    uint8 = 44 // pushed drift event (request id 0)
+
+	// Cluster migration extension (compatible additions to revision 2: new
+	// kinds, no existing payload changed, so skewed peers still fail cleanly
+	// with "unknown request kind" rather than misparsing).
+	KindWireMigrate uint8 = 45 // export a stream's detector state for handoff
+	KindWireHandoff uint8 = 46 // install an exported state on the target server
+	KindWireStreams uint8 = 47 // list resident stream IDs
+
+	KindWireState     uint8 = 48 // Migrate reply; payload is a checkpoint envelope frame
+	KindWireStreamIDs uint8 = 49 // Streams reply; payload is a list of stream IDs
 )
 
 // ErrInvalid is wrapped by every decode failure, so callers can test

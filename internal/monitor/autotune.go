@@ -37,6 +37,9 @@ type TuneAdvice struct {
 	Shards, GOMAXPROCS int
 	// Occupancy is the worst per-shard ring high-water mark as a fraction of
 	// ring capacity — 1.0 means some shard's queue has been completely full.
+	// The mark is windowed, not lifetime: each FlushCheckpoints barrier
+	// resets it (see Snapshot.QueueHighWater), so the advice reflects load
+	// since the last flush rather than a stale startup peak.
 	Occupancy float64
 	// Recommended is the advised shard count for these conditions; equal to
 	// Shards when the current count looks right.

@@ -43,3 +43,10 @@ func jumpHash(key uint64, buckets int) int {
 func ShardFor(id string, shards int) int {
 	return jumpHash(fnv1a(id), shards)
 }
+
+// Hash64 exposes the placement hash (64-bit FNV-1a) for callers that build
+// their own consistent structures over stream IDs — the cluster client's
+// hash ring and its striped migration gates (internal/server) hash with the
+// same function the monitor places shards with, so one hash quality story
+// covers every placement decision in the system.
+func Hash64(s string) uint64 { return fnv1a(s) }

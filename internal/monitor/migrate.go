@@ -1,0 +1,222 @@
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rbmim/internal/codec"
+	"rbmim/internal/detectors"
+)
+
+// Live stream migration: export a stream's trained detector as the same
+// checkpoint envelope frame the Store holds ([seq | detector frame] inside a
+// KindMonitorStream codec frame), and import such a frame into another
+// monitor as a new resident stream. This is the in-process half of the
+// cluster handoff (internal/server): because export serializes exactly like
+// snapshotStream and import restores exactly like rehydrate, a migrated
+// stream's continuation is bit-identical to never having moved — the
+// save→load→continue equivalence the checkpoint layer already guarantees
+// carries over to cross-process handoff byte for byte.
+//
+// Both operations travel the owning shard's queue like observations, so they
+// order cleanly against the stream's in-flight ingests: everything enqueued
+// before the export is applied to the detector before it is serialized, and
+// anything enqueued after the export materializes a fresh (or store-
+// rehydrated) stream, exactly as a sequential interleaving would.
+
+// ErrStreamNotFound is returned (wrapped) by ExportStream when the stream is
+// neither resident nor present in the checkpoint Store.
+var ErrStreamNotFound = errors.New("monitor: stream not found")
+
+// xferOp is the request/result carrier of one migration operation. The
+// requesting goroutine allocates it, the shard goroutine fills frame/ids/err
+// and closes done; migration is a cold path, so these allocations never
+// touch the ingest steady state.
+type xferOp struct {
+	frame []byte
+	ids   []string
+	err   error
+	done  chan struct{}
+}
+
+// ExportStream serializes the stream's detector state into a checkpoint
+// envelope frame, removes the stream from the monitor, and returns the
+// frame. With checkpointing enabled the state is also spilled to the Store
+// first (exactly like Evict), which makes export idempotent under retry: a
+// re-sent export after a lost reply — the stream no longer resident — falls
+// back to the Store and returns the same bytes, and a handoff that fails
+// downstream self-heals because the next ingest rehydrates from that spill.
+// Without a Store, a lost export reply loses the trained state (the frame
+// existed only in the reply), so cluster members should run checkpointed.
+//
+// Exporting a stream that is neither resident nor in the Store returns an
+// error wrapping ErrStreamNotFound.
+func (m *Monitor) ExportStream(streamID string) ([]byte, error) {
+	s := m.shards[ShardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	x := &xferOp{done: make(chan struct{})}
+	s.in.push(envelope{op: opExport, id: streamID, xfer: x})
+	<-x.done
+	return x.frame, x.err
+}
+
+// ImportStream installs a frame produced by ExportStream (on this or any
+// other monitor with a compatible detector configuration) as a new resident
+// stream. The restored detector continues bit-identically from where the
+// exporter left it, sequence counter included. Importing over an already
+// resident stream is an error — the caller (the cluster client) must route
+// ingests away from the target until the import completes, and a silent
+// overwrite would destroy trained state. With checkpointing enabled the
+// imported state is persisted immediately, so the Store's newest entry for
+// the stream is the handed-off state rather than a stale pre-migration
+// spill. Imports count toward Snapshot.Rehydrated: the stream was restored
+// from serialized state, just delivered over the wire instead of read from
+// the Store.
+func (m *Monitor) ImportStream(streamID string, frame []byte) error {
+	s := m.shards[ShardFor(streamID, len(m.shards))]
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	x := &xferOp{frame: frame, done: make(chan struct{})}
+	s.in.push(envelope{op: opImport, id: streamID, xfer: x})
+	<-x.done
+	return x.err
+}
+
+// StreamIDs returns the IDs of every currently resident stream, sorted. Like
+// FlushCheckpoints it travels the shard queues, so the listing reflects at
+// least everything enqueued before the call — the enumeration a cluster
+// rebalance needs to decide which streams a topology change remapped.
+func (m *Monitor) StreamIDs() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	ops := make([]*xferOp, len(m.shards))
+	for i, s := range m.shards {
+		ops[i] = &xferOp{done: make(chan struct{})}
+		s.in.push(envelope{op: opList, xfer: ops[i]})
+	}
+	var ids []string
+	for _, x := range ops {
+		<-x.done
+		ids = append(ids, x.ids...)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// exportStream runs on the shard goroutine (opExport), after the stream's
+// queued observations were flushed. Resident: serialize exactly like
+// snapshotStream, spill, remove. Not resident: fall back to the Store (the
+// idempotent-retry and already-evicted cases).
+func (s *shard) exportStream(id string, x *xferOp) {
+	defer close(x.done)
+	st, ok := s.streams[id]
+	if !ok {
+		x.frame, x.err = s.storedEnvelope(id)
+		return
+	}
+	sd, ok := st.det.(detectors.StatefulDetector)
+	if !ok {
+		x.err = fmt.Errorf("monitor: export %q: detector is not checkpointable", id)
+		return
+	}
+	s.ckptScratch.Reset()
+	s.ckptScratch.U64(st.seq)
+	if err := sd.SaveState(s.ckptScratch); err != nil {
+		s.m.ckptErrors.Add(1)
+		x.err = fmt.Errorf("monitor: export %q: %w", id, err)
+		return
+	}
+	x.frame = codec.AppendFrame(nil, codec.KindMonitorStream, s.ckptScratch.Bytes())
+	// Spill-then-remove, exactly like Evict. SaveState is deterministic, so
+	// the Store copy matches the returned frame byte for byte.
+	s.spill(id, st)
+	delete(s.streams, id)
+	s.streamCount.Add(-1)
+}
+
+// storedEnvelope reads the stream's newest checkpoint from the Store,
+// validating and copying it (Store.Get returns a transient view). The same
+// write-queue fence as rehydrate keeps a queued spill from being overtaken.
+func (s *shard) storedEnvelope(id string) ([]byte, error) {
+	m := s.m
+	if !m.ckptEnabled() {
+		return nil, fmt.Errorf("%w: %q", ErrStreamNotFound, id)
+	}
+	if _, ever := s.snapshotted[id]; ever {
+		m.ckptBarrier()
+	}
+	data, ok, err := m.cfg.Checkpoint.Store.Get(id)
+	if err != nil {
+		m.ckptErrors.Add(1)
+		return nil, fmt.Errorf("monitor: export %q: %w", id, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamNotFound, id)
+	}
+	if _, err := codec.ExpectFrame(data, codec.KindMonitorStream); err != nil {
+		m.ckptErrors.Add(1)
+		return nil, fmt.Errorf("monitor: export %q: %w", id, err)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// importStream runs on the shard goroutine (opImport): decode exactly like
+// rehydrate, install, persist.
+func (s *shard) importStream(id string, x *xferOp) {
+	defer close(x.done)
+	if _, ok := s.streams[id]; ok {
+		x.err = fmt.Errorf("monitor: import %q: stream already resident", id)
+		return
+	}
+	if max := s.m.cfg.MaxStreamsPerShard; max > 0 && len(s.streams) >= max {
+		x.err = fmt.Errorf("monitor: import %q: shard at MaxStreamsPerShard (%d)", id, max)
+		return
+	}
+	payload, err := codec.ExpectFrame(x.frame, codec.KindMonitorStream)
+	if err != nil {
+		x.err = fmt.Errorf("monitor: import %q: %w", id, err)
+		return
+	}
+	rd := codec.NewReader(payload)
+	seq := rd.U64()
+	if rd.Err() != nil {
+		x.err = fmt.Errorf("monitor: import %q: %w", id, rd.Err())
+		return
+	}
+	det, err := s.m.cfg.NewDetector(id)
+	if err != nil {
+		x.err = fmt.Errorf("monitor: import %q: %w", id, err)
+		return
+	}
+	sd, ok := det.(detectors.StatefulDetector)
+	if !ok {
+		x.err = fmt.Errorf("monitor: import %q: detector is not checkpointable", id)
+		return
+	}
+	if err := sd.LoadState(bytes.NewReader(payload[8:])); err != nil {
+		x.err = fmt.Errorf("monitor: import %q: %w", id, err)
+		return
+	}
+	st := &streamState{det: det, seq: seq, lastSeen: time.Now(), dirty: true}
+	s.streams[id] = st
+	s.streamCount.Add(1)
+	s.m.rehydrated.Add(1)
+	// Persist now (blocking, like any spill) so the Store's newest entry is
+	// the handed-off state, not a stale spill from a previous residence.
+	s.spill(id, st)
+}

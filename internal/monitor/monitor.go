@@ -552,15 +552,21 @@ type Snapshot struct {
 	Received, Rejected, Queued uint64
 	// QueueCap is each shard's ring capacity in envelopes (QueueSize rounded
 	// up to a power of two); QueueHighWater is the largest per-shard envelope
-	// occupancy any shard worker has observed — together they are the
-	// saturation signal Monitor.TuneAdvice reads.
+	// occupancy any shard worker has observed since the last FlushCheckpoints
+	// barrier — together they are the saturation signal Monitor.TuneAdvice
+	// reads. The windowed reading (each flush barrier resets the mark to the
+	// occupancy it observes) keeps rebalance and tuning decisions off stale
+	// peaks: a queue that saturated once at startup reads shallow again after
+	// the next flush, rather than forever.
 	QueueCap       int
 	QueueHighWater uint64
 	// Checkpoints counts snapshots written to the checkpoint Store;
 	// CheckpointErrors counts failed serializations, Store errors, skipped
 	// snapshots on a full write queue, and rehydration failures; Rehydrated
-	// counts streams restored from the Store on first ingest. All zero
-	// without Config.Checkpoint.
+	// counts streams restored from serialized state — Store reads on first
+	// ingest and migration imports (ImportStream), which restore the same
+	// envelope over the wire. Checkpoints/CheckpointErrors are zero without
+	// Config.Checkpoint; Rehydrated can still move via imports.
 	Checkpoints, CheckpointErrors, Rehydrated uint64
 	// Subscribers is the number of live Subscribe fan-out queues;
 	// SubscriberDropped counts events dropped across all subscribers
@@ -679,6 +685,16 @@ const (
 	// producers: necessarily the last envelope on the ring, so the worker
 	// drains everything ahead of it and exits.
 	opClose
+	// opExport / opImport / opList are the stream-migration operations (see
+	// migrate.go): export serializes a stream's detector into a checkpoint
+	// envelope frame and removes the stream (spilling first, like Evict);
+	// import installs a previously exported frame as a new resident stream;
+	// list collects the shard's resident stream IDs. All three travel the
+	// shard queue like observations, so they serialize cleanly against the
+	// stream's in-flight ingests.
+	opExport
+	opImport
+	opList
 )
 
 // batchBuf is the pooled carrier of one Ingest/IngestBatch call: the copied
@@ -692,12 +708,14 @@ type batchBuf struct {
 // envelope is one message on a shard's queue. bat owns the pooled copies of
 // the observations (nil for opEvict/opFlush) and is returned to the shard's
 // pool once the detector consumed the block; done is the opFlush
-// acknowledgement channel (nil otherwise).
+// acknowledgement channel (nil otherwise); xfer carries the request and
+// result of a migration operation (opExport/opImport/opList only).
 type envelope struct {
 	op   opcode
 	id   string
 	bat  *batchBuf
 	done chan struct{}
+	xfer *xferOp
 }
 
 // streamState is one stream's detector plus bookkeeping; owned exclusively
@@ -946,6 +964,7 @@ func (s *shard) spinForWork(spins *int) bool {
 // observations before removing it.
 func (s *shard) process(pending []envelope) (closing bool) {
 	var flushDones []chan struct{}
+	var listOps []*xferOp
 	for _, env := range pending {
 		switch env.op {
 		case opClose:
@@ -978,6 +997,19 @@ func (s *shard) process(pending []envelope) (closing bool) {
 				// counted so the disagreement is visible (see Evict).
 				s.streamErrors.Add(1)
 			}
+		case opExport:
+			// Like Evict: apply the stream's queued observations first, so
+			// the exported state reflects everything sent before the export.
+			if g, ok := s.groups[env.id]; ok && len(g.obs) > 0 {
+				s.flush(env.id, g)
+			}
+			s.exportStream(env.id, env.xfer)
+		case opImport:
+			s.importStream(env.id, env.xfer)
+		case opList:
+			// Answered after the group flush below, so streams whose first
+			// observations are earlier in this micro-batch are included.
+			listOps = append(listOps, env.xfer)
 		case opIngest:
 			g, ok := s.groups[env.id]
 			if !ok {
@@ -998,6 +1030,12 @@ func (s *shard) process(pending []envelope) (closing bool) {
 		s.putGroup(g)
 	}
 	s.order = s.order[:0]
+	for _, x := range listOps {
+		for id := range s.streams {
+			x.ids = append(x.ids, id)
+		}
+		close(x.done)
+	}
 	if len(flushDones) > 0 {
 		// Explicit flush: snapshot every dirty stream with a blocking
 		// enqueue — unlike the periodic cadence, a requested flush must not
@@ -1009,6 +1047,10 @@ func (s *shard) process(pending []envelope) (closing bool) {
 				}
 			}
 		}
+		// The flush barrier also starts a fresh queue high-water window (see
+		// Snapshot.QueueHighWater): everything queued ahead of it has been
+		// applied, so the pre-barrier peak is stale for tuning decisions.
+		s.in.resetHighWater()
 		for _, done := range flushDones {
 			close(done)
 		}

@@ -210,6 +210,12 @@ func (r *ring) popBatch(dst []envelope) int {
 	return n
 }
 
+// resetHighWater restarts the high-water window at the current occupancy.
+// Consumer-only, like every highWater store (popBatch records the mark, the
+// shard goroutine resets it on the FlushCheckpoints barrier), so the plain
+// store never races a concurrent max-update.
+func (r *ring) resetHighWater() { r.highWater.Store(r.occupancy()) }
+
 // prepark publishes the consumer's intent to sleep. The caller must re-check
 // occupancy() afterwards and only block on wakeCh() when it is still zero:
 // a producer either sees parked==1 (and sends a token) or published its slot

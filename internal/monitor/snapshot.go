@@ -137,7 +137,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	emit("rbmim_rejected_total", "Received observations refused at processing time (factory failures, stream caps).", "counter", float64(s.Rejected))
 	emit("rbmim_queued", "Observations received but not yet processed, sampled across shard rings.", "gauge", float64(s.Queued))
 	emit("rbmim_queue_capacity", "Per-shard ring capacity in envelopes.", "gauge", float64(s.QueueCap))
-	emit("rbmim_queue_high_water", "Largest per-shard ring occupancy observed, in envelopes.", "gauge", float64(s.QueueHighWater))
+	emit("rbmim_queue_high_water", "Largest per-shard ring occupancy observed since the last checkpoint-flush barrier, in envelopes.", "gauge", float64(s.QueueHighWater))
 	emit("rbmim_events_dropped_total", "Drift events dropped on the full shared event channel.", "counter", float64(s.EventsDropped))
 	emit("rbmim_idle_evicted_total", "Streams evicted by idle GC.", "counter", float64(s.IdleEvicted))
 	emit("rbmim_stream_errors_total", "Observations rejected by factory failures, stream caps, and evicts of non-resident streams.", "counter", float64(s.StreamErrors))
@@ -172,4 +172,65 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	emit("rbmim_uptime_seconds", "Seconds since the monitor started.", "gauge", s.Uptime.Seconds())
 	emit("rbmim_instances_per_second", "Ingested / uptime.", "gauge", s.InstancesPerSec)
 	return err
+}
+
+// MergeSnapshots folds the snapshots of several monitors (typically one per
+// cluster member) into a single fleet-wide view. Counters and population
+// gauges sum; DriftsByClass sums element-wise (sized to the widest member);
+// ShardStreams and ShardIngested concatenate in argument order, so per-shard
+// balance stays inspectable across the fleet; QueueCap, QueueHighWater,
+// InFlightHighWater, and Uptime take the worst (largest) member, because a
+// fleet is as saturated as its hottest node and as old as its oldest; and
+// InstancesPerSec is recomputed as total Ingested over that Uptime. The
+// conservation identity (Received == Ingested + Rejected + Queued at
+// quiescence) survives merging because every term is a sum.
+func MergeSnapshots(sns ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range sns {
+		out.Shards += s.Shards
+		out.Streams += s.Streams
+		out.Ingested += s.Ingested
+		out.Drifts += s.Drifts
+		out.Warnings += s.Warnings
+		for k, v := range s.DriftsByClass {
+			for len(out.DriftsByClass) <= k {
+				out.DriftsByClass = append(out.DriftsByClass, 0)
+			}
+			out.DriftsByClass[k] += v
+		}
+		out.Dropped += s.Dropped
+		out.EventsDropped += s.EventsDropped
+		out.IdleEvicted += s.IdleEvicted
+		out.StreamErrors += s.StreamErrors
+		out.Received += s.Received
+		out.Rejected += s.Rejected
+		out.Queued += s.Queued
+		if s.QueueCap > out.QueueCap {
+			out.QueueCap = s.QueueCap
+		}
+		if s.QueueHighWater > out.QueueHighWater {
+			out.QueueHighWater = s.QueueHighWater
+		}
+		out.Checkpoints += s.Checkpoints
+		out.CheckpointErrors += s.CheckpointErrors
+		out.Rehydrated += s.Rehydrated
+		out.Subscribers += s.Subscribers
+		out.SubscriberDropped += s.SubscriberDropped
+		out.SubscribersEvicted += s.SubscribersEvicted
+		if s.InFlightHighWater > out.InFlightHighWater {
+			out.InFlightHighWater = s.InFlightHighWater
+		}
+		out.RepliesCoalesced += s.RepliesCoalesced
+		out.Shedded += s.Shedded
+		out.DedupHits += s.DedupHits
+		out.ShardStreams = append(out.ShardStreams, s.ShardStreams...)
+		out.ShardIngested = append(out.ShardIngested, s.ShardIngested...)
+		if s.Uptime > out.Uptime {
+			out.Uptime = s.Uptime
+		}
+	}
+	if secs := out.Uptime.Seconds(); secs > 0 {
+		out.InstancesPerSec = float64(out.Ingested) / secs
+	}
+	return out
 }

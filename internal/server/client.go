@@ -238,6 +238,105 @@ func (c *Client) Snapshot() (monitor.Snapshot, error) {
 	return sn, nil
 }
 
+// Migrate asks the server to export a stream for handoff: the stream's
+// queued observations are applied, its detector state is serialized into a
+// checkpoint envelope frame (and spilled to the server's checkpoint store,
+// when one is configured), and the stream is removed from the server — the
+// returned bytes are the only live copy unless the server is checkpointed.
+// Feed them to Handoff on the target server; the restored stream continues
+// bit-identically. A stream that is neither resident nor in the server's
+// store draws an Error reply whose message contains "stream not found"
+// (match with IsStreamNotFound).
+func (c *Client) Migrate(streamID string) ([]byte, error) {
+	slot, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	b := c.beginCall(slot, codec.KindWireMigrate)
+	b.Str(streamID)
+	c.submit(slot)
+	cl, err := c.await(slot)
+	if err != nil {
+		return nil, err
+	}
+	if cl.replyKind != codec.KindWireState {
+		err := c.ackErr(cl)
+		c.release(slot)
+		if err == nil {
+			err = fmt.Errorf("server: unexpected migrate reply kind %d", cl.replyKind)
+		}
+		return nil, err
+	}
+	var rd codec.Reader
+	rd.Reset(cl.msg)
+	data := rd.Blob()
+	err = rd.Err()
+	// The reply buffer is slot-owned; copy before releasing the slot.
+	state := make([]byte, len(data))
+	copy(state, data)
+	c.release(slot)
+	if err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// Handoff installs a state frame produced by Migrate (on this or another
+// server with a compatible detector configuration) as a new resident stream.
+// Installing over an already resident stream is refused with an Error reply;
+// the caller routes ingests away from the target until Handoff returns.
+func (c *Client) Handoff(streamID string, state []byte) error {
+	slot, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	p := c.asyncAck(slot)
+	b := c.beginCall(slot, codec.KindWireHandoff)
+	b.Str(streamID)
+	b.U32(uint32(len(state)))
+	b.Write(state)
+	c.submit(slot)
+	return p.Wait()
+}
+
+// StreamIDs lists the server's resident streams, sorted. Like
+// FlushCheckpoints it travels the shard queues, so the listing includes at
+// least every stream whose first ingest was acknowledged before the call —
+// the enumeration cluster rebalancing uses to find remapped streams.
+func (c *Client) StreamIDs() ([]string, error) {
+	slot, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	c.beginCall(slot, codec.KindWireStreams)
+	c.submit(slot)
+	cl, err := c.await(slot)
+	if err != nil {
+		return nil, err
+	}
+	if cl.replyKind != codec.KindWireStreamIDs {
+		err := c.ackErr(cl)
+		c.release(slot)
+		if err == nil {
+			err = fmt.Errorf("server: unexpected streams reply kind %d", cl.replyKind)
+		}
+		return nil, err
+	}
+	var rd codec.Reader
+	rd.Reset(cl.msg)
+	n := int(rd.U32())
+	var ids []string
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		ids = append(ids, string(rd.Blob()))
+	}
+	err = rd.Err()
+	c.release(slot)
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
 // Subscription is a client-side drift-event stream (see Client.Subscribe).
 // It owns a dedicated connection; the server pushes Event frames which
 // arrive on Events.

@@ -208,6 +208,45 @@ func (p *ClientPool) Snapshot() (monitor.Snapshot, error) {
 	return p.clients[0].Snapshot()
 }
 
+// Migrate exports a stream for handoff over the stream's own connection —
+// behind any of its requests already pipelined there, so everything sent
+// before the migrate is applied before the state is serialized (see
+// Client.Migrate). A connection death mid-call fails over like Ingest: the
+// re-sent Migrate re-exports from the server's checkpoint store (exports
+// spill first), so the retry returns the same bytes.
+func (p *ClientPool) Migrate(streamID string) ([]byte, error) {
+	c := p.conn(streamID)
+	state, err := c.Migrate(streamID)
+	if next, ok := p.failedOver(c, streamID, err); ok {
+		state, err = next.Migrate(streamID)
+	}
+	return state, err
+}
+
+// Handoff installs a migrated stream's state over the stream's connection
+// (see Client.Handoff), failing over like Ingest. A handoff resend after a
+// lost ack is refused with "already resident", which the cluster layer
+// treats as success.
+func (p *ClientPool) Handoff(streamID string, state []byte) error {
+	c := p.conn(streamID)
+	err := c.Handoff(streamID, state)
+	if next, ok := p.failedOver(c, streamID, err); ok {
+		err = next.Handoff(streamID, state)
+	}
+	return err
+}
+
+// StreamIDs lists the server's resident streams over the first live
+// connection (see Client.StreamIDs).
+func (p *ClientPool) StreamIDs() ([]string, error) {
+	for _, c := range p.clients {
+		if !c.Dead() {
+			return c.StreamIDs()
+		}
+	}
+	return p.clients[0].StreamIDs()
+}
+
 // Subscribe opens a drift-event subscription (its own connection, outside
 // the pool's request pipelines) via the pool's first connection's dialer.
 func (p *ClientPool) Subscribe(buffer int) (*Subscription, error) {

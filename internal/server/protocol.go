@@ -10,9 +10,19 @@
 // payload | CRC-32). Request payloads start with a uint64 request id that
 // the matching reply echoes; replies are sent in request order on the same
 // connection. The request kinds are Ingest, IngestBatch, TryIngestBatch,
-// Subscribe, SnapshotReq, Evict, and Flush; replies are OK, Busy (a
-// TryIngestBatch whose shard queue was full), Error (with a message), and
-// Snapshot (canonical JSON). A connection that sends Subscribe receives an
+// Subscribe, SnapshotReq, Evict, Flush, and the cluster-migration trio
+// Migrate, Handoff, and Streams; replies are OK, Busy (a TryIngestBatch
+// whose shard queue was full), Error (with a message), Snapshot (canonical
+// JSON), State (a Migrate reply carrying the exported stream's checkpoint
+// envelope), and StreamIDs (a Streams reply listing resident streams).
+// Migrate serializes a stream's detector into the same envelope frame the
+// checkpoint store holds, spills a copy, and removes the stream — a re-sent
+// Migrate whose reply was lost re-reads the spilled copy, so retries return
+// identical bytes. Handoff installs an exported envelope on the receiving
+// server via the rehydration path and refuses a stream that is already
+// resident, which is how a duplicate handoff after a lost ack surfaces (the
+// cluster layer treats that refusal as success; see cluster.go). A
+// connection that sends Subscribe receives an
 // OK and then becomes a one-way event stream: the server pushes Event
 // frames (request id 0) and treats any further request on that connection
 // as a protocol error. Backpressure is explicit at every hop: IngestBatch

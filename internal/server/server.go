@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,12 @@ type Config struct {
 	// HTTPAddr, when non-empty, starts the HTTP sidecar serving GET
 	// /healthz and GET /metrics (Prometheus text) on that address.
 	HTTPAddr string
+	// Pprof, when true, additionally mounts net/http/pprof under
+	// /debug/pprof/ on the HTTP sidecar, so a running server is profilable
+	// in place (CPU, heap, goroutine, block). Off by default — the profile
+	// endpoints cost CPU while sampling and should not be reachable
+	// accidentally — and meaningless without HTTPAddr.
+	Pprof bool
 	// MaxFrame bounds a request frame's payload length; connections
 	// declaring more are rejected before any allocation. Default 16 MiB
 	// (batch 256 at 80 features is ~170 KiB, so the default leaves two
@@ -150,6 +157,15 @@ func New(cfg Config) (*Server, error) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			s.wireSnapshot().WritePrometheus(w)
 		})
+		if cfg.Pprof {
+			// Explicit registration: importing net/http/pprof only touches
+			// http.DefaultServeMux, and the sidecar deliberately runs its own.
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		}
 		s.httpLn = hln
 		s.httpSv = &http.Server{Handler: mux}
 		go s.httpSv.Serve(hln)
@@ -493,6 +509,57 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 			return h.replyErr(id, err.Error())
 		}
 		return h.reply(id, codec.KindWireOK)
+
+	case codec.KindWireMigrate:
+		sid, ok := h.streamID()
+		if !ok || h.rd.Done() != nil {
+			return h.replyErr(id, "bad migrate payload")
+		}
+		// Blocks this connection (like IngestBatch) until the shard applied
+		// everything queued ahead and serialized the state; the spill-first
+		// export makes a retried Migrate after a lost reply re-read the same
+		// bytes from the checkpoint store.
+		frame, err := m.ExportStream(sid)
+		if err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		mark := h.out.BeginFrame(codec.KindWireState)
+		h.out.U64(id)
+		h.out.U32(uint32(len(frame)))
+		h.out.Write(frame)
+		return h.endReply(mark)
+
+	case codec.KindWireHandoff:
+		sid, ok := h.streamID()
+		if !ok {
+			return h.replyErr(id, "bad handoff payload")
+		}
+		state := h.rd.Blob()
+		if h.rd.Err() != nil || h.rd.Done() != nil {
+			return h.replyErr(id, "bad handoff payload")
+		}
+		// ImportStream waits for the shard to decode before returning, so
+		// the payload view is safe to hand over.
+		if err := m.ImportStream(sid, state); err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		return h.reply(id, codec.KindWireOK)
+
+	case codec.KindWireStreams:
+		if h.rd.Done() != nil {
+			return h.replyErr(id, "bad streams payload")
+		}
+		ids, err := m.StreamIDs()
+		if err != nil {
+			return h.replyErr(id, err.Error())
+		}
+		mark := h.out.BeginFrame(codec.KindWireStreamIDs)
+		h.out.U64(id)
+		h.out.U32(uint32(len(ids)))
+		for _, sid := range ids {
+			h.out.Str(sid)
+		}
+		return h.endReply(mark)
 
 	default:
 		// Unknown kind: the peer speaks a different protocol revision (the

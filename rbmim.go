@@ -355,6 +355,37 @@ func DialPoolRetry(addr string, conns, window int, policy RetryPolicy) (*ClientP
 	return server.DialPoolRetry(addr, conns, window, policy)
 }
 
+// ClusterClient shards the stream space across a driftserver fleet with a
+// client-side consistent-hash ring, drives each member through its own
+// retrying ClientPool, and migrates live streams between members via
+// checkpoint handoff (ClusterClient.Migrate, ClusterClient.Rebalance). A
+// migrated stream's detector continues bit-identically to never having
+// moved.
+type ClusterClient = server.ClusterClient
+
+// ClusterConfig parameterizes DialCluster; Addrs is required and every
+// other zero value selects a default.
+type ClusterConfig = server.ClusterConfig
+
+// ClusterMemberSnapshot is one fleet member's snapshot labelled with its
+// address (ClusterClient.MemberSnapshots).
+type ClusterMemberSnapshot = server.MemberSnapshot
+
+// DialCluster connects to every member of a driftserver fleet and returns
+// the consistent-hash routing client.
+func DialCluster(cfg ClusterConfig) (*ClusterClient, error) { return server.DialCluster(cfg) }
+
+// IsStreamNotFound reports whether err is a ClusterClient.Migrate /
+// Client.Migrate failure for a stream the source server neither hosts nor
+// has checkpointed.
+func IsStreamNotFound(err error) bool { return server.IsStreamNotFound(err) }
+
+// MergeSnapshots folds per-member monitor snapshots into one fleet-wide
+// view: counters and per-class drift counts sum, per-shard breakdowns
+// concatenate, and the conservation identity Received == Ingested +
+// Rejected + Queued survives the merge.
+func MergeSnapshots(sns ...MonitorSnapshot) MonitorSnapshot { return monitor.MergeSnapshots(sns...) }
+
 // Classify returns the retry-relevant class of an error returned by Client,
 // ClientPool, or ClientPending methods.
 func Classify(err error) ErrorClass { return server.Classify(err) }
