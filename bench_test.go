@@ -577,16 +577,23 @@ func BenchmarkMonitorIngestBatch(b *testing.B) {
 				QueueSize:   queue,
 			}
 		}
-		return monitor.Config{
+		cfg := monitor.Config{
 			Detector:  core.Config{Features: features, Classes: classes, Seed: 7},
 			Shards:    4,
 			QueueSize: queue,
 		}
+		// The tele-off variant isolates the stage-histogram cost (queue-wait
+		// stamps + detector timing) for the overhead table in EXPERIMENTS.md;
+		// the default variants run at full telemetry, the production level.
+		if name == "RBM-IM-tele-off" {
+			cfg.Telemetry = TelemetryOff
+		}
+		return cfg
 	}
 	perObs := func(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/block, "ns/obs")
 	}
-	for _, name := range []string{"overhead", "RBM-IM"} {
+	for _, name := range []string{"overhead", "RBM-IM", "RBM-IM-tele-off"} {
 		name := name
 		// Both modes bound the same number of in-flight observations (4096),
 		// so backpressure engages identically and the pooled slabs actually

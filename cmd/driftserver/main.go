@@ -1,7 +1,9 @@
 // Command driftserver serves a sharded multi-stream drift monitor over TCP:
 // the wire protocol of internal/server (codec-framed binary requests:
-// ingest, batch ingest, subscriptions, snapshots, evict, checkpoint flush)
-// plus an optional HTTP sidecar with /healthz and Prometheus /metrics.
+// ingest, batch ingest, subscriptions, snapshots, evict, checkpoint flush,
+// last-drift reports) plus an optional HTTP sidecar with /healthz
+// (liveness), /readyz (readiness; 503 while draining), and Prometheus
+// /metrics including per-stage latency histograms (rbmim_stage_seconds).
 // Clients connect with rbmim.Dial; cmd/monitorbench -remote drives a
 // running server as a load generator.
 //
@@ -12,6 +14,12 @@
 //	            [-shards N] [-queue 4096] [-seed 7]
 //	            [-checkpoint mem|DIR] [-ckptint 30s] [-idlettl 0]
 //	            [-subevict 0] [-shed 0.9] [-dedupwindow 1024] [-sessions 1024]
+//	            [-telemetry full|basic|off]
+//
+// -telemetry full (the default) times every hot-path stage — per-kind
+// request service, shard queue wait, detector updates, checkpoint writes —
+// into log2 latency histograms; basic keeps only the wire-visible serve_*
+// stages; off removes all timing. The level never changes drift decisions.
 //
 // With -checkpoint DIR the per-stream detector states live in a filesystem
 // store: a killed server restarted against the same directory rehydrates
@@ -50,7 +58,13 @@ func main() {
 	shed := flag.Float64("shed", 0, "overload shedding high water as a fraction of shard queue capacity (0 disables; e.g. 0.9)")
 	dedupWindow := flag.Int("dedupwindow", 0, "exactly-once dedup window per (session, stream) in sequence numbers (default 1024; negative disables)")
 	sessions := flag.Int("sessions", 0, "maximum client sessions tracked for dedup before LRU eviction (default 1024)")
+	telemetryLevel := flag.String("telemetry", "full", "latency telemetry granularity: full, basic, or off")
 	flag.Parse()
+
+	tele, err := rbmim.ParseTelemetryLevel(*telemetryLevel)
+	if err != nil {
+		fail(err)
+	}
 
 	var ckpt rbmim.CheckpointConfig
 	switch *checkpoint {
@@ -71,6 +85,7 @@ func main() {
 		IdleTTL:              *idleTTL,
 		Checkpoint:           ckpt,
 		SubscriberEvictDrops: *subEvict,
+		Telemetry:            tele,
 	})
 	if err != nil {
 		fail(err)
@@ -84,6 +99,7 @@ func main() {
 		ShedHighWater: *shed,
 		DedupWindow:   *dedupWindow,
 		MaxSessions:   *sessions,
+		Telemetry:     tele,
 	})
 	if err != nil {
 		fail(err)

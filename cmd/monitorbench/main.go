@@ -334,6 +334,12 @@ type runRow struct {
 	WallMS          float64 `json:"wall_ms"`
 	Drifts          uint64  `json:"drifts"`
 	Streams         int     `json:"streams"`
+	// Client-observed ingest latency quantiles in milliseconds (submit to
+	// reply matched, merged across the run's connections); present on
+	// -remote and -cluster rows.
+	IngestP50MS float64 `json:"ingest_p50_ms,omitempty"`
+	IngestP95MS float64 `json:"ingest_p95_ms,omitempty"`
+	IngestP99MS float64 `json:"ingest_p99_ms,omitempty"`
 	// Snapshot is the monitor's end-of-run state in the canonical
 	// stable-field-order encoding (monitor.Snapshot.MarshalJSON) — the same
 	// bytes the server's Snapshot reply and /metrics pipeline carry.
@@ -413,6 +419,10 @@ func runRemoteMode(workload []workloadStream, opts remoteOpts, jsonPath string, 
 	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s  [%s]\n",
 		res.sn.Shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
 		res.drifts, res.streams, res.balance, wire)
+	p50, p95, p99, haveLat := ingestLatency(res.latency)
+	if haveLat {
+		fmt.Printf("ingest latency (client-observed rtt): p50=%.3fms p95=%.3fms p99=%.3fms\n", p50, p95, p99)
+	}
 	if res.faults != nil {
 		f := res.faults
 		fmt.Printf("chaos: conns=%d frames=%d dropped=%d duplicated=%d resets=%d blackholed=%d  reconnects=%d dedup_hits=%d shedded=%d\n",
@@ -426,7 +436,9 @@ func runRemoteMode(workload []workloadStream, opts remoteOpts, jsonPath string, 
 			Rows: []runRow{{
 				Shards: res.sn.Shards, Batch: opts.batch, InstancesPerSec: res.rate,
 				WallMS: float64(res.wall.Microseconds()) / 1000,
-				Drifts: res.drifts, Streams: res.streams, Snapshot: &res.sn,
+				Drifts: res.drifts, Streams: res.streams,
+				IngestP50MS: p50, IngestP95MS: p95, IngestP99MS: p99,
+				Snapshot: &res.sn,
 			}},
 		}
 		if err := appendRecord(jsonPath, rec); err != nil {
@@ -485,6 +497,10 @@ func runClusterMode(workload []workloadStream, opts remoteOpts, addrs []string, 
 	fmt.Printf("%-8d %-10s %-14s %-12s %-10d %-10d %s  [%s]\n",
 		res.sn.Shards, mode, fmt.Sprintf("%.0f", res.rate), res.wall.Round(time.Millisecond),
 		res.drifts, res.streams, res.balance, wire)
+	p50, p95, p99, haveLat := ingestLatency(res.latency)
+	if haveLat {
+		fmt.Printf("ingest latency (client-observed rtt): p50=%.3fms p95=%.3fms p99=%.3fms\n", p50, p95, p99)
+	}
 	if jsonPath != "" {
 		rec := runRecord{
 			Generated: time.Now().UTC().Format(time.RFC3339),
@@ -492,7 +508,9 @@ func runClusterMode(workload []workloadStream, opts remoteOpts, addrs []string, 
 			Rows: []runRow{{
 				Shards: res.sn.Shards, Batch: opts.batch, InstancesPerSec: res.rate,
 				WallMS: float64(res.wall.Microseconds()) / 1000,
-				Drifts: res.drifts, Streams: res.streams, Snapshot: &res.sn,
+				Drifts: res.drifts, Streams: res.streams,
+				IngestP50MS: p50, IngestP95MS: p95, IngestP99MS: p99,
+				Snapshot: &res.sn,
 			}},
 		}
 		if err := appendRecord(jsonPath, rec); err != nil {
@@ -689,6 +707,7 @@ func runCluster(workload []workloadStream, opts remoteOpts, addrs []string, migr
 		before:     before.Ingested,
 		migrated:   migrated,
 		rehydrated: after.Rehydrated - before.Rehydrated,
+		latency:    cc.Latency(),
 	}, nil
 }
 
@@ -699,6 +718,7 @@ type clusterResult struct {
 	before     uint64
 	migrated   uint64
 	rehydrated uint64
+	latency    []rbmim.TelemetryStage // client-observed rtt_* stages
 }
 
 // wireSender is the slice of the client API the load loop needs; both a
@@ -708,6 +728,25 @@ type wireSender interface {
 	IngestBatch(string, []rbmim.Observation) error
 	IngestAsync(string, rbmim.Observation) (rbmim.ClientPending, error)
 	IngestBatchAsync(string, []rbmim.Observation) (rbmim.ClientPending, error)
+}
+
+// ingestLatency folds the client-observed rtt_ingest* stages (single,
+// batch, and try-batch ingests) into one p50/p95/p99 summary in
+// milliseconds; ok is false when nothing was timed.
+func ingestLatency(stages []rbmim.TelemetryStage) (p50, p95, p99 float64, ok bool) {
+	var group []rbmim.TelemetryStage
+	for _, st := range stages {
+		if strings.HasPrefix(st.Stage, "rtt_ingest") || strings.HasPrefix(st.Stage, "rtt_try_ingest") {
+			st.Stage = "ingest" // common name so the merge folds them together
+			group = append(group, st)
+		}
+	}
+	merged := rbmim.MergeTelemetryStages(group)
+	if len(merged) == 0 || merged[0].Count == 0 {
+		return 0, 0, 0, false
+	}
+	m := merged[0]
+	return float64(m.P50NS) / 1e6, float64(m.P95NS) / 1e6, float64(m.P99NS) / 1e6, true
 }
 
 // runRemote replays the workload against a driftserver, clients feeding
@@ -760,6 +799,7 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 	producers := opts.clients
 	senders := make([]wireSender, producers)
 	reconnects := func() uint64 { return 0 }
+	latency := func() []rbmim.TelemetryStage { return nil }
 	if opts.conns > 0 {
 		pool, err := rbmim.DialPoolRetry(sendAddr, opts.conns, opts.inflight, policy)
 		if err != nil {
@@ -770,6 +810,7 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 			senders[p] = pool
 		}
 		reconnects = pool.Reconnects
+		latency = pool.Latency
 	} else {
 		conns := make([]*rbmim.Client, producers)
 		for p := range senders {
@@ -787,6 +828,15 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 				n += c.Reconnects()
 			}
 			return n
+		}
+		latency = func() []rbmim.TelemetryStage {
+			var groups [][]rbmim.TelemetryStage
+			for _, c := range conns {
+				if st := c.Latency(); len(st) > 0 {
+					groups = append(groups, st)
+				}
+			}
+			return rbmim.MergeTelemetryStages(groups...)
 		}
 	}
 
@@ -935,6 +985,7 @@ func runRemote(workload []workloadStream, opts remoteOpts) (remoteResult, error)
 		reconnects: reconnects(),
 		dedupHits:  after.DedupHits - before.DedupHits,
 		shedded:    after.Shedded - before.Shedded,
+		latency:    latency(),
 	}
 	if px != nil {
 		faults := px.Stats()
@@ -954,6 +1005,7 @@ type remoteResult struct {
 	dedupHits  uint64
 	shedded    uint64
 	faults     *chaos.Stats
+	latency    []rbmim.TelemetryStage // client-observed rtt_* stages
 }
 
 // buildWorkload pre-generates every stream's observation sequence.

@@ -58,36 +58,36 @@ const (
 // fresh range instead. A version-skewed peer then fails fast and loudly —
 // the server answers "unknown request kind" and hangs up, the client
 // surfaces an unexpected reply kind — rather than misparsing the payload
-// bytes into garbage requests. Revision 1 occupied 16–28; revision 2
-// (current) moved to 32–44 when the ingest payloads gained the exactly-once
-// session id + sequence number between the request id and the stream ID.
+// bytes into garbage requests. Revision 1 occupied 16–28; revision 2 moved
+// to 32–49 when the ingest payloads gained the exactly-once session id +
+// sequence number between the request id and the stream ID (the cluster
+// migration kinds 45–49 joined it as compatible additions); revision 3
+// (current) moved to 64–87 when the Event payload gained the optional
+// drift flight-recorder record and the LastDrift request was added.
 const (
 	// Requests (client -> server). Every request payload starts with a u64
 	// request id echoed by the matching reply.
-	KindWireIngest         uint8 = 32 // one observation for one stream
-	KindWireIngestBatch    uint8 = 33 // a block of observations (blocking backpressure)
-	KindWireTryIngestBatch uint8 = 34 // a block of observations (Busy instead of blocking)
-	KindWireSubscribe      uint8 = 35 // turn the connection into a drift-event stream
-	KindWireSnapshotReq    uint8 = 36 // request an aggregate monitor snapshot
-	KindWireEvict          uint8 = 37 // evict one stream (spills with checkpointing on)
-	KindWireFlush          uint8 = 38 // process everything queued + flush checkpoints
+	KindWireIngest         uint8 = 64 // one observation for one stream
+	KindWireIngestBatch    uint8 = 65 // a block of observations (blocking backpressure)
+	KindWireTryIngestBatch uint8 = 66 // a block of observations (Busy instead of blocking)
+	KindWireSubscribe      uint8 = 67 // turn the connection into a drift-event stream
+	KindWireSnapshotReq    uint8 = 68 // request an aggregate monitor snapshot
+	KindWireEvict          uint8 = 69 // evict one stream (spills with checkpointing on)
+	KindWireFlush          uint8 = 70 // process everything queued + flush checkpoints
+	KindWireMigrate        uint8 = 71 // export a stream's detector state for handoff
+	KindWireHandoff        uint8 = 72 // install an exported state on the target server
+	KindWireStreams        uint8 = 73 // list resident stream IDs
+	KindWireLastDrift      uint8 = 74 // fetch a stream's last drift flight record
 
 	// Replies (server -> client).
-	KindWireOK       uint8 = 40 // request succeeded, no payload beyond the id
-	KindWireBusy     uint8 = 41 // TryIngestBatch dropped the block (queue full)
-	KindWireError    uint8 = 42 // request failed; payload carries a message
-	KindWireSnapshot uint8 = 43 // snapshot reply; payload is canonical JSON
-	KindWireEvent    uint8 = 44 // pushed drift event (request id 0)
-
-	// Cluster migration extension (compatible additions to revision 2: new
-	// kinds, no existing payload changed, so skewed peers still fail cleanly
-	// with "unknown request kind" rather than misparsing).
-	KindWireMigrate uint8 = 45 // export a stream's detector state for handoff
-	KindWireHandoff uint8 = 46 // install an exported state on the target server
-	KindWireStreams uint8 = 47 // list resident stream IDs
-
-	KindWireState     uint8 = 48 // Migrate reply; payload is a checkpoint envelope frame
-	KindWireStreamIDs uint8 = 49 // Streams reply; payload is a list of stream IDs
+	KindWireOK        uint8 = 80 // request succeeded, no payload beyond the id
+	KindWireBusy      uint8 = 81 // TryIngestBatch dropped the block (queue full)
+	KindWireError     uint8 = 82 // request failed; payload carries a message
+	KindWireSnapshot  uint8 = 83 // snapshot reply; payload is canonical JSON
+	KindWireEvent     uint8 = 84 // pushed drift event (request id 0)
+	KindWireState     uint8 = 85 // Migrate reply; payload is a checkpoint envelope frame
+	KindWireStreamIDs uint8 = 86 // Streams reply; payload is a list of stream IDs
+	KindWireDrift     uint8 = 87 // LastDrift reply; payload is a JSON drift report
 )
 
 // ErrInvalid is wrapped by every decode failure, so callers can test

@@ -156,6 +156,13 @@ type Detector struct {
 	// snapshot, reused so periodic SaveState calls are allocation-free.
 	stateScratch []byte
 	frameScratch []byte
+	// Drift flight recorder (flightrecorder.go): a ring of recent per-class
+	// detection samples and the record snapshotted at the last confirmed
+	// drift. Process-local observability, excluded from SaveState.
+	recorder  []DriftSample
+	recHead   int
+	recLen    int
+	lastDrift *DriftRecord
 }
 
 var _ detectors.Detector = (*Detector)(nil)
@@ -211,6 +218,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	// slices never grow after construction.
 	d.xsScratch = make([]float64, 0, 4*cfg.TrendWindow)
 	d.vScratch = make([]float64, 0, 4*cfg.TrendWindow)
+	d.recorder = make([]DriftSample, flightRecorderDepth)
 	d.monitor = make([]*classMonitor, cfg.Classes)
 	for k := range d.monitor {
 		d.monitor[k] = &classMonitor{
@@ -246,6 +254,8 @@ func (d *Detector) Reset() {
 	}
 	d.drifted = nil
 	d.batchN = 0
+	d.recHead, d.recLen = 0, 0
+	d.lastDrift = nil
 }
 
 // Update consumes one observation; detection work happens when a mini-batch
@@ -357,6 +367,7 @@ func (d *Detector) processBatch() detectors.State {
 		m.accSum, m.accCount = 0, 0
 		m.lastErr = r
 		m.batches++
+		d.recordSample(k, r, m)
 
 		// Candidate test: does the new error escape the trend's prediction
 		// interval?
@@ -419,6 +430,7 @@ func (d *Detector) processBatch() detectors.State {
 		m.history = append(m.history, m.trend.Slope())
 	}
 	if len(d.drifted) > 0 {
+		d.lastDrift = d.buildDriftRecord()
 		return detectors.Drift
 	}
 	if warning {

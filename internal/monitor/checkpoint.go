@@ -11,6 +11,7 @@ import (
 
 	"rbmim/internal/codec"
 	"rbmim/internal/detectors"
+	"rbmim/internal/telemetry"
 )
 
 // Checkpointing gives the monitor's per-stream detector state a life outside
@@ -228,10 +229,17 @@ func (m *Monitor) ckptWriter() {
 			close(msg.done)
 			continue
 		}
+		var putStart int64
+		if m.tele != nil {
+			putStart = telemetry.Now()
+		}
 		if err := m.cfg.Checkpoint.Store.Put(msg.id, msg.buf.Bytes()); err != nil {
 			m.ckptErrors.Add(1)
 		} else {
 			m.checkpoints.Add(1)
+		}
+		if m.tele != nil {
+			m.tele.ckptPut.Observe(telemetry.Now() - putStart)
 		}
 		msg.buf.Reset()
 		m.ckptPool.Put(msg.buf)
@@ -263,12 +271,19 @@ func (s *shard) snapshotStream(id string, st *streamState, block bool) {
 	buf.Reset()
 	// Envelope: monitor frame wrapping [seq | detector frame], so the
 	// stream's observation counter survives alongside the detector.
+	var saveStart int64
+	if m.tele != nil {
+		saveStart = telemetry.Now()
+	}
 	s.ckptScratch.Reset()
 	s.ckptScratch.U64(st.seq)
 	if err := sd.SaveState(s.ckptScratch); err != nil {
 		m.ckptErrors.Add(1)
 		m.ckptPool.Put(buf)
 		return
+	}
+	if m.tele != nil {
+		m.tele.ckptSave.Observe(telemetry.Now() - saveStart)
 	}
 	s.ckptFrame = codec.AppendFrame(s.ckptFrame[:0], codec.KindMonitorStream, s.ckptScratch.Bytes())
 	buf.Write(s.ckptFrame) // copy into the pooled buffer; the scratch stays shard-owned

@@ -46,6 +46,7 @@ import (
 	"rbmim/internal/codec"
 	"rbmim/internal/core"
 	"rbmim/internal/detectors"
+	"rbmim/internal/telemetry"
 )
 
 // Factory builds a fresh detector for a newly observed stream. The monitor
@@ -111,6 +112,13 @@ type Config struct {
 	// Close. The zero value (no Store) disables checkpointing. See
 	// CheckpointConfig.
 	Checkpoint CheckpointConfig
+	// Telemetry selects the latency-instrumentation level. The zero value
+	// (telemetry.Full) times every monitor stage — shard queue-wait,
+	// detector update, checkpoint save and store put — into log2 histograms
+	// exported via Snapshot.Latency and WritePrometheus. telemetry.Basic and
+	// telemetry.Off skip the monitor-side stages. Telemetry never changes
+	// detection output: drift decisions are bit-identical at every level.
+	Telemetry telemetry.Level
 }
 
 func (c *Config) withDefaults() error {
@@ -165,6 +173,11 @@ type Event struct {
 	Seq uint64
 	// At is the wall-clock detection time.
 	At time.Time
+	// Record is the drift flight record — the detector's recent per-class
+	// reconstruction-error / trend / ADWIN-width samples leading into this
+	// drift (see core.DriftRecord). Nil for detectors without a flight
+	// recorder. The record is immutable; events may share it.
+	Record *core.DriftRecord
 }
 
 // ErrClosed is returned by Ingest/TryIngest/Evict after Close.
@@ -203,6 +216,48 @@ type Monitor struct {
 	checkpoints atomic.Uint64
 	ckptErrors  atomic.Uint64
 	rehydrated  atomic.Uint64
+
+	// tele holds the monitor-side stage histograms; nil when
+	// Config.Telemetry disables monitor timing (Basic or Off).
+	tele *monitorTele
+	// lastDrift maps stream ID -> DriftReport of the stream's most recent
+	// drift (written on the shard goroutine in tally, read by LastDrift).
+	// Reports survive eviction: they are history, not stream state.
+	lastDrift sync.Map
+}
+
+// monitorTele bundles the monitor's stage histograms.
+type monitorTele struct {
+	queueWait telemetry.Histogram // envelope push -> shard pop
+	detector  telemetry.Histogram // one flush's Update/UpdateBatch run
+	ckptSave  telemetry.Histogram // one stream's SaveState serialization
+	ckptPut   telemetry.Histogram // one checkpoint Store.Put
+}
+
+// stages snapshots the histograms, sorted by stage name (the order every
+// exporter relies on for deterministic output). Stages that never observed
+// a sample are omitted — a monitor without a checkpoint store does not
+// export empty checkpoint series.
+func (t *monitorTele) stages() []telemetry.Stage {
+	if t == nil {
+		return nil
+	}
+	all := []telemetry.Stage{
+		t.ckptPut.Load("checkpoint_put"),
+		t.ckptSave.Load("checkpoint_save"),
+		t.detector.Load("detector_update"),
+		t.queueWait.Load("queue_wait"),
+	}
+	out := all[:0]
+	for _, st := range all {
+		if st.Count > 0 {
+			out = append(out, st)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // New builds and starts a Monitor.
@@ -216,6 +271,9 @@ func New(cfg Config) (*Monitor, error) {
 		closeDone: make(chan struct{}),
 		subs:      make(map[*Subscription]struct{}),
 		start:     time.Now(),
+	}
+	if cfg.Telemetry == telemetry.Full {
+		m.tele = &monitorTele{}
 	}
 	if m.ckptEnabled() {
 		m.ckptCh = make(chan ckptMsg, cfg.Checkpoint.QueueSize)
@@ -595,6 +653,13 @@ type Snapshot struct {
 	// Uptime is time since New; InstancesPerSec is Ingested / Uptime.
 	Uptime          time.Duration
 	InstancesPerSec float64
+	// Latency holds the stage latency histograms (telemetry.Stage: log2
+	// buckets plus p50/p95/p99), sorted by stage name. Monitor stages are
+	// queue_wait, detector_update, checkpoint_save, checkpoint_put; the
+	// network server overlays its serve_* stages onto its Snapshot reply.
+	// Empty when Config.Telemetry is Basic or Off. MergeSnapshots merges
+	// same-named stages bucket-wise, so fleet views keep true quantiles.
+	Latency []telemetry.Stage
 }
 
 // Snapshot aggregates the per-shard statistics. It is cheap (atomic reads)
@@ -646,6 +711,7 @@ func (m *Monitor) Snapshot() Snapshot {
 	if secs := sn.Uptime.Seconds(); secs > 0 {
 		sn.InstancesPerSec = float64(sn.Ingested) / secs
 	}
+	sn.Latency = m.tele.stages()
 	return sn
 }
 
@@ -716,6 +782,13 @@ type envelope struct {
 	bat  *batchBuf
 	done chan struct{}
 	xfer *xferOp
+	// at is the telemetry clock reading when the envelope was pushed
+	// (stamp-at-push), read at pop for the queue_wait histogram; zero when
+	// monitor telemetry is off. Stamping at push rather than timing the pop
+	// loop is what makes the number mean "how long did work sit in the
+	// ring", including the time a full ring blocked the producer's view of
+	// progress.
+	at int64
 }
 
 // streamState is one stream's detector plus bookkeeping; owned exclusively
@@ -793,6 +866,9 @@ type shard struct {
 // (the Ingest/IngestBatch backpressure path). Counters move before the push
 // so a concurrent Snapshot never sees queued dip below zero on this path.
 func (s *shard) send(env envelope, n int) {
+	if s.m.tele != nil {
+		env.at = telemetry.Now()
+	}
 	s.received.Add(uint64(n))
 	s.queued.Add(int64(n))
 	s.in.push(env)
@@ -801,6 +877,9 @@ func (s *shard) send(env envelope, n int) {
 // trySend is send without backpressure: on a full ring the counters are
 // rolled back and false returned (the caller counts the drop).
 func (s *shard) trySend(env envelope, n int) bool {
+	if s.m.tele != nil {
+		env.at = telemetry.Now()
+	}
 	s.received.Add(uint64(n))
 	s.queued.Add(int64(n))
 	if s.in.tryPush(env) {
@@ -963,6 +1042,16 @@ func (s *shard) spinForWork(spins *int) bool {
 // accumulate in arrival order and an Evict flushes the stream's queued
 // observations before removing it.
 func (s *shard) process(pending []envelope) (closing bool) {
+	if t := s.m.tele; t != nil {
+		// One clock read per micro-batch: queue-wait is dominated by ring
+		// residency, not the sub-microsecond drain spread.
+		now := telemetry.Now()
+		for i := range pending {
+			if at := pending[i].at; at > 0 {
+				t.queueWait.Observe(now - at)
+			}
+		}
+	}
 	var flushDones []chan struct{}
 	var listOps []*xferOp
 	for _, env := range pending {
@@ -1108,12 +1197,19 @@ func (s *shard) flush(id string, g *obsGroup) {
 	}
 	now := time.Now()
 	st.lastSeen = now
+	var detStart int64
+	if s.m.tele != nil {
+		detStart = telemetry.Now()
+	}
 	if bd, ok := st.det.(detectors.BatchDetector); ok {
 		if cap(s.states) < n {
 			s.states = make([]detectors.State, n)
 		}
 		states := s.states[:n]
 		bd.UpdateBatch(g.obs, states)
+		if t := s.m.tele; t != nil {
+			t.detector.Observe(telemetry.Now() - detStart)
+		}
 		// Batched attribution is per block: DriftClasses after UpdateBatch
 		// is the union over the block's drifting mini-batches, so every
 		// drift event of this flush carries the same class list.
@@ -1138,6 +1234,9 @@ func (s *shard) flush(id string, g *obsGroup) {
 				}
 			}
 			s.tally(id, st, state, classes, now)
+		}
+		if t := s.m.tele; t != nil {
+			t.detector.Observe(telemetry.Now() - detStart)
 		}
 	}
 	s.ingested.Add(uint64(n))
@@ -1164,13 +1263,53 @@ func (s *shard) tally(id string, st *streamState, state detectors.State, classes
 		s.drifts.Add(1)
 		ev := Event{StreamID: id, Seq: st.seq, At: now}
 		ev.Classes = append(ev.Classes, classes...)
+		// Attach the flight record when the detector keeps one. A batched
+		// flush with several drifting mini-batches attaches the latest
+		// record to each of its events; records are immutable, so sharing
+		// the pointer is safe.
+		if rec, ok := st.det.(driftRecorder); ok {
+			ev.Record = rec.LastDriftRecord()
+		}
 		for _, k := range ev.Classes {
 			if k >= 0 && k < len(s.driftsByClass) {
 				s.driftsByClass[k].Add(1)
 			}
 		}
+		s.m.lastDrift.Store(id, DriftReport{
+			StreamID: id, Seq: st.seq, At: now,
+			Classes: ev.Classes, Record: ev.Record,
+		})
 		s.m.publish(ev)
 	}
+}
+
+// driftRecorder is the optional detector capability behind Event.Record
+// (implemented by core.Detector).
+type driftRecorder interface {
+	LastDriftRecord() *core.DriftRecord
+}
+
+// DriftReport is the retrievable form of a stream's most recent drift: the
+// event coordinates plus the flight record (nil for detectors without a
+// recorder). Served over the wire by the LastDrift request.
+type DriftReport struct {
+	StreamID string
+	Seq      uint64
+	At       time.Time
+	Classes  []int
+	Record   *core.DriftRecord
+}
+
+// LastDrift returns the report of streamID's most recent drift, or false if
+// the stream has never drifted in this process. Reports survive stream
+// eviction (they describe history, not live state) but are process-local:
+// they are not checkpointed and do not migrate.
+func (m *Monitor) LastDrift(streamID string) (DriftReport, bool) {
+	v, ok := m.lastDrift.Load(streamID)
+	if !ok {
+		return DriftReport{}, false
+	}
+	return v.(DriftReport), true
 }
 
 // gcIdle evicts streams idle for longer than IdleTTL, spilling their state

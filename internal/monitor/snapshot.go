@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"rbmim/internal/telemetry"
 )
 
 // Snapshot has two canonical text encodings, shared by every consumer
@@ -97,6 +99,45 @@ func (s Snapshot) AppendJSON(b []byte) []byte {
 	num("Uptime", int64(s.Uptime))
 	field("InstancesPerSec")
 	b = strconv.AppendFloat(b, s.InstancesPerSec, 'g', -1, 64)
+	field("Latency")
+	if s.Latency == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range s.Latency {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			st := &s.Latency[i]
+			b = append(b, `{"Stage":`...)
+			b = strconv.AppendQuote(b, st.Stage)
+			b = append(b, `,"Count":`...)
+			b = strconv.AppendUint(b, st.Count, 10)
+			b = append(b, `,"SumNS":`...)
+			b = strconv.AppendInt(b, st.SumNS, 10)
+			b = append(b, `,"P50NS":`...)
+			b = strconv.AppendInt(b, st.P50NS, 10)
+			b = append(b, `,"P95NS":`...)
+			b = strconv.AppendInt(b, st.P95NS, 10)
+			b = append(b, `,"P99NS":`...)
+			b = strconv.AppendInt(b, st.P99NS, 10)
+			b = append(b, `,"Buckets":`...)
+			if st.Buckets == nil {
+				b = append(b, "null"...)
+			} else {
+				b = append(b, '[')
+				for j, v := range st.Buckets {
+					if j > 0 {
+						b = append(b, ',')
+					}
+					b = strconv.AppendUint(b, v, 10)
+				}
+				b = append(b, ']')
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
 	b = append(b, '}')
 	return b
 }
@@ -171,6 +212,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	emit("rbmim_uptime_seconds", "Seconds since the monitor started.", "gauge", s.Uptime.Seconds())
 	emit("rbmim_instances_per_second", "Ingested / uptime.", "gauge", s.InstancesPerSec)
+	if err == nil && len(s.Latency) > 0 {
+		// One histogram family, one series set per stage. Latency is sorted
+		// by stage name (Monitor.Snapshot assembles it sorted; MergeSnapshots
+		// re-sorts), so consecutive scrapes are byte-identical.
+		err = telemetry.WriteStages(w, "rbmim_stage_seconds",
+			"Per-stage latency (log2 buckets): queue_wait, detector_update, checkpoint_save/put, serve_<kind>.", s.Latency)
+	}
 	return err
 }
 
@@ -186,6 +234,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // quiescence) survives merging because every term is a sum.
 func MergeSnapshots(sns ...Snapshot) Snapshot {
 	var out Snapshot
+	var latencies [][]telemetry.Stage
 	for _, s := range sns {
 		out.Shards += s.Shards
 		out.Streams += s.Streams
@@ -228,6 +277,15 @@ func MergeSnapshots(sns ...Snapshot) Snapshot {
 		if s.Uptime > out.Uptime {
 			out.Uptime = s.Uptime
 		}
+		if s.Latency != nil {
+			latencies = append(latencies, s.Latency)
+		}
+	}
+	if len(latencies) > 0 {
+		// Same-named stages merge bucket-wise (quantiles recomputed from the
+		// summed buckets), so the fleet view reports true cluster-wide
+		// percentiles rather than an average of per-member percentiles.
+		out.Latency = telemetry.MergeStages(latencies...)
 	}
 	if secs := out.Uptime.Seconds(); secs > 0 {
 		out.InstancesPerSec = float64(out.Ingested) / secs

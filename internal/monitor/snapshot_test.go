@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rbmim/internal/telemetry"
+	"rbmim/internal/telemetry/telemetrytest"
 )
 
 func testSnapshot() Snapshot {
@@ -40,7 +43,19 @@ func testSnapshot() Snapshot {
 		ShardIngested:      []uint64{31000, 30000, 31456, 31000},
 		Uptime:             90 * time.Second,
 		InstancesPerSec:    1371.7333333333333,
+		Latency:            testStages(),
 	}
+}
+
+// testStages builds latency stages through real histograms so the stored
+// quantiles are consistent with the bucket vectors.
+func testStages() []telemetry.Stage {
+	var qw, det telemetry.Histogram
+	for i := int64(1); i <= 1<<20; i *= 2 {
+		qw.Observe(i)
+		det.Observe(i * 3)
+	}
+	return []telemetry.Stage{det.Load("detector_update"), qw.Load("queue_wait")}
 }
 
 // TestSnapshotJSONRoundTrip: the canonical encoding must round-trip through
@@ -90,6 +105,7 @@ func TestSnapshotJSONStableFieldOrder(t *testing.T) {
 		"Subscribers", "SubscriberDropped", "SubscribersEvicted",
 		"InFlightHighWater", "RepliesCoalesced", "Shedded", "DedupHits",
 		"ShardStreams", "ShardIngested", "Uptime", "InstancesPerSec",
+		"Latency",
 	}
 	pos := -1
 	for _, key := range order {
@@ -144,6 +160,69 @@ func TestSnapshotPrometheus(t *testing.T) {
 		}
 		if parts := strings.Fields(line); len(parts) != 2 {
 			t.Fatalf("malformed metric line %q", line)
+		}
+	}
+}
+
+// TestSnapshotPrometheusHistograms checks the latency family against the
+// exposition invariants (cumulative buckets, le="+Inf" == _count) and that
+// repeated scrapes of the same snapshot are byte-identical.
+func TestSnapshotPrometheusHistograms(t *testing.T) {
+	sn := testSnapshot()
+	var a, b bytes.Buffer
+	if err := sn.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out != b.String() {
+		t.Fatal("two scrapes of the same snapshot differ")
+	}
+	if !strings.Contains(out, "# TYPE rbmim_stage_seconds histogram") {
+		t.Fatalf("missing histogram TYPE header:\n%s", out)
+	}
+	for _, stage := range []string{"detector_update", "queue_wait"} {
+		if !strings.Contains(out, `rbmim_stage_seconds_bucket{stage="`+stage+`"`) {
+			t.Fatalf("missing bucket series for stage %q", stage)
+		}
+	}
+	telemetrytest.CheckHistogramExposition(t, out, "rbmim_stage_seconds")
+}
+
+// TestMergeSnapshotsLatency: cluster merging sums latency histograms
+// bucket-wise — a split fleet's merged stages equal one combined histogram.
+func TestMergeSnapshotsLatency(t *testing.T) {
+	var whole, a, b telemetry.Histogram
+	for i := int64(1); i < 4096; i += 7 {
+		whole.Observe(i)
+		if i%2 == 1 {
+			a.Observe(i)
+		} else {
+			b.Observe(i)
+		}
+	}
+	m1 := Snapshot{Latency: []telemetry.Stage{a.Load("queue_wait")}}
+	m2 := Snapshot{Latency: []telemetry.Stage{b.Load("queue_wait"), b.Load("detector_update")}}
+	m3 := Snapshot{} // a telemetry-off member contributes nothing
+	merged := MergeSnapshots(m1, m2, m3)
+	var got *telemetry.Stage
+	for i := range merged.Latency {
+		if merged.Latency[i].Stage == "queue_wait" {
+			got = &merged.Latency[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("merged snapshot lost queue_wait: %+v", merged.Latency)
+	}
+	want := whole.Load("queue_wait")
+	if got.Count != want.Count || got.SumNS != want.SumNS {
+		t.Fatalf("merged Count=%d SumNS=%d, want %d/%d", got.Count, got.SumNS, want.Count, want.SumNS)
+	}
+	for i := range want.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, got.Buckets[i], want.Buckets[i])
 		}
 	}
 }

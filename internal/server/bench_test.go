@@ -9,6 +9,7 @@ import (
 	"rbmim/internal/synth"
 
 	"rbmim/internal/detectors"
+	"rbmim/internal/telemetry"
 )
 
 // BenchmarkServerIngestBatch measures the full loopback serving path —
@@ -156,16 +157,17 @@ func BenchmarkServerPipelined(b *testing.B) {
 	for i := range ids {
 		ids[i] = fmt.Sprintf("stream-%02d", i)
 	}
-	run := func(b *testing.B, block, window, shards, queue int) {
+	run := func(b *testing.B, block, window, shards, queue int, tele telemetry.Level) {
 		m, err := monitor.New(monitor.Config{
 			Detector:  core.Config{Features: features, Classes: classes, Seed: 7},
 			Shards:    shards,
 			QueueSize: queue,
+			Telemetry: tele,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		srv, err := New(Config{Monitor: m})
+		srv, err := New(Config{Monitor: m, Telemetry: tele})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,6 +219,12 @@ func BenchmarkServerPipelined(b *testing.B) {
 		srv.Close()
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(block), "ns/obs")
 	}
-	b.Run("Single", func(b *testing.B) { run(b, 1, 16, 1, 4096) })
-	b.Run("B256", func(b *testing.B) { run(b, 256, 8, 4, 16) })
+	// The gated series (Single, B256) runs at the default telemetry level —
+	// full stage timing is the production configuration, so that is what
+	// benchguard holds against BENCH_server.json. The /off variants exist
+	// for the telemetry-overhead table in EXPERIMENTS.md and are not gated.
+	b.Run("Single", func(b *testing.B) { run(b, 1, 16, 1, 4096, telemetry.Full) })
+	b.Run("B256", func(b *testing.B) { run(b, 256, 8, 4, 16, telemetry.Full) })
+	b.Run("Single/off", func(b *testing.B) { run(b, 1, 16, 1, 4096, telemetry.Off) })
+	b.Run("B256/off", func(b *testing.B) { run(b, 256, 8, 4, 16, telemetry.Off) })
 }

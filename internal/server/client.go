@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rbmim/internal/codec"
+	"rbmim/internal/core"
 	"rbmim/internal/detectors"
 	"rbmim/internal/monitor"
 )
@@ -299,6 +300,52 @@ func (c *Client) Handoff(streamID string, state []byte) error {
 	return p.Wait()
 }
 
+// LastDrift fetches the server's most recent drift report for a stream —
+// when it fired, which classes, and the flight-recorder samples (recent
+// per-class reconstruction error / trend slope / ADWIN width) leading up to
+// it. found is false when the stream has not drifted since the server
+// started (reports are process-local observability: they survive eviction
+// but are not checkpointed, so a restart clears them).
+func (c *Client) LastDrift(streamID string) (monitor.DriftReport, bool, error) {
+	slot, err := c.acquire()
+	if err != nil {
+		return monitor.DriftReport{}, false, err
+	}
+	b := c.beginCall(slot, codec.KindWireLastDrift)
+	b.Str(streamID)
+	c.submit(slot)
+	cl, err := c.await(slot)
+	if err != nil {
+		return monitor.DriftReport{}, false, err
+	}
+	if cl.replyKind != codec.KindWireDrift {
+		err := c.ackErr(cl)
+		c.release(slot)
+		if err == nil {
+			err = fmt.Errorf("server: unexpected last-drift reply kind %d", cl.replyKind)
+		}
+		return monitor.DriftReport{}, false, err
+	}
+	var rd codec.Reader
+	rd.Reset(cl.msg)
+	data := rd.Blob()
+	if err := rd.Err(); err != nil {
+		c.release(slot)
+		return monitor.DriftReport{}, false, err
+	}
+	if len(data) == 0 {
+		c.release(slot)
+		return monitor.DriftReport{}, false, nil
+	}
+	var rep monitor.DriftReport
+	err = json.Unmarshal(data, &rep)
+	c.release(slot)
+	if err != nil {
+		return monitor.DriftReport{}, false, fmt.Errorf("server: decoding drift report: %w", err)
+	}
+	return rep, true, nil
+}
+
 // StreamIDs lists the server's resident streams, sorted. Like
 // FlushCheckpoints it travels the shard queues, so the listing includes at
 // least every stream whose first ingest was acknowledged before the call —
@@ -458,6 +505,13 @@ func (s *Subscription) loop(sc *codec.FrameScanner) {
 		ev.Seq = rd.U64()
 		ev.At = time.Unix(0, rd.I64())
 		ev.Classes = rd.Ints()
+		// Trailing flight-recorder blob: JSON DriftRecord, len 0 when absent.
+		if rec := rd.Blob(); rd.Err() == nil && len(rec) > 0 {
+			r := new(core.DriftRecord)
+			if json.Unmarshal(rec, r) == nil {
+				ev.Record = r
+			}
+		}
 		if rd.Done() != nil {
 			s.fail(fmt.Errorf("server: bad event frame: %v", rd.Done()))
 			s.nc.Close()

@@ -10,6 +10,7 @@ import (
 
 	"rbmim/internal/detectors"
 	"rbmim/internal/monitor"
+	"rbmim/internal/telemetry"
 )
 
 // ClusterClient shards the stream space across a fleet of driftservers: a
@@ -287,6 +288,36 @@ func (cc *ClusterClient) Snapshot() (monitor.Snapshot, error) {
 		merged = append(merged, m.Snapshot)
 	}
 	return monitor.MergeSnapshots(merged...), nil
+}
+
+// LastDrift fetches the most recent drift report for a stream from the
+// member that owns it (see Client.LastDrift). Taken under the stream's
+// migration gate so a concurrent Migrate cannot answer from the wrong node.
+func (cc *ClusterClient) LastDrift(streamID string) (monitor.DriftReport, bool, error) {
+	g := cc.gate(streamID)
+	g.RLock()
+	defer g.RUnlock()
+	p, _, err := cc.route(streamID)
+	if err != nil {
+		return monitor.DriftReport{}, false, err
+	}
+	return p.LastDrift(streamID)
+}
+
+// Latency merges the client-observed RTT histograms across every member
+// pool (see Client.Latency) — the fleet-wide ingest-latency view from this
+// client's vantage point.
+func (cc *ClusterClient) Latency() []telemetry.Stage {
+	var groups [][]telemetry.Stage
+	for _, member := range cc.pools() {
+		if st := member.pool.Latency(); len(st) > 0 {
+			groups = append(groups, st)
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	return telemetry.MergeStages(groups...)
 }
 
 // MemberSnapshot is one member's snapshot, labelled with its address.

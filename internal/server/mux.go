@@ -5,6 +5,7 @@ import (
 
 	"rbmim/internal/detectors"
 	"rbmim/internal/monitor"
+	"rbmim/internal/telemetry"
 )
 
 // ClientPool fans many logical producers over a fixed set of pipelined
@@ -251,6 +252,27 @@ func (p *ClientPool) StreamIDs() ([]string, error) {
 // the pool's request pipelines) via the pool's first connection's dialer.
 func (p *ClientPool) Subscribe(buffer int) (*Subscription, error) {
 	return p.clients[0].Subscribe(buffer)
+}
+
+// LastDrift fetches the most recent drift report for a stream over the
+// stream's own connection (see Client.LastDrift).
+func (p *ClientPool) LastDrift(streamID string) (monitor.DriftReport, bool, error) {
+	return p.conn(streamID).LastDrift(streamID)
+}
+
+// Latency merges the client-observed RTT histograms across the pool's
+// connections into one stage set (see Client.Latency).
+func (p *ClientPool) Latency() []telemetry.Stage {
+	groups := make([][]telemetry.Stage, 0, len(p.clients))
+	for _, c := range p.clients {
+		if st := c.Latency(); len(st) > 0 {
+			groups = append(groups, st)
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	return telemetry.MergeStages(groups...)
 }
 
 // Close closes every connection. In-flight requests on all of them receive

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rbmim/internal/codec"
+	"rbmim/internal/telemetry"
 )
 
 // Pipelined client core.
@@ -92,6 +93,14 @@ type call struct {
 	done  chan struct{} // cap 1; reader signals reply arrival
 	fate  atomic.Uint32 // await-path deadline arbitration (see above)
 
+	// RTT telemetry: the request kind's histogram index and the submit
+	// stamp. A reconnect's resend keeps the original stamp, so the observed
+	// RTT honestly includes the outage the caller actually waited through.
+	// Both fields ride the slot through the sendq/inflight channels, which
+	// order the caller's writes before the reader's read.
+	kindIdx int8 // index into Client.rtt; -1 for unmapped kinds
+	sentNS  int64
+
 	// ack, when non-nil, marks an ack-only request (the Async ingest paths,
 	// Evict, FlushCheckpoints): the reader resolves the ack itself and
 	// releases the slot immediately instead of parking the reply for await.
@@ -146,6 +155,11 @@ type Client struct {
 
 	acked      atomic.Uint64 // replies matched, across epochs (stall progress)
 	reconnects atomic.Uint64
+
+	// rtt holds client-observed round-trip-time histograms per request
+	// kind, indexed like serverTele.serve. Always on: the timing is two
+	// clock reads on the client's own path and cannot perturb the server.
+	rtt [codec.KindWireLastDrift - codec.KindWireIngest + 1]telemetry.Histogram
 
 	wg sync.WaitGroup // the supervisor (which in turn waits epoch loops)
 }
@@ -370,6 +384,32 @@ func (c *Client) Window() int { return c.window }
 // connection with a fresh one.
 func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 
+// rttStageNames maps a Client.rtt index to its stage label (same indexing
+// as serveStageNames).
+var rttStageNames = [...]string{
+	"rtt_ingest", "rtt_ingest_batch", "rtt_try_ingest_batch",
+	"rtt_subscribe", "rtt_snapshot", "rtt_evict", "rtt_flush",
+	"rtt_migrate", "rtt_handoff", "rtt_streams", "rtt_last_drift",
+}
+
+// Latency snapshots the client-observed round-trip-time histograms, one
+// stage per request kind actually issued (rtt_ingest, rtt_ingest_batch,
+// ...), sorted by stage name. RTT spans submit to reply-matched, so it
+// includes queue wait behind the window, the server's service time, and —
+// across a reconnect — the outage the request rode through.
+func (c *Client) Latency() []telemetry.Stage {
+	var out []telemetry.Stage
+	for i := range c.rtt {
+		if st := c.rtt[i].Load(rttStageNames[i]); st.Count > 0 {
+			out = append(out, st)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return telemetry.MergeStages(out)
+}
+
 // Dead reports whether the client has permanently failed (Close, or a
 // failure its RetryPolicy does not absorb). A client mid-reconnect is not
 // dead — callers park and their requests resume on the next connection.
@@ -456,6 +496,11 @@ func (c *Client) beginCall(slot uint32, kind uint8) *codec.Buffer {
 	cl := &c.calls[slot]
 	cl.frame.Reset()
 	cl.fate.Store(fatePending)
+	if i := int(kind) - int(codec.KindWireIngest); i >= 0 && i < len(c.rtt) {
+		cl.kindIdx = int8(i)
+	} else {
+		cl.kindIdx = -1
+	}
 	cl.mark = cl.frame.BeginFrame(kind)
 	cl.frame.U64(uint64(cl.gen)<<32 | uint64(slot))
 	return &cl.frame
@@ -467,6 +512,7 @@ func (c *Client) beginCall(slot uint32, kind uint8) *codec.Buffer {
 func (c *Client) submit(slot uint32) {
 	cl := &c.calls[slot]
 	cl.frame.EndFrame(cl.mark)
+	cl.sentNS = telemetry.Now()
 	c.sendq <- slot
 }
 
@@ -624,6 +670,9 @@ func (ep *epoch) readLoop() {
 			return
 		}
 		c.acked.Add(1)
+		if cl.kindIdx >= 0 {
+			c.rtt[cl.kindIdx].Observe(telemetry.Now() - cl.sentNS)
+		}
 		if ack := cl.ack; ack != nil {
 			// Ack-only request: interpret the reply here, recycle the slot
 			// now (eager window release — see pendingAck), then deliver.

@@ -10,11 +10,17 @@
 // payload | CRC-32). Request payloads start with a uint64 request id that
 // the matching reply echoes; replies are sent in request order on the same
 // connection. The request kinds are Ingest, IngestBatch, TryIngestBatch,
-// Subscribe, SnapshotReq, Evict, Flush, and the cluster-migration trio
-// Migrate, Handoff, and Streams; replies are OK, Busy (a TryIngestBatch
-// whose shard queue was full), Error (with a message), Snapshot (canonical
-// JSON), State (a Migrate reply carrying the exported stream's checkpoint
-// envelope), and StreamIDs (a Streams reply listing resident streams).
+// Subscribe, SnapshotReq, Evict, Flush, the cluster-migration trio
+// Migrate, Handoff, and Streams, and LastDrift (fetch a stream's most
+// recent drift report with its flight-recorder samples); replies are OK,
+// Busy (a TryIngestBatch whose shard queue was full), Error (with a
+// message), Snapshot (canonical JSON), State (a Migrate reply carrying the
+// exported stream's checkpoint envelope), StreamIDs (a Streams reply
+// listing resident streams), and Drift (a LastDrift reply carrying a JSON
+// drift report, zero-length when the stream has not drifted). Event frames
+// carry, after the classes, a length-prefixed JSON flight-recorder record
+// (length 0 when absent) — the detector-internal samples leading up to the
+// drift, attached server-side at publish time.
 // Migrate serializes a stream's detector into the same envelope frame the
 // checkpoint store holds, spills a copy, and removes the stream — a re-sent
 // Migrate whose reply was lost re-reads the spilled copy, so retries return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -14,6 +15,7 @@ import (
 	"rbmim/internal/codec"
 	"rbmim/internal/detectors"
 	"rbmim/internal/monitor"
+	"rbmim/internal/telemetry"
 )
 
 // Config parameterizes a Server. Monitor is required; every other zero
@@ -60,6 +62,14 @@ type Config struct {
 	// tracks; past it the least-recently-active session's window is
 	// dropped. Default 1024.
 	MaxSessions int
+	// Telemetry selects how much of the wire path is timed. The zero value
+	// (telemetry.Full) times every request's service time (decode through
+	// reply buffering) into per-kind serve_* latency histograms, exposed on
+	// Snapshot replies and /metrics alongside the monitor's own stages;
+	// telemetry.Basic keeps the serve_* stages too (they are the
+	// wire-visible ones); telemetry.Off removes all server-side timing.
+	// Telemetry never changes replies or drift decisions.
+	Telemetry telemetry.Level
 	// ShedHighWater, in (0, 1], enables overload shedding: a blocking
 	// Ingest/IngestBatch whose target shard's queue occupancy is at or
 	// above this fraction of capacity is refused with a Busy reply instead
@@ -121,6 +131,40 @@ type Server struct {
 
 	// dedup is the exactly-once window (nil when Config.DedupWindow < 0).
 	dedup *dedupTable
+
+	// tele times per-kind request service (nil at telemetry.Off).
+	tele *serverTele
+
+	// ready gates /readyz: true while the server accepts and serves ingest,
+	// flipped false at the top of Close — before the drain — so a load
+	// balancer polling readiness stops routing to a draining server while
+	// /healthz (liveness) still answers.
+	ready atomic.Bool
+}
+
+// serverTele holds one service-time histogram per request kind, indexed
+// kind - codec.KindWireIngest (the request kinds are contiguous).
+type serverTele struct {
+	serve [codec.KindWireLastDrift - codec.KindWireIngest + 1]telemetry.Histogram
+}
+
+// serveStageNames maps a serverTele.serve index to its stage label.
+var serveStageNames = [...]string{
+	"serve_ingest", "serve_ingest_batch", "serve_try_ingest_batch",
+	"serve_subscribe", "serve_snapshot", "serve_evict", "serve_flush",
+	"serve_migrate", "serve_handoff", "serve_streams", "serve_last_drift",
+}
+
+// stages snapshots the non-empty serve histograms (unsorted; the caller
+// merges them with the monitor's stages, which sorts by name).
+func (t *serverTele) stages() []telemetry.Stage {
+	var out []telemetry.Stage
+	for i := range t.serve {
+		if st := t.serve[i].Load(serveStageNames[i]); st.Count > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
 }
 
 // New builds a Server and starts serving immediately (accept loop and, when
@@ -142,6 +186,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DedupWindow > 0 {
 		s.dedup = newDedupTable(cfg.DedupWindow, cfg.MaxSessions)
 	}
+	if cfg.Telemetry != telemetry.Off {
+		s.tele = &serverTele{}
+	}
 	if cfg.HTTPAddr != "" {
 		hln, err := net.Listen("tcp", cfg.HTTPAddr)
 		if err != nil {
@@ -149,9 +196,22 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: listen http %s: %w", cfg.HTTPAddr, err)
 		}
 		mux := http.NewServeMux()
+		// Liveness vs readiness: /healthz answers "the process is up" for as
+		// long as the sidecar runs; /readyz answers "route traffic here" and
+		// flips to 503 the moment Close begins draining (and stays reachable
+		// through the drain — the sidecar shuts down after it).
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !s.ready.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "draining")
+				return
+			}
+			fmt.Fprintln(w, "ready")
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -170,6 +230,7 @@ func New(cfg Config) (*Server, error) {
 		s.httpSv = &http.Server{Handler: mux}
 		go s.httpSv.Serve(hln)
 	}
+	s.ready.Store(true)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -208,10 +269,10 @@ func (s *Server) Close() error {
 		conns = append(conns, nc)
 	}
 	s.mu.Unlock()
+	// Readiness flips before anything else so a poller sees 503 for the
+	// whole drain window; the sidecar itself closes only after the drain.
+	s.ready.Store(false)
 	s.ln.Close()
-	if s.httpSv != nil {
-		s.httpSv.Close()
-	}
 	// Graceful phase: expire every connection's pending read. A handler
 	// blocked waiting for the next request returns immediately; a handler
 	// mid-request finishes it, writes the reply, and exits on its next
@@ -238,6 +299,9 @@ func (s *Server) Close() error {
 		}
 		s.mu.Unlock()
 		<-done
+	}
+	if s.httpSv != nil {
+		s.httpSv.Close()
 	}
 	close(s.closeDone)
 	return nil
@@ -280,6 +344,11 @@ func (s *Server) wireSnapshot() monitor.Snapshot {
 	sn.Shedded = s.shedded.Load()
 	if s.dedup != nil {
 		sn.DedupHits = s.dedup.hits.Load()
+	}
+	if s.tele != nil {
+		if st := s.tele.stages(); len(st) > 0 {
+			sn.Latency = telemetry.MergeStages(sn.Latency, st)
+		}
 	}
 	return sn
 }
@@ -354,7 +423,19 @@ func (s *Server) handle(nc net.Conn) {
 			// shutdown deadline — all end the connection.
 			break
 		}
-		if !h.serve(kind, payload) {
+		// Service time is decode through reply buffering (the coalesced
+		// socket write is shared across requests and charged to none).
+		var t0 int64
+		if s.tele != nil {
+			t0 = telemetry.Now()
+		}
+		ok := h.serve(kind, payload)
+		if s.tele != nil {
+			if i := int(kind) - int(codec.KindWireIngest); i >= 0 && i < len(s.tele.serve) {
+				s.tele.serve[i].Observe(telemetry.Now() - t0)
+			}
+		}
+		if !ok {
 			break
 		}
 	}
@@ -544,6 +625,28 @@ func (h *connHandler) serve(kind uint8, payload []byte) bool {
 			return h.replyErr(id, err.Error())
 		}
 		return h.reply(id, codec.KindWireOK)
+
+	case codec.KindWireLastDrift:
+		sid, ok := h.streamID()
+		if !ok || h.rd.Done() != nil {
+			return h.replyErr(id, "bad last-drift payload")
+		}
+		// Cold path (operator query): the JSON allocation is fine here.
+		var data []byte
+		if rep, found := m.LastDrift(sid); found {
+			d, err := json.Marshal(rep)
+			if err != nil {
+				return h.replyErr(id, err.Error())
+			}
+			data = d
+		}
+		// A zero-length blob means "no drift recorded yet" — a report never
+		// marshals to empty JSON.
+		mark := h.out.BeginFrame(codec.KindWireDrift)
+		h.out.U64(id)
+		h.out.U32(uint32(len(data)))
+		h.out.Write(data)
+		return h.endReply(mark)
 
 	case codec.KindWireStreams:
 		if h.rd.Done() != nil {
@@ -742,6 +845,19 @@ func (h *connHandler) pump() {
 		b.U64(ev.Seq)
 		b.I64(ev.At.UnixNano())
 		b.Ints(ev.Classes)
+		// Flight-recorder record as a JSON blob (len 0 when absent — e.g. a
+		// Warning event, or a detector without a recorder). Drift events are
+		// rare, so the marshal allocation stays off the ingest hot path.
+		if ev.Record != nil {
+			if rec, err := json.Marshal(ev.Record); err == nil {
+				b.U32(uint32(len(rec)))
+				b.Write(rec)
+			} else {
+				b.U32(0)
+			}
+		} else {
+			b.U32(0)
+		}
 		b.EndFrame(mark)
 		offs = append(offs, b.Len())
 	}

@@ -1,0 +1,92 @@
+// Package telemetrytest holds the Prometheus histogram-exposition
+// conformance checker shared by the telemetry, monitor, and server tests.
+package telemetrytest
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// CheckHistogramExposition asserts the Prometheus exposition invariants for
+// every stage of the named histogram family: bucket values cumulative
+// (monotone nondecreasing), the mandatory le="+Inf" bucket present and
+// equal to _count, and every metric line well-formed ("name value").
+func CheckHistogramExposition(t *testing.T, exposition, family string) {
+	t.Helper()
+	type acc struct {
+		last    uint64
+		infSeen bool
+		inf     uint64
+		count   uint64
+		hasCnt  bool
+	}
+	stages := map[string]*acc{}
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed metric line %q", line)
+		}
+		val, err := strconv.ParseUint(fields[1], 10, 64)
+		stage := LabelValue(t, fields[0], "stage")
+		a := stages[stage]
+		if a == nil {
+			a = &acc{}
+			stages[stage] = a
+		}
+		switch {
+		case strings.HasPrefix(line, family+"_bucket{"):
+			if err != nil {
+				t.Fatalf("non-integer bucket value in %q", line)
+			}
+			if val < a.last {
+				t.Fatalf("bucket counts not cumulative at %q (%d < %d)", line, val, a.last)
+			}
+			a.last = val
+			if LabelValue(t, fields[0], "le") == "+Inf" {
+				a.infSeen, a.inf = true, val
+			}
+		case strings.HasPrefix(line, family+"_count{"):
+			if err != nil {
+				t.Fatalf("non-integer count in %q", line)
+			}
+			a.hasCnt, a.count = true, val
+		}
+	}
+	if len(stages) == 0 {
+		t.Fatalf("no %s series found", family)
+	}
+	for stage, a := range stages {
+		if !a.infSeen {
+			t.Fatalf("stage %q missing le=\"+Inf\" bucket", stage)
+		}
+		if !a.hasCnt {
+			t.Fatalf("stage %q missing _count", stage)
+		}
+		if a.inf != a.count {
+			t.Fatalf("stage %q: le=\"+Inf\" bucket %d != _count %d", stage, a.inf, a.count)
+		}
+	}
+}
+
+// LabelValue extracts one label's value from a metric name with labels,
+// returning "" when the label is absent.
+func LabelValue(t *testing.T, metric, label string) string {
+	t.Helper()
+	i := strings.Index(metric, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := metric[i+len(label)+2:]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		t.Fatalf("unterminated label in %q", metric)
+	}
+	return rest[:j]
+}

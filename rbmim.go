@@ -13,6 +13,7 @@ import (
 	"rbmim/internal/server"
 	"rbmim/internal/stream"
 	"rbmim/internal/synth"
+	"rbmim/internal/telemetry"
 )
 
 // Observation is one prequential outcome handed to a detector.
@@ -241,6 +242,46 @@ type (
 	// receives every event; a slow one drops only its own.
 	MonitorSubscription = monitor.Subscription
 )
+
+// Observability re-exports: per-stage latency histograms and the drift
+// flight recorder (see internal/telemetry and MonitorSnapshot.Latency).
+type (
+	// TelemetryLevel selects how much of the hot path is timed
+	// (MonitorConfig.Telemetry, ServerConfig.Telemetry). The zero value is
+	// TelemetryFull: telemetry is on by default and never changes drift
+	// decisions.
+	TelemetryLevel = telemetry.Level
+	// TelemetryStage is one stage's latency summary: count, sum, p50/p95/p99
+	// estimates, and the raw log2 bucket counts (mergeable across processes).
+	TelemetryStage = telemetry.Stage
+	// DriftRecord is the flight-recorder record attached to a drift: the
+	// recent per-class reconstruction-error / trend-slope / ADWIN-width
+	// samples leading up to it (MonitorEvent.Record, Client.LastDrift).
+	DriftRecord = core.DriftRecord
+	// DriftSample is one flight-recorder sample.
+	DriftSample = core.DriftSample
+	// DriftReport is a stream's most recent drift with its flight-recorder
+	// record (Monitor.LastDrift, Client.LastDrift).
+	DriftReport = monitor.DriftReport
+)
+
+// Telemetry levels.
+const (
+	TelemetryFull  = telemetry.Full
+	TelemetryBasic = telemetry.Basic
+	TelemetryOff   = telemetry.Off
+)
+
+// ParseTelemetryLevel parses "full" (or ""), "basic", or "off".
+func ParseTelemetryLevel(s string) (TelemetryLevel, error) { return telemetry.ParseLevel(s) }
+
+// MergeTelemetryStages folds per-process stage sets into one: histograms
+// with the same stage name sum bucket-wise and the quantiles are
+// recomputed from the merged buckets (what MergeSnapshots uses for
+// MonitorSnapshot.Latency).
+func MergeTelemetryStages(groups ...[]TelemetryStage) []TelemetryStage {
+	return telemetry.MergeStages(groups...)
+}
 
 // NewMemStore builds an in-memory checkpoint store (spill-and-rehydrate
 // within one process, tests).
